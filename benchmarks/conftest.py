@@ -1,0 +1,33 @@
+"""Benchmark harness plumbing.
+
+Every experiment file (E1–E9, see DESIGN.md / EXPERIMENTS.md) produces the
+paper-shaped series as an ASCII table. The ``report`` fixture prints the
+table and archives it under ``benchmarks/results/`` so the tables survive
+the pytest-benchmark summary output.
+
+Benchmarks are also *checks*: each asserts the theorem's scaling corridor
+(fitted exponents / flat normalized ratios), so `pytest benchmarks/
+--benchmark-only` failing means the reproduction regressed, not just got
+slower.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable fixture: ``report(name, text)`` prints and archives a table."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[saved to {path}]")
+
+    return _report

@@ -1,0 +1,88 @@
+"""Ablation/extension — dynamic layout updates (paper §VII future work).
+
+Measures the trade-off the paper's conclusion sketches: appended leaves
+degrade messaging locality; periodic light-first rebuilds restore it at an
+amortized O(√n / α) energy per insertion.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.spatial import DynamicLightFirstTree
+from repro.trees import random_attachment_tree
+
+
+def test_dynamic_degradation_and_rebuild(benchmark, report):
+    n0 = 2048
+
+    def run():
+        rng = np.random.default_rng(7)
+        base = random_attachment_tree(n0, seed=8)
+        dt = DynamicLightFirstTree(base, capacity=4 * n0)
+        rows = [{"inserted": 0, "mean_edge_dist": round(dt.mean_edge_distance(), 2),
+                 "rebuilds": 0}]
+        for batch in range(4):
+            for _ in range(n0 // 4):
+                dt.insert_leaf(int(rng.integers(0, dt.n)))
+            rows.append(
+                {"inserted": (batch + 1) * n0 // 4,
+                 "mean_edge_dist": round(dt.mean_edge_distance(), 2),
+                 "rebuilds": dt.rebuild_count}
+            )
+        rebuild_energy = dt.rebuild()
+        rows.append(
+            {"inserted": n0, "mean_edge_dist": round(dt.mean_edge_distance(), 2),
+             "rebuilds": dt.rebuild_count}
+        )
+        return rows, rebuild_energy
+
+    rows, rebuild_energy = benchmark.pedantic(run, rounds=1)
+    report(
+        "ablation_dynamic",
+        "Extension (§VII): appended leaves degrade locality; a rebuild "
+        f"(energy {rebuild_energy:,}) restores it\n" + format_table(rows),
+    )
+    # degradation grows monotonically with appends ...
+    dists = [r["mean_edge_dist"] for r in rows[:-1]]
+    assert dists == sorted(dists)
+    assert dists[-1] > 3 * dists[0]
+    # ... and the rebuild restores near-initial locality
+    assert rows[-1]["mean_edge_dist"] < 2 * dists[0]
+
+
+def test_dynamic_amortization_policy(benchmark, report):
+    """Auto-rebuild at fraction α keeps mean edge distance bounded while
+    paying O(n^{3/2}) only every Θ(αn) insertions."""
+    n0 = 1024
+
+    def run():
+        rng = np.random.default_rng(9)
+        rows = []
+        for frac in (0.1, 0.25, 0.5):
+            dt = DynamicLightFirstTree(
+                random_attachment_tree(n0, seed=10),
+                capacity=4 * n0,
+                auto_rebuild_fraction=frac,
+            )
+            worst = 0.0
+            for _ in range(n0):
+                dt.insert_leaf(int(rng.integers(0, dt.n)))
+                if dt.appended_since_rebuild % 128 == 0:
+                    worst = max(worst, dt.mean_edge_distance())
+            rows.append(
+                {"alpha": frac, "rebuilds": dt.rebuild_count,
+                 "total_rebuild_energy": dt.rebuild_energy,
+                 "worst_mean_dist": round(max(worst, dt.mean_edge_distance()), 2)}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        "ablation_dynamic_policy",
+        "Extension (§VII): auto-rebuild fraction α — locality vs rebuild cost\n"
+        + format_table(rows),
+    )
+    by = {r["alpha"]: r for r in rows}
+    assert by[0.1]["rebuilds"] > by[0.5]["rebuilds"]
+    assert by[0.1]["total_rebuild_energy"] > by[0.5]["total_rebuild_energy"]
+    assert by[0.1]["worst_mean_dist"] <= by[0.5]["worst_mean_dist"] + 1e-9

@@ -1,0 +1,107 @@
+"""Ablation — random-mate coin bias and synchronization (DESIGN.md §5).
+
+The paper fixes the random-mate coin at p = 1/2 and explicitly avoids
+per-round global barriers in the treefix loop ("Synchronization between the
+rounds would be a bottleneck"). These ablations measure both choices:
+
+* coin bias: the expected fraction of viable elements removed per round is
+  p(1−p), maximized at 1/2 — biased coins need more rounds and energy;
+* barriers: inserting the all-reduce barrier between COMPACT rounds adds a
+  Θ(log n) depth factor and Θ(n) energy per round, exactly the §V-C
+  warning.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.machine import SpatialMachine
+from repro.spatial import SpatialTree, list_rank
+from repro.spatial.treefix import treefix_sum
+from repro.trees import prufer_random_tree
+
+
+def random_list(k, seed):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(k)
+    succ = np.full(k, -1, dtype=np.int64)
+    succ[perm[:-1]] = perm[1:]
+    return succ
+
+
+def test_ablation_coin_bias_list_ranking(benchmark, report):
+    k = 4096
+    succ = random_list(k, 1)
+
+    def run():
+        rows = []
+        for bias in (0.1, 0.3, 0.5, 0.7, 0.9):
+            m = SpatialMachine(k)
+            res = list_rank(m, succ, seed=2, coin_bias=bias)
+            rows.append(
+                {"coin_bias": bias, "rounds": res.rounds,
+                 "energy/n^1.5": round(m.energy / k**1.5, 2), "depth": m.depth}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("ablation_coin_list", "Ablation: random-mate coin bias (list ranking, n=4096)\n"
+           + format_table(rows))
+    by = {r["coin_bias"]: r for r in rows}
+    # fair coins contract fastest (removal rate p(1-p) peaks at 1/2)
+    assert by[0.5]["rounds"] <= by[0.1]["rounds"]
+    assert by[0.5]["rounds"] <= by[0.9]["rounds"]
+    assert by[0.1]["rounds"] >= 1.5 * by[0.5]["rounds"]
+
+
+def test_ablation_coin_bias_treefix(benchmark, report):
+    n = 4096
+    tree = prufer_random_tree(n, seed=3)
+    vals = np.ones(n, dtype=np.int64)
+
+    def run():
+        rows = []
+        for bias in (0.2, 0.5, 0.8):
+            st = SpatialTree.build(tree)
+            out = treefix_sum(st, vals, seed=4, coin_bias=bias)
+            assert out[tree.root] == n  # correctness never depends on bias
+            rows.append(
+                {"coin_bias": bias, "rounds": st.last_contraction_rounds,
+                 "energy": st.machine.energy, "depth": st.machine.depth}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("ablation_coin_treefix", "Ablation: coin bias (treefix, n=4096)\n"
+           + format_table(rows))
+    by = {r["coin_bias"]: r for r in rows}
+    assert by[0.5]["energy"] <= by[0.2]["energy"]
+    assert by[0.5]["energy"] <= by[0.8]["energy"]
+
+
+def test_ablation_sync_barriers(benchmark, report):
+    """§V-C: per-round global synchronization is a measurable bottleneck."""
+    n = 4096
+    tree = prufer_random_tree(n, seed=5)
+    vals = np.ones(n, dtype=np.int64)
+
+    def run():
+        rows = {}
+        for sync in (False, True):
+            st = SpatialTree.build(tree)
+            treefix_sum(st, vals, seed=6, sync_barriers=sync)
+            rows[sync] = {
+                "sync_barriers": sync,
+                "energy": st.machine.energy,
+                "depth": st.machine.depth,
+                "rounds": st.last_contraction_rounds,
+            }
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        "ablation_barriers",
+        "Ablation: per-round barriers in COMPACT (§V-C warns against them)\n"
+        + format_table(list(rows.values())),
+    )
+    assert rows[True]["energy"] > 1.5 * rows[False]["energy"]
+    assert rows[True]["depth"] > rows[False]["depth"]

@@ -1,0 +1,69 @@
+"""E10 (extension) — expression tree evaluation on the spatial machine.
+
+§V notes treefix sums are "related to the parallel evaluation of arithmetic
+expressions [38]"; the CGM/PEM systems the paper compares against both
+feature expression evaluation as a benchmark kernel. This experiment shows
+the §V contraction framework carries over: evaluation of {+, ×} expression
+trees with O(n log n) energy and poly-log depth, for bounded and unbounded
+degree shapes.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table
+from repro.spatial import SpatialTree
+from repro.spatial.expression import (
+    evaluate_expression,
+    evaluate_expression_sequential,
+    random_expression,
+)
+
+NS = [512, 2048, 8192]
+
+
+def test_e10_expression_scaling(benchmark, report):
+    def run():
+        rows, es, ds = [], [], []
+        for n in NS:
+            tree, ops, vals = random_expression(n, seed=n)
+            st = SpatialTree.build(tree)
+            got = evaluate_expression(st, ops, vals, seed=11)
+            expect = evaluate_expression_sequential(tree, ops, vals)
+            assert all(int(a) == int(b) for a, b in zip(got, expect))
+            es.append(st.machine.energy)
+            ds.append(st.machine.depth)
+            rows.append(
+                {"n": n, "E/(n·log2n)": round(st.machine.energy / (n * np.log2(n)), 3),
+                 "depth": st.machine.depth,
+                 "D/log2²n": round(st.machine.depth / np.log2(n) ** 2, 3)}
+            )
+        return rows, es, ds
+
+    rows, es, ds = benchmark.pedantic(run, rounds=1)
+    report("e10_expression", "E10 (extension): expression tree evaluation\n" + format_table(rows))
+    assert 0.9 <= fit_exponent(NS, es) <= 1.3
+    assert fit_exponent(NS, ds) <= 0.45
+
+
+def test_e10_expression_vs_treefix_overhead(benchmark, report):
+    """The affine closure costs only a constant factor over plain treefix."""
+    n = 4096
+
+    def run():
+        tree, ops, vals = random_expression(n, seed=13)
+        st1 = SpatialTree.build(tree)
+        evaluate_expression(st1, ops, vals, seed=14)
+        from repro.spatial.treefix import treefix_sum
+
+        st2 = SpatialTree.build(tree)
+        treefix_sum(st2, np.ones(n, dtype=np.int64), seed=14)
+        return st1.machine.energy, st2.machine.energy
+
+    e_expr, e_tfx = benchmark.pedantic(run, rounds=1)
+    ratio = e_expr / e_tfx
+    report(
+        "e10_overhead",
+        f"E10: expression evaluation energy = {e_expr:,} vs treefix {e_tfx:,} "
+        f"(ratio {ratio:.2f} — the affine closure is a constant factor)",
+    )
+    assert ratio <= 4.0

@@ -1,0 +1,84 @@
+"""E11 (ablation) — curve choice under the full algorithm stack.
+
+E1 ablates the curve for the raw layout geometry; this experiment ablates
+it *end to end*: the same treefix sum on the same tree, with both the
+layout and the machine's processor placement following each curve. The
+distance-bound curves (Hilbert, Moore, Peano) and even the merely
+energy-bound Z-order land within a small constant of each other; the
+non-distance-bound row-major machine measurably loses — the §III-B
+property is what the collectives and layouts both rely on.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.layout import TreeLayout
+from repro.machine import SpatialMachine
+from repro.spatial import SpatialTree
+from repro.spatial.treefix import treefix_sum
+from repro.trees import bottom_up_treefix, prufer_random_tree
+
+CURVES = ["hilbert", "moore", "peano", "zorder", "rowmajor", "boustrophedon"]
+
+
+def run_curve(tree, vals, curve):
+    layout = TreeLayout.build(tree, order="light_first", curve=curve)
+    st = SpatialTree(layout)
+    out = treefix_sum(st, vals, seed=3)
+    return out, st.machine.snapshot()
+
+
+def test_e11_treefix_across_curves(benchmark, report):
+    n = 4096
+    tree = prufer_random_tree(n, seed=19)
+    vals = np.ones(n, dtype=np.int64)
+    expect = bottom_up_treefix(tree, vals)
+
+    def run():
+        rows = {}
+        for curve in CURVES:
+            out, snap = run_curve(tree, vals, curve)
+            assert np.array_equal(out, expect), curve  # curve never affects results
+            rows[curve] = {"curve": curve, "energy": snap["energy"],
+                           "depth": snap["depth"],
+                           "E/(n·log2n)": round(snap["energy"] / (n * np.log2(n)), 2)}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    table = list(rows.values())
+    report("e11_curves", "E11: treefix (n=4096) with layout+machine on each curve\n"
+           + format_table(table))
+    base = rows["hilbert"]["energy"]
+    # the good curves are within a small constant of Hilbert
+    for curve in ("moore", "peano", "zorder"):
+        assert rows[curve]["energy"] <= 2.0 * base, curve
+    # row-major pays measurably more
+    assert rows["rowmajor"]["energy"] >= 1.2 * base
+
+
+def test_e11_collectives_need_distance_bound_curves(benchmark, report):
+    """The O(n) collective bound needs a distance-bound address map: on a
+    row-major machine the doubling tree's small gaps are *linear* in index
+    distance (same-row hops), so scan energy drifts to Θ(n log n) — the
+    per-element cost grows like log n instead of staying flat."""
+    from repro.machine import exclusive_scan
+
+    def run():
+        rows = []
+        for curve in ("hilbert", "rowmajor"):
+            per = []
+            for n in (1024, 16384):
+                m = SpatialMachine(n, curve=curve)
+                exclusive_scan(m, np.ones(n, dtype=np.int64))
+                per.append(m.energy / n)
+            rows.append({"curve": curve, "E/n @1k": round(per[0], 2),
+                         "E/n @16k": round(per[1], 2),
+                         "growth": round(per[1] / per[0], 2)})
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("e11_collectives", "E11: scan energy/n — distance-bound vs row-major placement\n"
+           + format_table(rows))
+    by = {r["curve"]: r for r in rows}
+    assert by["hilbert"]["growth"] <= 1.2   # O(n): flat per-element cost
+    assert by["rowmajor"]["growth"] >= 1.25  # Θ(n log n): grows with log n

@@ -1,0 +1,119 @@
+"""E1 — Light-first layouts are energy-bound (paper §III, Fig. 1, Thm 1/2).
+
+Regenerates: the local-messaging energy of every (order × curve) layout
+combination, and the energy-vs-n series showing light-first stays O(n)
+while BFS/DFS/random degrade to Ω(n√n) on the paper's adversarial trees.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table
+from repro.layout import LayoutMetrics, TreeLayout
+from repro.trees import caterpillar_tree, perfect_kary_tree, prufer_random_tree
+
+ORDERS = ["light_first", "heavy_first", "dfs", "bfs", "random"]
+CURVES = ["hilbert", "peano", "zorder", "rowmajor", "boustrophedon"]
+
+
+def layout_energy(tree, order, curve, seed=0):
+    layout = TreeLayout.build(tree, order=order, curve=curve, seed=seed)
+    return LayoutMetrics.of(layout)
+
+
+def cross_table(tree):
+    rows = []
+    for order in ORDERS:
+        for curve in CURVES:
+            m = layout_energy(tree, order, curve)
+            rows.append(
+                {
+                    "order": order,
+                    "curve": curve,
+                    "mean_dist": round(m.mean_distance, 2),
+                    "max_dist": m.max_distance,
+                    "energy/n": round(m.energy_per_vertex, 2),
+                }
+            )
+    return rows
+
+
+def scaling_series(make_tree, order, curve, heights):
+    ns, energies = [], []
+    for h in heights:
+        tree = make_tree(h)
+        m = layout_energy(tree, order, curve)
+        ns.append(tree.n)
+        energies.append(m.total_energy)
+    return ns, energies
+
+
+def test_e1_order_curve_cross_table(benchmark, report):
+    tree = perfect_kary_tree(11)  # n = 4095, the paper's BFS-adversary
+    rows = benchmark.pedantic(cross_table, args=(tree,), rounds=1)
+    report("e1_cross_table", "E1: perfect binary tree n=4095 — parent→child "
+           "mean distances per (order, curve)\n" + format_table(rows))
+    by = {(r["order"], r["curve"]): r for r in rows}
+    # the paper's separations, as hard checks:
+    assert by[("light_first", "hilbert")]["mean_dist"] < 4
+    assert by[("light_first", "zorder")]["mean_dist"] < 6
+    assert by[("bfs", "hilbert")]["mean_dist"] > np.sqrt(tree.n) / 4
+    assert by[("random", "hilbert")]["mean_dist"] > np.sqrt(tree.n) / 4
+
+
+def test_e1_energy_scaling_light_first_vs_bfs(benchmark, report):
+    heights = [7, 9, 11, 13]
+
+    def run():
+        out = {}
+        for order in ("light_first", "bfs"):
+            out[order] = scaling_series(perfect_kary_tree, order, "hilbert", heights)
+        return out
+
+    series = benchmark.pedantic(run, rounds=1)
+    lines = ["E1: perfect binary trees — local-messaging energy vs n"]
+    rows = []
+    for order, (ns, es) in series.items():
+        exp = fit_exponent(ns, es)
+        for n, e in zip(ns, es):
+            rows.append({"order": order, "n": n, "energy": e, "energy/n": round(e / n, 2)})
+        lines.append(f"fitted exponent[{order}] = {exp:.3f}")
+    report("e1_scaling", "\n".join(lines) + "\n" + format_table(rows))
+    assert 0.9 <= fit_exponent(*series["light_first"]) <= 1.1   # Theorem 1: O(n)
+    assert fit_exponent(*series["bfs"]) >= 1.35                  # Ω(n^{3/2})
+
+
+def test_e1_caterpillar_breaks_dfs(benchmark, report):
+    def run():
+        ns, es_lf = scaling_series(lambda k: caterpillar_tree(2**k + 1), "light_first", "hilbert", [9, 11, 13])
+        _, es_dfs = scaling_series(lambda k: caterpillar_tree(2**k + 1), "dfs", "hilbert", [9, 11, 13])
+        return ns, es_lf, es_dfs
+
+    ns, es_lf, es_dfs = benchmark.pedantic(run, rounds=1)
+    rows = [
+        {"n": n, "light_first": a, "dfs": b, "ratio": round(b / max(a, 1), 1)}
+        for n, a, b in zip(ns, es_lf, es_dfs)
+    ]
+    report("e1_caterpillar", "E1: caterpillar (paper's DFS adversary)\n" + format_table(rows))
+    assert 0.9 <= fit_exponent(ns, es_lf) <= 1.1
+    assert fit_exponent(ns, es_dfs) >= 1.35
+
+
+def test_e1_realistic_trees_all_linear(benchmark, report):
+    """Light-first is O(n) on realistic (heavy-tailed random) trees too."""
+    ns = [512, 2048, 8192]
+
+    def run():
+        rows, exps = [], {}
+        for curve in ("hilbert", "peano", "zorder"):
+            es = []
+            for n in ns:
+                m = layout_energy(prufer_random_tree(n, seed=1), "light_first", curve)
+                es.append(m.total_energy)
+                rows.append({"curve": curve, "n": n, "energy/n": round(m.energy_per_vertex, 3)})
+            exps[curve] = fit_exponent(ns, es)
+        return rows, exps
+
+    rows, exps = benchmark.pedantic(run, rounds=1)
+    for curve, e in exps.items():
+        assert 0.85 <= e <= 1.15, (curve, e)
+    report("e1_realistic", "E1: uniform random (Prüfer) trees, light-first\n" + format_table(rows))

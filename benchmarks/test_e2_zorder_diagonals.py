@@ -1,0 +1,114 @@
+"""E2 — Z-order diagonals (paper §III-C, Fig. 2, Theorem 2, Lemmas 3–7).
+
+Regenerates: Fig. 2's 16-element Z-order example (with ``E_d(6,10) = 4``),
+the per-edge diagonal decomposition of a z-light-first tree layout, the
+Lemma 6 usage bound for every diagonal, and the Lemma 7 O(n) total
+diagonal-energy scaling.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table, render_curve
+from repro.curves import get_curve
+from repro.curves.diagonals import (
+    diagonal_manhattan,
+    diagonal_usage_counts,
+    e_d,
+    verify_decomposition,
+)
+from repro.layout import TreeLayout
+from repro.trees import prufer_random_tree, random_binary_tree
+
+
+def tree_edge_positions(tree, curve="zorder"):
+    layout = TreeLayout.build(tree, order="light_first", curve=curve)
+    edges = tree.edges()
+    pi = layout.position[edges[:, 0]]
+    pj = layout.position[edges[:, 1]]
+    return layout, np.minimum(pi, pj), np.maximum(pi, pj)
+
+
+def test_e2_figure2_example(benchmark, report):
+    def run():
+        grid = render_curve(get_curve("zorder"), 4)
+        ed = int(e_d(6, 10, 4)[0])
+        return grid, ed
+
+    grid, ed = benchmark.pedantic(run, rounds=1)
+    report(
+        "e2_fig2",
+        "E2: Fig. 2 — 16 elements in Z-order; the blue diagonal between "
+        f"i=6 and j=10 has E_d(6,10) = {ed} (paper: 4)\n{grid}",
+    )
+    assert ed == 4
+
+
+def test_e2_lemma3_decomposition_holds_on_tree_edges(benchmark, report):
+    tree = prufer_random_tree(2048, seed=2)
+
+    def run():
+        layout, lo, hi = tree_edge_positions(tree)
+        slack = verify_decomposition(lo, hi, layout.side)
+        return int((slack < 0).sum()), float(slack.mean())
+
+    violations, mean_slack = benchmark.pedantic(run, rounds=1)
+    report(
+        "e2_lemma3",
+        f"E2: Lemma 3 E(i,j) <= E_b + E_d over all tree edges — "
+        f"violations: {violations}, mean slack: {mean_slack:.1f}",
+    )
+    assert violations == 0
+
+
+def test_e2_lemma6_usage_bound(benchmark, report):
+    tree = random_binary_tree(4096, seed=3)
+
+    def run():
+        layout, lo, hi = tree_edge_positions(tree)
+        counts = diagonal_usage_counts(lo, hi)
+        delta = tree.max_degree
+        rows = []
+        worst = 0.0
+        for m, cnt in sorted(counts.items(), key=lambda kv: -kv[1])[:10]:
+            length = int(diagonal_manhattan(np.array([m]), layout.side)[0])
+            bound = delta * int(np.ceil(np.log2(max(2, 4 * length * length))))
+            worst = max(worst, cnt / bound)
+            rows.append({"boundary": m, "length": length, "count": cnt, "lemma6_bound": bound})
+        return rows, worst
+
+    rows, worst = benchmark.pedantic(run, rounds=1)
+    report(
+        "e2_lemma6",
+        "E2: Lemma 6 — most-used diagonals vs their usage bound\n"
+        + format_table(rows)
+        + f"\nworst count/bound = {worst:.3f}",
+    )
+    assert worst <= 1.0
+
+
+def test_e2_diagonal_energy_linear(benchmark, report):
+    """Lemma 7: total E_d over all parent→child messages is O(n)."""
+    ns = [512, 2048, 8192]
+
+    def run():
+        rows, totals = [], []
+        for n in ns:
+            tree = prufer_random_tree(n, seed=4)
+            layout, lo, hi = tree_edge_positions(tree)
+            total_ed = int(e_d(lo, hi, layout.side).sum())
+            total_e = int(layout.edge_distances().sum())
+            totals.append(total_ed)
+            rows.append(
+                {
+                    "n": n,
+                    "E_d_total": total_ed,
+                    "E_d/n": round(total_ed / n, 3),
+                    "E_total/n": round(total_e / n, 3),
+                }
+            )
+        return rows, totals
+
+    rows, totals = benchmark.pedantic(run, rounds=1)
+    report("e2_ed_scaling", "E2: Lemma 7 — diagonal energy of z-light-first layouts\n" + format_table(rows))
+    exp = fit_exponent(ns, np.maximum(totals, 1))
+    assert exp <= 1.15  # O(n)

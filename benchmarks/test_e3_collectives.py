@@ -1,0 +1,91 @@
+"""E3 — Foundational spatial collectives (paper §II-A).
+
+Regenerates the §II-A cost table: broadcast, reduce, all-reduce, prefix sum
+at O(n) energy / O(log n) depth; permutation routing and bitonic sorting at
+Θ(n^{3/2}) energy with depth 1 / poly-log respectively.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table
+from repro.machine import (
+    SpatialMachine,
+    allreduce,
+    bitonic_sort,
+    broadcast,
+    exclusive_scan,
+    permute,
+    reduce,
+)
+
+NS = [256, 1024, 4096, 16384]
+
+
+def run_collective(name, n, seed=0):
+    rng = np.random.default_rng(seed)
+    m = SpatialMachine(n)
+    vals = rng.integers(0, 100, size=n)
+    if name == "broadcast":
+        broadcast(m, 7)
+    elif name == "reduce":
+        reduce(m, vals)
+    elif name == "allreduce":
+        allreduce(m, vals)
+    elif name == "scan":
+        exclusive_scan(m, vals)
+    elif name == "permute":
+        permute(m, vals, rng.permutation(n))
+    elif name == "sort":
+        bitonic_sort(m, vals)
+    else:  # pragma: no cover
+        raise ValueError(name)
+    return m.snapshot()
+
+
+def sweep(name):
+    return [run_collective(name, n) for n in NS]
+
+
+def test_e3_linear_collectives(benchmark, report):
+    def run():
+        out = {}
+        for name in ("broadcast", "reduce", "allreduce", "scan"):
+            out[name] = sweep(name)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1)
+    rows = []
+    for name, snaps in results.items():
+        es = [s["energy"] for s in snaps]
+        exp = fit_exponent(NS, es)
+        for n, s in zip(NS, snaps):
+            rows.append(
+                {"op": name, "n": n, "energy/n": round(s["energy"] / n, 2),
+                 "depth": s["depth"], "depth/log2n": round(s["depth"] / np.log2(n), 2)}
+            )
+        assert 0.9 <= exp <= 1.1, (name, exp)  # §II-A: O(n) energy
+        assert all(s["depth"] <= 4 * np.log2(n) for n, s in zip(NS, snaps)), name
+    report("e3_linear", "E3: §II-A linear-energy collectives\n" + format_table(rows))
+
+
+def test_e3_permutation_and_sort(benchmark, report):
+    def run():
+        return {"permute": sweep("permute"), "sort": sweep("sort")}
+
+    results = benchmark.pedantic(run, rounds=1)
+    rows = []
+    for name, snaps in results.items():
+        es = [s["energy"] for s in snaps]
+        exp = fit_exponent(NS, es)
+        for n, s in zip(NS, snaps):
+            rows.append(
+                {"op": name, "n": n, "energy/n^1.5": round(s["energy"] / n**1.5, 3),
+                 "depth": s["depth"]}
+            )
+        assert 1.3 <= exp <= 1.7, (name, exp)  # §II-A: Θ(n^{3/2})
+    # permutation depth is O(1); sort depth is O(log² n)
+    assert all(s["depth"] <= 2 for s in results["permute"])
+    assert all(
+        s["depth"] <= 4 * np.log2(n) ** 2 for n, s in zip(NS, results["sort"])
+    )
+    report("e3_heavy", "E3: §II-A permutation & sorting (Θ(n^{3/2}) energy)\n" + format_table(rows))

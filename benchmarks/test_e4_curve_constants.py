@@ -1,0 +1,74 @@
+"""E4 — Distance-bound constants of space-filling curves (paper §III-B).
+
+Regenerates the §III-B constants: empirical sup of ``dist(i, i+j)/√j`` per
+curve, compared to the published α (Hilbert 3, Peano √(10+2/3)); shows
+Z-order and row-major have no constant (the estimate grows with the grid).
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.curves import empirical_alpha, get_curve
+
+
+def alpha_series(name, sides):
+    return [empirical_alpha(name, s, seed=7) for s in sides]
+
+
+def test_e4_distance_bound_constants(benchmark, report):
+    def run():
+        out = {}
+        out["hilbert"] = alpha_series("hilbert", [16, 32, 64])
+        out["peano"] = alpha_series("peano", [9, 27, 81])
+        out["boustrophedon"] = alpha_series("boustrophedon", [16, 32, 64])
+        out["zorder"] = alpha_series("zorder", [16, 32, 64])
+        out["rowmajor"] = alpha_series("rowmajor", [16, 32, 64])
+        return out
+
+    results = benchmark.pedantic(run, rounds=1)
+    published = {"hilbert": 3.0, "peano": float(np.sqrt(10 + 2 / 3))}
+    rows = []
+    for name, ests in results.items():
+        for est in ests:
+            rows.append(
+                {
+                    "curve": name,
+                    "side": est.side,
+                    "alpha_hat": round(est.alpha_hat, 3),
+                    "published": round(published.get(name, float("nan")), 3),
+                    "worst_j": est.worst_j,
+                }
+            )
+    report("e4_constants", "E4: empirical distance-bound constants (§III-B)\n" + format_table(rows))
+
+    # distance-bound curves stay below their published constants
+    for name, alpha in published.items():
+        for est in results[name]:
+            assert est.alpha_hat <= alpha + 1e-9, (name, est)
+    # non-distance-bound curves grow with the grid side
+    for name in ("zorder", "rowmajor"):
+        seq = [e.alpha_hat for e in results[name]]
+        assert seq[-1] > seq[0] * 1.5, (name, seq)
+
+
+def test_e4_curve_metadata_consistency(benchmark, report):
+    def run():
+        rows = []
+        for name in ("hilbert", "peano", "zorder", "rowmajor", "boustrophedon"):
+            c = get_curve(name)
+            rows.append(
+                {
+                    "curve": name,
+                    "base": c.base,
+                    "continuous": c.continuous,
+                    "distance_bound": c.distance_bound,
+                    "alpha": c.alpha if c.alpha is not None else "-",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("e4_metadata", "E4: curve property table (§II-B/§III-B)\n" + format_table(rows))
+    by = {r["curve"]: r for r in rows}
+    assert by["hilbert"]["distance_bound"] and by["peano"]["distance_bound"]
+    assert not by["zorder"]["distance_bound"]

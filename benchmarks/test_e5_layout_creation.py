@@ -1,0 +1,91 @@
+"""E5 — List ranking and layout creation (paper §IV, Theorems 4–5).
+
+Regenerates: random-mate list-ranking energy/depth vs n (Θ(n^{3/2}),
+O(log n) w.h.p.), the full light-first layout-creation pipeline with its
+per-phase breakdown, and the comparison against Wyllie's PRAM list ranking.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table
+from repro.machine import SpatialMachine
+from repro.spatial import create_light_first_layout, list_rank, pram_list_ranking
+from repro.trees import prufer_random_tree
+
+NS = [256, 1024, 4096]
+
+
+def random_list(k, seed):
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(k)
+    succ = np.full(k, -1, dtype=np.int64)
+    succ[perm[:-1]] = perm[1:]
+    return succ
+
+
+def test_e5_list_ranking_scaling(benchmark, report):
+    def run():
+        rows, es, ds = [], [], []
+        for n in NS:
+            m = SpatialMachine(n)
+            res = list_rank(m, random_list(n, n), seed=5)
+            es.append(m.energy)
+            ds.append(m.depth)
+            rows.append(
+                {"n": n, "energy/n^1.5": round(m.energy / n**1.5, 2),
+                 "depth": m.depth, "depth/log2n": round(m.depth / np.log2(n), 2),
+                 "rounds": res.rounds}
+            )
+        return rows, es, ds
+
+    rows, es, ds = benchmark.pedantic(run, rounds=1)
+    report("e5_list_ranking", "E5: random-mate list ranking (Theorem 5)\n" + format_table(rows))
+    assert 1.3 <= fit_exponent(NS, es) <= 1.7           # Θ(n^{3/2}) energy
+    assert fit_exponent(NS, ds) <= 0.35                  # poly-log depth
+
+
+def test_e5_spatial_vs_pram_list_ranking(benchmark, report):
+    def run():
+        rows = []
+        for n in NS:
+            succ = random_list(n, n + 1)
+            m = SpatialMachine(n)
+            list_rank(m, succ, seed=6)
+            pram = pram_list_ranking(succ)
+            rows.append(
+                {"n": n, "spatial_E": m.energy, "pram_E": pram.energy,
+                 "E_ratio": round(pram.energy / m.energy, 2),
+                 "spatial_D": m.depth, "pram_D": pram.depth}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("e5_vs_pram", "E5: spatial vs PRAM (Wyllie) list ranking\n" + format_table(rows))
+    # PRAM pays the log-factor the contraction algorithm avoids
+    assert rows[-1]["E_ratio"] > 2.0
+
+
+def test_e5_layout_creation_pipeline(benchmark, report):
+    def run():
+        rows = []
+        es = []
+        for n in NS:
+            tree = prufer_random_tree(n, seed=9)
+            res = create_light_first_layout(tree, seed=10)
+            es.append(res.energy)
+            phase_cols = {
+                name: res.phases[name]["energy"]
+                for name in ("euler_tour_1", "child_sort", "euler_tour_2", "compact", "permute")
+            }
+            row = {"n": n, "energy/n^1.5": round(res.energy / n**1.5, 2), "depth": res.depth}
+            row.update({k: round(v / n**1.5, 2) for k, v in phase_cols.items()})
+            rows.append(row)
+        return rows, es
+
+    rows, es = benchmark.pedantic(run, rounds=1)
+    report(
+        "e5_layout_creation",
+        "E5: §IV layout creation — total and per-phase energy / n^1.5 (Theorem 4)\n"
+        + format_table(rows),
+    )
+    assert 1.3 <= fit_exponent(NS, es) <= 1.8

@@ -1,0 +1,130 @@
+"""E7 — Batched LCA (paper §VI, Theorem 6, Fig. 8).
+
+Regenerates: LCA energy/(n log n) and depth/log² n series, the subtree
+cover's layer count (O(log n)), the per-step phase breakdown of §VI-C, and
+the comparison against the jump-pointer PRAM baseline. Also re-creates
+Fig. 8's path decomposition on a concrete small tree.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table
+from repro.spatial import SpatialTree, lca_batch, pram_lca_batch
+from repro.trees import BinaryLiftingLCA, Tree, prufer_random_tree
+
+NS = [512, 2048, 8192]
+
+
+def batch_for(n, seed):
+    rng = np.random.default_rng(seed)
+    return rng.permutation(n), rng.permutation(n)
+
+
+def test_e7_scaling(benchmark, report):
+    def run():
+        rows, es, ds, layers = [], [], [], []
+        for n in NS:
+            tree = prufer_random_tree(n, seed=n)
+            us, vs = batch_for(n, n + 1)
+            st = SpatialTree.build(tree)
+            answers, cover = lca_batch(st, us, vs, seed=7, return_cover=True)
+            es.append(st.machine.energy)
+            ds.append(st.machine.depth)
+            layers.append(cover.num_layers)
+            rows.append(
+                {"n": n, "E/(n·log2n)": round(st.machine.energy / (n * np.log2(n)), 3),
+                 "depth": st.machine.depth,
+                 "D/log2²n": round(st.machine.depth / np.log2(n) ** 2, 3),
+                 "layers": cover.num_layers}
+            )
+        return rows, es, ds, layers
+
+    rows, es, ds, layers = benchmark.pedantic(run, rounds=1)
+    report("e7_scaling", "E7: batched LCA (Theorem 6), one query per vertex\n" + format_table(rows))
+    assert 0.9 <= fit_exponent(NS, es) <= 1.3          # O(n log n) energy
+    assert fit_exponent(NS, ds) <= 0.45                # poly-log depth
+    assert all(l <= np.log2(n) + 1 for l, n in zip(layers, NS))
+
+
+def test_e7_correctness_at_scale(benchmark, report):
+    n = 4096
+
+    def run():
+        tree = prufer_random_tree(n, seed=23)
+        us, vs = batch_for(n, 24)
+        st = SpatialTree.build(tree)
+        got = lca_batch(st, us, vs, seed=8)
+        expect = BinaryLiftingLCA(tree).query_batch(us, vs)
+        return int((got == expect).sum()), len(got)
+
+    correct, total = benchmark.pedantic(run, rounds=1)
+    report("e7_correctness", f"E7: {correct}/{total} queries match the sequential oracle")
+    assert correct == total
+
+
+def test_e7_phase_breakdown(benchmark, report):
+    def run():
+        n = 4096
+        tree = prufer_random_tree(n, seed=29)
+        us, vs = batch_for(n, 30)
+        st = SpatialTree.build(tree)
+        lca_batch(st, us, vs, seed=9)
+        phases = st.machine.ledger.summary()
+        return {
+            k: phases[k]["energy"]
+            for k in ("lca_ranges", "lca_cover", "lca_layers")
+        }
+
+    split = benchmark.pedantic(run, rounds=1)
+    rows = [{"step": k, "energy": v} for k, v in split.items()]
+    report("e7_phases", "E7: §VI-C step energy breakdown (n=4096)\n" + format_table(rows))
+    assert all(v > 0 for v in split.values())
+
+
+def test_e7_vs_pram(benchmark, report):
+    def run():
+        rows = []
+        for n in NS:
+            tree = prufer_random_tree(n, seed=n + 3)
+            us, vs = batch_for(n, n + 4)
+            st = SpatialTree.build(tree)
+            lca_batch(st, us, vs, seed=10)
+            pram = pram_lca_batch(tree, us, vs)
+            rows.append(
+                {"n": n, "spatial_E": st.machine.energy, "pram_E": pram.energy,
+                 "E_ratio": round(pram.energy / st.machine.energy, 1)}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("e7_vs_pram", "E7: spatial LCA vs jump-pointer PRAM baseline\n" + format_table(rows))
+    ratios = [r["E_ratio"] for r in rows]
+    assert ratios[-1] > ratios[0] and ratios[-1] > 5
+
+
+def test_e7_figure8_decomposition(benchmark, report):
+    """Fig. 8: layers of the example tree's path decomposition.
+
+    The figure's 8-vertex tree: the yellow layer-0 path (0,4,6,7), green
+    layer-1 paths (1,3) and (5), red layer-2 path (2) — vertex ids are the
+    light-first positions, which our layout reproduces.
+    """
+
+    def run():
+        # build the Fig. 8 topology: described by its light-first structure
+        parents = np.array([-1, 0, 1, 1, 0, 4, 4, 6])
+        tree = Tree(parents)
+        st = SpatialTree.build(tree)
+        from repro.spatial.subtree_cover import build_cover, compute_ranges
+
+        cover = build_cover(st, compute_ranges(st, seed=0), seed=0)
+        pos = st.layout.position
+        return {int(pos[v]): int(cover.layer[v]) for v in range(8)}
+
+    layer_by_pos = benchmark.pedantic(run, rounds=1)
+    rows = [{"light_first_pos": p, "layer": layer_by_pos[p]} for p in sorted(layer_by_pos)]
+    report("e7_fig8", "E7: Fig. 8 path-decomposition layers by light-first position\n"
+           + format_table(rows))
+    assert [layer_by_pos[p] for p in (0, 4, 6, 7)] == [0, 0, 0, 0]
+    assert [layer_by_pos[p] for p in (1, 3, 5)] == [1, 1, 1]
+    assert layer_by_pos[2] == 2

@@ -1,0 +1,121 @@
+"""E8 — Unbounded-degree trees and virtual trees (paper §III-D, Thm 3,
+Figs. 3–4).
+
+Regenerates: the degree-≤4 guarantee of TRANSFORM, the O(n) energy /
+O(log n) depth of local messaging on stars and heavy-tailed trees (with the
+direct-messaging Θ(Δ)-depth baseline), the construction (reference passing)
+cost, and Fig. 3's before/after example.
+"""
+
+import numpy as np
+
+from repro.analysis import fit_exponent, format_table
+from repro.spatial import SpatialTree, local_broadcast, local_reduce
+from repro.trees import (
+    Tree,
+    preferential_attachment_tree,
+    star_tree,
+    transform_tree,
+)
+
+NS = [512, 2048, 8192]
+
+
+def test_e8_star_broadcast_direct_vs_virtual(benchmark, report):
+    def run():
+        rows = []
+        for n in NS:
+            tree = star_tree(n)
+            vals = np.zeros(n, dtype=np.int64)
+            st_d = SpatialTree.build(tree, mode="direct")
+            local_broadcast(st_d, vals)
+            st_v = SpatialTree.build(tree, mode="virtual")
+            st_v.virtual_schedule
+            pre = st_v.machine.snapshot()
+            local_broadcast(st_v, vals)
+            rows.append(
+                {"n": n,
+                 "direct_D": st_d.machine.depth,
+                 "virtual_D": st_v.machine.depth - pre["depth"],
+                 "construction_D": pre["depth"],
+                 "direct_E": st_d.machine.energy,
+                 "virtual_E": st_v.machine.energy}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("e8_star", "E8: star local broadcast — direct (Θ(Δ) depth) vs "
+           "virtual tree (Theorem 3: O(log n))\n" + format_table(rows))
+    for row, n in zip(rows, NS):
+        assert row["direct_D"] >= n - 2
+        assert row["virtual_D"] <= 3 * np.log2(n)
+        assert row["construction_D"] <= 8 * np.log2(n)
+
+
+def test_e8_virtual_energy_linear(benchmark, report):
+    def run():
+        rows, es = [], []
+        for n in NS:
+            tree = preferential_attachment_tree(n, seed=n)
+            st = SpatialTree.build(tree, mode="virtual")
+            st.virtual_schedule
+            base = st.machine.energy
+            local_reduce(st, np.ones(n, dtype=np.int64))
+            op_energy = st.machine.energy - base
+            es.append(op_energy)
+            rows.append(
+                {"n": n, "max_degree": tree.max_degree,
+                 "construction_E/n": round(base / n, 2),
+                 "reduce_E/n": round(op_energy / n, 2)}
+            )
+        return rows, es
+
+    rows, es = benchmark.pedantic(run, rounds=1)
+    report("e8_energy", "E8: heavy-tailed trees — virtual local reduce is O(n)\n"
+           + format_table(rows))
+    assert 0.85 <= fit_exponent(NS, es) <= 1.2
+
+
+def test_e8_degree_bound_across_shapes(benchmark, report):
+    def run():
+        rows = []
+        for name, tree in (
+            ("star", star_tree(4096)),
+            ("pref_attach", preferential_attachment_tree(4096, seed=1)),
+        ):
+            vt = transform_tree(tree)
+            from repro.spatial.virtual_tree import compute_app_depth
+
+            rows.append(
+                {"tree": name, "orig_max_degree": tree.max_degree,
+                 "virtual_max_children": int(vt.virtual_degree().max()),
+                 "max_relay_depth": int(compute_app_depth(vt).max())}
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report("e8_degree", "E8: TRANSFORM degree bound (§III-D)\n" + format_table(rows))
+    for row in rows:
+        assert row["virtual_max_children"] <= 4
+        assert row["max_relay_depth"] <= 2 * np.log2(4096) + 2
+
+
+def test_e8_figure3_example(benchmark, report):
+    """Fig. 3: a vertex v of degree 8 ends with 2 current + 2 appended
+    children after TRANSFORM."""
+
+    def run():
+        tree = star_tree(9)  # v plus 8 children
+        vt = transform_tree(tree)
+        cur = [int(c) for c in vt.cur[0] if c >= 0]
+        app = [int(a) for a in vt.app[0] if a >= 0]
+        return cur, app, int(vt.virtual_degree().max())
+
+    cur, app, maxdeg = benchmark.pedantic(run, rounds=1)
+    report(
+        "e8_fig3",
+        f"E8: Fig. 3 — degree-8 vertex after TRANSFORM: current children "
+        f"{cur}, appended {app}; max virtual degree {maxdeg} (paper: ≤ 4)",
+    )
+    assert len(cur) == 2 and len(app) == 0
+    assert maxdeg <= 4

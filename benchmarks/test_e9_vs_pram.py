@@ -1,0 +1,90 @@
+"""E9 — End-to-end headline comparison (paper §I-C).
+
+Regenerates the paper's summary claim: treefix sum and batched LCA on
+light-first layouts take O(n log n) energy / poly-log depth, versus
+Θ(n^{3/2})-energy PRAM simulation — so the energy advantage grows like
+√n / log n. This is the 'Table 0' a systems reader wants: one row per
+(algorithm, n) with both systems side by side.
+"""
+
+import numpy as np
+
+from repro.analysis import format_table
+from repro.spatial import (
+    SpatialTree,
+    lca_batch,
+    pram_lca_batch,
+    pram_treefix,
+    treefix_sum,
+)
+from repro.trees import prufer_random_tree
+
+NS = [256, 1024, 4096]
+
+
+def one_row(algo, n):
+    tree = prufer_random_tree(n, seed=n)
+    rng = np.random.default_rng(n + 1)
+    if algo == "treefix":
+        vals = rng.integers(0, 100, size=n)
+        st = SpatialTree.build(tree)
+        ours = treefix_sum(st, vals, seed=3)
+        pram = pram_treefix(tree, vals)
+        assert np.array_equal(ours, pram.values)
+        spatial = st.machine.snapshot()
+    else:
+        us, vs = rng.permutation(n), rng.permutation(n)
+        st = SpatialTree.build(tree)
+        ours = lca_batch(st, us, vs, seed=3)
+        pram = pram_lca_batch(tree, us, vs)
+        assert np.array_equal(ours, pram.values)
+        spatial = st.machine.snapshot()
+    return {
+        "algo": algo,
+        "n": n,
+        "spatial_E": spatial["energy"],
+        "pram_E": pram.energy,
+        "E_ratio": round(pram.energy / spatial["energy"], 1),
+        "spatial_D": spatial["depth"],
+        "pram_D": pram.depth,
+        "D_ratio": round(pram.depth / max(1, spatial["depth"]), 2),
+    }
+
+
+def test_e9_headline_table(benchmark, report):
+    def run():
+        return [one_row(algo, n) for algo in ("treefix", "lca") for n in NS]
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        "e9_headline",
+        "E9: spatial algorithms vs PRAM simulation — both systems compute "
+        "identical answers; costs measured on the same grid\n"
+        + format_table(rows),
+    )
+    for algo in ("treefix", "lca"):
+        ratios = [r["E_ratio"] for r in rows if r["algo"] == algo]
+        # the energy gap must widen with n (≈ √n / log n)
+        assert ratios == sorted(ratios), (algo, ratios)
+        assert ratios[-1] > 5, (algo, ratios)
+
+
+def test_e9_energy_advantage_growth_rate(benchmark, report):
+    """The measured advantage ratio should grow roughly like √n/log n —
+    i.e. the log-log slope of the ratio is ≈ 0.5 minus log-factor drag."""
+
+    def run():
+        ratios = []
+        for n in NS:
+            row = one_row("treefix", n)
+            ratios.append(row["pram_E"] / row["spatial_E"])
+        return ratios
+
+    ratios = benchmark.pedantic(run, rounds=1)
+    slope = np.polyfit(np.log(NS), np.log(ratios), 1)[0]
+    report(
+        "e9_growth",
+        f"E9: PRAM/spatial treefix energy ratios {['%.1f' % r for r in ratios]} "
+        f"— log-log slope {slope:.3f} (theory: ≈ 0.5 − log drag)",
+    )
+    assert 0.2 <= slope <= 0.8

@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Regenerate the objects of the paper's figures as ASCII (Figs. 1–8).
+
+Each section builds the exact structure a figure draws and renders it,
+asserting the concrete values the paper states (e.g. Fig. 2's
+``E_d(6, 10) = 4``).
+
+Run:  python examples/figures.py
+"""
+
+import numpy as np
+
+from repro.analysis import render_curve, render_layout_grid
+from repro.curves import get_curve
+from repro.curves.diagonals import e_d, longest_diagonal_boundary
+from repro.layout import TreeLayout, light_first_order
+from repro.machine import SpatialMachine
+from repro.spatial import SpatialTree
+from repro.spatial.subtree_cover import build_cover, compute_ranges
+from repro.trees import Tree, heavy_light_decomposition, star_tree, transform_tree
+
+
+def fig1_hilbert_light_first():
+    print("=" * 72)
+    print("Fig. 1 — a tree stored in Hilbert-light-first order")
+    print("=" * 72)
+    # an unbalanced tree: smaller subtree stored first, larger after
+    parents = np.array([-1, 0, 0, 2, 2, 2, 5, 5, 3, 3, 4, 4, 6, 6, 7, 7])
+    tree = Tree(parents)
+    layout = TreeLayout.build(tree, order="light_first", curve="hilbert")
+    print("grid cells show which vertex sits at each processor:")
+    print(render_layout_grid(layout))
+    order = light_first_order(tree)
+    print(f"\nlight-first order: {list(order)}")
+    sizes = tree.subtree_sizes()
+    c1, c2 = tree.children(0)
+    print(f"children of the root have subtree sizes {sizes[c1]} and {sizes[c2]}: "
+          "the smaller subtree is stored first, then the larger (paper §III-A)")
+
+
+def fig2_zorder_diagonals():
+    print("\n" + "=" * 72)
+    print("Fig. 2 — 16 elements stored in Z-order; the diagonal between 6 and 10")
+    print("=" * 72)
+    print(render_curve(get_curve("zorder"), 4))
+    m = int(longest_diagonal_boundary(6, 10)[0])
+    ed = int(e_d(6, 10, 4)[0])
+    print(f"\nlongest diagonal between i=6 and j=10: the jump {m - 1}→{m}; "
+          f"E_d(6,10) = {ed}")
+    assert ed == 4, "paper states E_d(6,10) = 4"
+
+
+def fig3_transform():
+    print("\n" + "=" * 72)
+    print("Fig. 3 — TRANSFORM of a degree-8 vertex (current vs appended children)")
+    print("=" * 72)
+    tree = star_tree(9)
+    vt = transform_tree(tree)
+    for v in range(9):
+        cur = [int(c) for c in vt.cur[v] if c >= 0]
+        app = [int(a) for a in vt.app[v] if a >= 0]
+        if cur or app:
+            print(f"vertex {v}: current {cur or '—'}, appended {app or '—'}")
+    assert vt.virtual_degree().max() <= 4
+
+
+def fig4_reference_passing():
+    print("\n" + "=" * 72)
+    print("Fig. 4 — reference passing builds T̂ with O(1) memory per vertex")
+    print("=" * 72)
+    tree = star_tree(9)
+    st = SpatialTree.build(tree, mode="virtual")
+    st.virtual_schedule
+    cost = st.machine.ledger.summary()["virtual_tree_construction"]
+    print(f"construction messages: {cost['messages']}, energy {cost['energy']}, "
+          f"depth {cost['depth']} (bottom-up over the relay levels)")
+
+
+def figs5_6_7_contraction():
+    print("\n" + "=" * 72)
+    print("Figs. 5–7 — COMPRESS / contraction tree / RAKE, traced on a small tree")
+    print("=" * 72)
+    parents = np.array([-1, 0, 1, 2, 2, 0, 5, 5])
+    tree = Tree(parents)
+    st = SpatialTree.build(tree)
+    vals = np.arange(8)
+    out = st.treefix_sum(vals, seed=1)
+    phases = st.machine.ledger.summary()
+    print(f"tree: {list(parents)}  values: {list(vals)}")
+    print(f"treefix result (subtree sums): {list(out)}")
+    print(f"contraction:   energy {phases['treefix_bottom_up_contract']['energy']}, "
+          f"depth {phases['treefix_bottom_up_contract']['depth']}")
+    print(f"uncontraction: energy {phases['treefix_bottom_up_expand']['energy']}, "
+          f"depth {phases['treefix_bottom_up_expand']['depth']}")
+
+
+def fig8_subtree_cover():
+    print("\n" + "=" * 72)
+    print("Fig. 8 — path decomposition layers and subtree cover ranges")
+    print("=" * 72)
+    parents = np.array([-1, 0, 1, 1, 0, 4, 4, 6])
+    tree = Tree(parents)
+    hl = heavy_light_decomposition(tree)
+    st = SpatialTree.build(tree)
+    cover = build_cover(st, compute_ranges(st, seed=0), seed=0)
+    pos = st.layout.position
+    print("vertex (light-first pos): layer | cover subtree range")
+    for v in np.argsort(pos):
+        lo = cover.ranges.lo[v]
+        hi = cover.ranges.hi[v]
+        head = "head" if cover.is_head[v] else "    "
+        print(f"  pos {pos[v]}: layer {cover.layer[v]} {head} range [{lo},{hi}]")
+    # paper's concrete example values
+    layer_by_pos = {int(pos[v]): int(cover.layer[v]) for v in range(8)}
+    assert [layer_by_pos[p] for p in (0, 4, 6, 7)] == [0, 0, 0, 0]  # yellow
+    assert [layer_by_pos[p] for p in (1, 3, 5)] == [1, 1, 1]        # green
+    assert layer_by_pos[2] == 2                                     # red
+    s1 = next(v for v in range(8) if pos[v] == 1)
+    assert (cover.ranges.lo[s1], cover.ranges.hi[s1]) == (1, 3)     # S1 = [1,3]
+    print("\nmatches the paper: yellow path (0,4,6,7), green (1,3) and (5), "
+          "red (2); subtree S1 = range [1,3]")
+
+
+def main() -> None:
+    fig1_hilbert_light_first()
+    fig2_zorder_diagonals()
+    fig3_transform()
+    fig4_reference_passing()
+    figs5_6_7_contraction()
+    fig8_subtree_cover()
+    print("\nall figure-level assertions passed")
+
+
+if __name__ == "__main__":
+    main()

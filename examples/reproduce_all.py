@@ -1,0 +1,138 @@
+#!/usr/bin/env python
+"""One-shot reproduction checklist.
+
+Runs a fast version of every headline claim in EXPERIMENTS.md and prints a
+PASS/FAIL table against the paper's statements. The full benchmark suite
+(`pytest benchmarks/ --benchmark-only`) is the authoritative run; this
+script is the five-minute "does the reproduction hold on my machine"
+smoke check.
+
+Run:  python examples/reproduce_all.py
+"""
+
+import numpy as np
+
+from repro import SpatialTree
+from repro.analysis import fit_exponent, format_table
+from repro.curves import empirical_alpha
+from repro.curves.diagonals import e_d
+from repro.layout import LayoutMetrics, TreeLayout
+from repro.machine import SpatialMachine, exclusive_scan
+from repro.spatial import (
+    SpatialTree as _ST,
+    create_light_first_layout,
+    lca_batch,
+    list_rank,
+    local_broadcast,
+    pram_treefix,
+    treefix_sum,
+)
+from repro.trees import (
+    BinaryLiftingLCA,
+    bottom_up_treefix,
+    perfect_kary_tree,
+    prufer_random_tree,
+    star_tree,
+)
+
+CHECKS = []
+
+
+def check(claim, paper, measured, ok):
+    CHECKS.append({"claim": claim, "paper": paper, "measured": measured,
+                   "status": "PASS" if ok else "FAIL"})
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+
+    # --- Thm 1: light-first layouts have O(n) messaging energy -----------
+    ns, es = [], []
+    for h in (9, 11, 13):
+        t = perfect_kary_tree(h)
+        ns.append(t.n)
+        es.append(LayoutMetrics.of(TreeLayout.build(t, order="light_first")).total_energy)
+    exp = fit_exponent(ns, es)
+    check("Thm 1: light-first energy", "O(n)", f"exponent {exp:.2f}", 0.9 <= exp <= 1.1)
+
+    # --- §III: BFS is Ω(√n)-bad on perfect binary trees -------------------
+    t = perfect_kary_tree(12)
+    bad = LayoutMetrics.of(TreeLayout.build(t, order="bfs")).mean_distance
+    check("§III: BFS layout distance", "Ω(√n)", f"{bad:.1f} (√n={np.sqrt(t.n):.0f})",
+          bad > np.sqrt(t.n) / 4)
+
+    # --- Fig. 2: E_d(6,10) = 4 --------------------------------------------
+    ed = int(e_d(6, 10, 4)[0])
+    check("Fig. 2: E_d(6,10)", "4", str(ed), ed == 4)
+
+    # --- §III-B: curve constants ------------------------------------------
+    a = empirical_alpha("hilbert", 64, seed=1).alpha_hat
+    check("§III-B: Hilbert α", "≤ 3", f"{a:.2f}", a <= 3)
+
+    # --- §II-A: scan O(n) energy ------------------------------------------
+    per = []
+    for n in (1024, 16384):
+        m = SpatialMachine(n)
+        exclusive_scan(m, np.ones(n, dtype=np.int64))
+        per.append(m.energy / n)
+    check("§II-A: scan energy/n flat", "O(n)", f"{per[0]:.2f} → {per[1]:.2f}",
+          per[1] <= per[0] * 1.2)
+
+    # --- Thm 3: star broadcast depth O(log n) ------------------------------
+    n = 4096
+    st = SpatialTree.build(star_tree(n), mode="virtual")
+    st.virtual_schedule
+    before = st.machine.depth
+    local_broadcast(st, np.zeros(n, dtype=np.int64))
+    d = st.machine.depth - before
+    check("Thm 3: star broadcast depth", "O(log n)", f"{d} (log²n={np.log2(n)**2:.0f})",
+          d <= 3 * np.log2(n))
+
+    # --- Thm 5: list ranking Θ(n^{3/2}) energy, O(log n) rounds -----------
+    perm = rng.permutation(4096)
+    succ = np.full(4096, -1, dtype=np.int64)
+    succ[perm[:-1]] = perm[1:]
+    m = SpatialMachine(4096)
+    res = list_rank(m, succ, seed=2)
+    check("Thm 5: list-ranking rounds", "O(log n)", str(res.rounds),
+          res.rounds <= 4 * np.log2(4096))
+
+    # --- Thm 4: layout creation matches sequential order -------------------
+    t = prufer_random_tree(512, seed=3)
+    creation = create_light_first_layout(t, seed=4)
+    from repro.layout import light_first_order
+
+    ok = np.array_equal(creation.layout.order, light_first_order(t))
+    check("Thm 4: §IV pipeline output", "light-first order", "bit-identical" if ok else "mismatch", ok)
+
+    # --- Lemmas 11/12: treefix correct + near-linear -----------------------
+    t = prufer_random_tree(4096, seed=5)
+    vals = rng.integers(0, 100, size=4096)
+    st = SpatialTree.build(t)
+    out = treefix_sum(st, vals, seed=6)
+    ok = np.array_equal(out, bottom_up_treefix(t, vals))
+    e_norm = st.machine.energy / (4096 * np.log2(4096))
+    check("§V: treefix correctness", "= sequential", "exact" if ok else "mismatch", ok)
+    check("§V: treefix energy", "O(n log n)", f"{e_norm:.2f}·n·log n", e_norm < 20)
+
+    # --- Thm 6: batched LCA correct ----------------------------------------
+    us, vs = rng.permutation(4096), rng.permutation(4096)
+    st2 = SpatialTree.build(t)
+    ans = lca_batch(st2, us, vs, seed=7)
+    ok = np.array_equal(ans, BinaryLiftingLCA(t).query_batch(us, vs))
+    check("§VI: batched LCA", "= sequential oracle", "exact" if ok else "mismatch", ok)
+
+    # --- §I-C: vs PRAM ------------------------------------------------------
+    pram = pram_treefix(t, vals)
+    ratio = pram.energy / st.machine.energy
+    check("§I-C: PRAM energy ratio", "≫ 1, grows like √n/log n", f"{ratio:.0f}×", ratio > 10)
+
+    print(format_table(CHECKS))
+    failed = [c for c in CHECKS if c["status"] == "FAIL"]
+    print(f"\n{len(CHECKS) - len(failed)}/{len(CHECKS)} checks passed")
+    if failed:
+        raise SystemExit(1)
+
+
+if __name__ == "__main__":
+    main()

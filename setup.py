@@ -1,0 +1,7 @@
+"""Legacy setup shim so ``pip install -e .`` works without network access
+(the sandbox has no ``wheel`` package, which the PEP 517 editable path needs).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,46 @@
+"""repro — Low-Depth Spatial Tree Algorithms (IPDPS 2024) in Python.
+
+A full reproduction of *Low-Depth Spatial Tree Algorithms* (Baumann,
+Ben-Nun, Besta, Gianinazzi, Hoefler, Luczynski; ETH Zurich): the spatial
+computer model as a measurable simulator, light-first tree layouts on
+space-filling curves, the unbounded-degree local-messaging framework, and
+the treefix-sum and batched-LCA algorithms built on top — plus the PRAM
+baselines the paper compares against.
+
+Package map (bottom-up):
+
+* :mod:`repro.curves`  — space-filling curves and locality analysis (§II-B, §III-B/C)
+* :mod:`repro.trees`   — tree data structure, generators, sequential references (§II-C)
+* :mod:`repro.machine` — the spatial computer simulator: energy & depth ledger,
+  collectives, routing, PRAM simulation (§II-A)
+* :mod:`repro.layout`  — light-first order and grid embeddings (§III, §IV)
+* :mod:`repro.spatial` — the paper's algorithms on the machine: local
+  messaging, virtual trees, list ranking, treefix sums, batched LCA (§III–§VI)
+* :mod:`repro.analysis` — bound predictors and experiment harness used by
+  the benchmarks (EXPERIMENTS.md)
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, curves, layout, machine, spatial, trees
+from repro.layout import TreeLayout
+from repro.machine import SpatialMachine
+from repro.spatial import SpatialTree, create_light_first_layout, lca_batch, treefix_sum
+from repro.trees import Tree
+
+__all__ = [
+    "analysis",
+    "curves",
+    "layout",
+    "machine",
+    "spatial",
+    "trees",
+    "Tree",
+    "TreeLayout",
+    "SpatialMachine",
+    "SpatialTree",
+    "create_light_first_layout",
+    "lca_batch",
+    "treefix_sum",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Analysis layer: theorem-bound predictors, experiment plumbing, reporting."""
+
+from repro.analysis import bounds
+from repro.analysis.experiments import (
+    Measurement,
+    ScalingResult,
+    assert_exponent_between,
+    run_scaling,
+)
+from repro.analysis.reporting import (
+    fit_exponent,
+    format_series,
+    format_table,
+    render_curve,
+    render_layout_grid,
+)
+
+__all__ = [
+    "bounds",
+    "Measurement",
+    "ScalingResult",
+    "assert_exponent_between",
+    "run_scaling",
+    "fit_exponent",
+    "format_series",
+    "format_table",
+    "render_curve",
+    "render_layout_grid",
+]

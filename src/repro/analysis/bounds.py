@@ -1,0 +1,107 @@
+"""Closed-form cost predictors from the paper's theorems.
+
+Each function returns the *leading-order* bound (no hidden constants) so
+experiments can report measured / predicted ratios: a ratio that stays flat
+as ``n`` grows confirms the asymptotic shape, which is what the
+reproduction can and does verify (absolute constants depend on the curve
+and on simulator charging conventions).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+
+def _check_n(n: int) -> int:
+    if n < 1:
+        raise ValidationError(f"n must be >= 1, got {n}")
+    return int(n)
+
+
+def log2n(n: int) -> float:
+    """``log2(n)`` clamped to at least 1 (avoids zero-division at tiny n)."""
+    return max(1.0, math.log2(_check_n(n)))
+
+
+def local_messaging_energy(n: int) -> float:
+    """Theorem 1/2/3: O(n) energy for one local broadcast or reduce."""
+    return float(_check_n(n))
+
+
+def local_messaging_depth(n: int) -> float:
+    """Theorem 3: O(log n) depth for local messaging on any tree."""
+    return log2n(n)
+
+
+def collective_energy(n: int) -> float:
+    """§II-A: broadcast / reduce / all-reduce / scan energy O(n)."""
+    return float(_check_n(n))
+
+
+def collective_depth(n: int) -> float:
+    """§II-A: collective depth O(log n)."""
+    return log2n(n)
+
+
+def sort_energy(n: int) -> float:
+    """§II-A: sorting (and worst-case permutation) energy Θ(n^{3/2})."""
+    return float(_check_n(n)) ** 1.5
+
+
+def permutation_lower_bound(n: int) -> float:
+    """§II-A: Ω(n^{3/2}) energy for a global permutation on a √n×√n grid."""
+    return float(_check_n(n)) ** 1.5
+
+
+def list_ranking_energy(n: int) -> float:
+    """Theorem 5: O(n^{3/2}) energy w.h.p."""
+    return float(_check_n(n)) ** 1.5
+
+
+def list_ranking_depth(n: int) -> float:
+    """Theorem 5: O(log n) depth w.h.p."""
+    return log2n(n)
+
+
+def layout_creation_energy(n: int) -> float:
+    """Theorem 4: O(n^{3/2}) energy w.h.p. (matches the permutation bound)."""
+    return float(_check_n(n)) ** 1.5
+
+
+def treefix_energy(n: int) -> float:
+    """Lemmas 11–12: O(n log n) energy w.h.p."""
+    return _check_n(n) * log2n(n)
+
+
+def treefix_depth(n: int, *, bounded_degree: bool) -> float:
+    """Lemma 11 (bounded): O(log n); Lemma 12 (general): O(log² n)."""
+    return log2n(n) if bounded_degree else log2n(n) ** 2
+
+
+def lca_energy(n: int) -> float:
+    """Theorem 6: O(n log n) energy w.h.p."""
+    return _check_n(n) * log2n(n)
+
+
+def lca_depth(n: int) -> float:
+    """Theorem 6: O(log² n) depth w.h.p."""
+    return log2n(n) ** 2
+
+
+def pram_simulation_energy(p: int, m: int, steps: int) -> float:
+    """§II-A: O(p (√p + √m) T_p) energy for simulating a PRAM."""
+    return p * (math.sqrt(p) + math.sqrt(m)) * steps
+
+
+def pram_treefix_energy(n: int) -> float:
+    """§I-C: the work-optimal PRAM treefix simulation costs Θ(n^{3/2})
+    energy (log factors elided as in the paper's statement)."""
+    return float(_check_n(n)) ** 1.5
+
+
+def bfs_layout_energy_lower_bound(n: int) -> float:
+    """§III: a perfect binary tree in BFS layout has Ω(n√n) total edge
+    length — Ω(√n) per bottom-level edge."""
+    return float(_check_n(n)) ** 1.5

@@ -1,0 +1,101 @@
+"""Experiment runner shared by the benchmark harness (EXPERIMENTS.md).
+
+Each experiment (E1–E9 in DESIGN.md) boils down to: build workloads over a
+sweep of sizes, run an algorithm on the machine, collect (energy, depth,
+messages), and compare against a bound predictor. This module provides the
+plumbing so each benchmark file states only the experiment's content.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.analysis.reporting import fit_exponent, format_table
+
+
+@dataclass
+class Measurement:
+    """One (n, costs) sample of a scaling experiment."""
+
+    n: int
+    energy: int
+    depth: int
+    messages: int
+    extra: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        out = {"n": self.n, "energy": self.energy, "depth": self.depth, "messages": self.messages}
+        out.update(self.extra)
+        return out
+
+
+@dataclass
+class ScalingResult:
+    """A finished sweep with derived exponents and normalized columns."""
+
+    name: str
+    measurements: list[Measurement]
+
+    @property
+    def ns(self) -> np.ndarray:
+        return np.array([m.n for m in self.measurements])
+
+    @property
+    def energies(self) -> np.ndarray:
+        return np.array([m.energy for m in self.measurements])
+
+    @property
+    def depths(self) -> np.ndarray:
+        return np.array([m.depth for m in self.measurements])
+
+    def energy_exponent(self) -> float:
+        """Observed growth exponent of energy vs n."""
+        return fit_exponent(self.ns, self.energies)
+
+    def depth_exponent(self) -> float:
+        return fit_exponent(self.ns, np.maximum(self.depths, 1))
+
+    def table(self, *, energy_bound: Callable[[int], float] | None = None,
+              depth_bound: Callable[[int], float] | None = None) -> str:
+        rows = []
+        for m in self.measurements:
+            row = m.row()
+            if energy_bound is not None:
+                row["E/bound"] = m.energy / energy_bound(m.n)
+            if depth_bound is not None:
+                row["D/bound"] = m.depth / depth_bound(m.n)
+            rows.append(row)
+        return f"== {self.name} ==\n" + format_table(rows)
+
+
+def run_scaling(
+    name: str,
+    ns: Sequence[int],
+    run_one: Callable[[int], dict],
+) -> ScalingResult:
+    """Run ``run_one(n)`` for each n; it must return a dict with at least
+    ``energy``, ``depth`` and ``messages`` (extra keys become columns)."""
+    measurements = []
+    for n in ns:
+        out = dict(run_one(int(n)))
+        energy = out.pop("energy")
+        depth = out.pop("depth")
+        messages = out.pop("messages", 0)
+        measurements.append(
+            Measurement(n=int(n), energy=int(energy), depth=int(depth),
+                        messages=int(messages), extra=out)
+        )
+    return ScalingResult(name=name, measurements=measurements)
+
+
+def assert_exponent_between(result: ScalingResult, low: float, high: float, *, what: str = "energy") -> float:
+    """Guardrail used by benchmark tests: the fitted exponent must land in
+    the theorem's corridor (e.g. ≈1 for linear-energy claims)."""
+    exp = result.energy_exponent() if what == "energy" else result.depth_exponent()
+    assert low <= exp <= high, (
+        f"{result.name}: observed {what} exponent {exp:.3f} outside [{low}, {high}]"
+    )
+    return exp

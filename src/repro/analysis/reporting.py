@@ -1,0 +1,96 @@
+"""ASCII reporting helpers for the benchmark harness.
+
+Benchmarks print the same kind of rows/series the paper's claims are about
+(energy and depth against n, per layout / curve / algorithm). Everything
+here is presentation only: plain monospace tables and simple grid
+renderings of layouts (used to regenerate the paper's figures as text).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(rows: Sequence[Mapping], *, columns: Sequence[str] | None = None, floatfmt: str = "10.3f") -> str:
+    """Render a list of dict rows as an aligned monospace table."""
+    if not rows:
+        return "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered: list[list[str]] = []
+    for row in rows:
+        line = []
+        for col in columns:
+            val = row.get(col, "")
+            if isinstance(val, float):
+                line.append(format(val, floatfmt).strip())
+            else:
+                line.append(str(val))
+        rendered.append(line)
+    widths = [max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(columns)]
+    header = "  ".join(col.rjust(w) for col, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join("  ".join(cell.rjust(w) for cell, w in zip(line, widths)) for line in rendered)
+    return f"{header}\n{sep}\n{body}"
+
+
+def format_series(name: str, ns: Iterable[int], values: Iterable[float], *, normalizer=None) -> str:
+    """One labelled scaling series; optionally shows value/normalizer(n)."""
+    parts = [f"series {name}:"]
+    for n, v in zip(ns, values):
+        if normalizer is None:
+            parts.append(f"  n={n:>10d}  value={v:,.1f}")
+        else:
+            parts.append(f"  n={n:>10d}  value={v:>14,.1f}  value/bound={v / normalizer(n):8.3f}")
+    return "\n".join(parts)
+
+
+def render_layout_grid(layout, *, max_side: int = 16) -> str:
+    """Draw a layout as a grid of vertex ids (Fig. 1-style ASCII rendering).
+
+    Cells without a vertex show '.'. Only sensible for small layouts; the
+    examples use it to regenerate the paper's figures.
+    """
+    side = layout.side
+    if side > max_side:
+        return f"(grid {side}x{side} too large to render)"
+    cell = np.full((side, side), -1, dtype=np.int64)
+    coords = layout.coordinates()
+    for v in range(layout.n):
+        x, y = coords[v]
+        cell[y, x] = v
+    width = max(2, len(str(layout.n - 1)))
+    lines = []
+    for y in range(side):
+        row = []
+        for x in range(side):
+            v = cell[y, x]
+            row.append("." * width if v < 0 else str(v).rjust(width))
+        lines.append(" ".join(row))
+    return "\n".join(lines)
+
+
+def render_curve(curve, side: int) -> str:
+    """Draw a curve's visiting order on a small grid (Fig. 2-style)."""
+    n = side * side
+    x, y = curve.index_to_xy(np.arange(n), side)
+    cell = np.empty((side, side), dtype=np.int64)
+    cell[y, x] = np.arange(n)
+    width = max(2, len(str(n - 1)))
+    return "\n".join(
+        " ".join(str(cell[r, c]).rjust(width) for c in range(side)) for r in range(side)
+    )
+
+
+def fit_exponent(ns: Sequence[int], values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) vs log(n): the observed growth
+    exponent (≈1 for linear energy, ≈1.5 for sorting/permutation)."""
+    ns = np.asarray(ns, dtype=float)
+    values = np.asarray(values, dtype=float)
+    keep = (ns > 0) & (values > 0)
+    if keep.sum() < 2:
+        return float("nan")
+    slope, _ = np.polyfit(np.log(ns[keep]), np.log(values[keep]), 1)
+    return float(slope)

@@ -1,0 +1,247 @@
+"""Command-line interface: quick experiments without writing Python.
+
+Subcommands:
+
+* ``info``    — library, curve, and order inventory.
+* ``layout``  — lay a generated tree out and print its energy metrics
+  (optionally the ASCII grid for small trees).
+* ``treefix`` — run the §V treefix sum on a generated tree and print the
+  cost bill.
+* ``lca``     — run a batch of random LCA queries (§VI) and print the bill.
+* ``curves``  — empirical distance-bound constants (experiment E4).
+
+Examples::
+
+    python -m repro info
+    python -m repro layout --tree prufer --n 4096 --order bfs
+    python -m repro treefix --tree star --n 8192 --mode virtual
+    python -m repro lca --tree random --n 2048 --queries 2048
+    python -m repro curves --side 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.analysis import format_table, render_layout_grid
+from repro.curves import available_curves, empirical_alpha, get_curve
+from repro.layout import LayoutMetrics, TreeLayout, available_orders
+from repro.spatial import SpatialTree, lca_batch, treefix_sum
+from repro.trees import (
+    BinaryLiftingLCA,
+    bottom_up_treefix,
+    caterpillar_tree,
+    decision_tree_shape,
+    path_tree,
+    perfect_kary_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    random_binary_tree,
+    star_tree,
+)
+
+TREE_KINDS = {
+    "path": lambda n, seed: path_tree(n),
+    "star": lambda n, seed: star_tree(n),
+    "caterpillar": lambda n, seed: caterpillar_tree(n),
+    "binary": lambda n, seed: random_binary_tree(n, seed=seed),
+    "random": lambda n, seed: random_attachment_tree(n, seed=seed),
+    "prufer": lambda n, seed: prufer_random_tree(n, seed=seed),
+    "decision": lambda n, seed: decision_tree_shape(n, seed=seed),
+    "perfect": lambda n, seed: perfect_kary_tree(max(1, int(np.log2(max(2, n)))) - 1),
+}
+
+
+def _make_tree(kind: str, n: int, seed: int):
+    try:
+        factory = TREE_KINDS[kind]
+    except KeyError:
+        raise SystemExit(f"unknown tree kind {kind!r}; choose from {sorted(TREE_KINDS)}")
+    return factory(n, seed)
+
+
+def _add_tree_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--tree", default="prufer", choices=sorted(TREE_KINDS))
+    p.add_argument("--n", type=int, default=1024, help="number of vertices")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--curve", default="hilbert", choices=available_curves())
+
+
+def cmd_info(args) -> int:
+    print(f"repro {__version__} — Low-Depth Spatial Tree Algorithms (IPDPS 2024)")
+    rows = []
+    for name in available_curves():
+        c = get_curve(name)
+        rows.append(
+            {"curve": name, "base": c.base, "continuous": c.continuous,
+             "distance_bound": c.distance_bound,
+             "alpha": round(c.alpha, 3) if c.alpha else "-"}
+        )
+    print("\ncurves:")
+    print(format_table(rows))
+    print(f"\norders: {', '.join(available_orders())}")
+    print(f"tree generators: {', '.join(sorted(TREE_KINDS))}")
+    return 0
+
+
+def cmd_layout(args) -> int:
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rows = []
+    orders = [args.order] if args.order != "all" else available_orders()
+    for order in orders:
+        layout = TreeLayout.build(tree, order=order, curve=args.curve, seed=args.seed)
+        m = LayoutMetrics.of(layout)
+        rows.append(
+            {"order": order, "mean_dist": round(m.mean_distance, 3),
+             "max_dist": m.max_distance, "energy": m.total_energy,
+             "energy/n": round(m.energy_per_vertex, 3)}
+        )
+    print(f"tree={args.tree} n={tree.n} curve={args.curve}")
+    print(format_table(rows))
+    if args.show_grid:
+        layout = TreeLayout.build(tree, order=orders[0], curve=args.curve, seed=args.seed)
+        print()
+        print(render_layout_grid(layout))
+    return 0
+
+
+def cmd_treefix(args) -> int:
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rng = np.random.default_rng(args.seed)
+    values = rng.integers(0, 100, size=tree.n)
+    st = SpatialTree.build(tree, curve=args.curve, mode=args.mode)
+    out = treefix_sum(st, values, seed=args.seed)
+    ok = np.array_equal(out, bottom_up_treefix(tree, values))
+    snap = st.snapshot()
+    print(f"tree={args.tree} n={tree.n} Δ={tree.max_degree} mode={st.mode}")
+    print(f"verified against sequential reference: {'OK' if ok else 'MISMATCH'}")
+    print(f"energy {snap['energy']:,}  (= {snap['energy'] / (tree.n * max(1, np.log2(tree.n))):.2f}"
+          f"·n·log2 n)   depth {snap['depth']:,}   messages {snap['messages']:,}")
+    return 0 if ok else 1
+
+
+def cmd_lca(args) -> int:
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rng = np.random.default_rng(args.seed)
+    q = args.queries or tree.n
+    us = rng.permutation(tree.n)[: min(q, tree.n)]
+    vs = rng.permutation(tree.n)[: min(q, tree.n)]
+    st = SpatialTree.build(tree, curve=args.curve)
+    answers = lca_batch(st, us, vs, seed=args.seed)
+    expect = BinaryLiftingLCA(tree).query_batch(us, vs)
+    ok = np.array_equal(answers, expect)
+    snap = st.snapshot()
+    print(f"tree={args.tree} n={tree.n} queries={len(us)}")
+    print(f"verified against binary lifting: {'OK' if ok else 'MISMATCH'}")
+    print(f"energy {snap['energy']:,}   depth {snap['depth']:,}   messages {snap['messages']:,}")
+    return 0 if ok else 1
+
+
+def cmd_expr(args) -> int:
+    from repro.spatial.expression import (
+        evaluate_expression,
+        evaluate_expression_sequential,
+        random_expression,
+    )
+
+    tree, ops, leaf_vals = random_expression(args.n, seed=args.seed)
+    st = SpatialTree.build(tree, curve=args.curve)
+    got = evaluate_expression(st, ops, leaf_vals, seed=args.seed)
+    expect = evaluate_expression_sequential(tree, ops, leaf_vals)
+    ok = all(int(a) == int(b) for a, b in zip(got, expect))
+    snap = st.snapshot()
+    print(f"expression tree n={tree.n} (random {{+,×}} mod 2^61−1)")
+    print(f"verified against sequential evaluator: {'OK' if ok else 'MISMATCH'}")
+    print(f"root value: {int(got[tree.root])}")
+    print(f"energy {snap['energy']:,}   depth {snap['depth']:,}")
+    return 0 if ok else 1
+
+
+def cmd_cuts(args) -> int:
+    from repro.spatial.graph import one_respecting_cuts
+
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rng = np.random.default_rng(args.seed)
+    m = args.extra_edges or 2 * tree.n
+    raw = rng.integers(0, tree.n, size=(m + tree.n, 2))
+    extra = raw[raw[:, 0] != raw[:, 1]][:m]
+    st = SpatialTree.build(tree, curve=args.curve)
+    cuts = one_respecting_cuts(st, extra, seed=args.seed)
+    v, best = cuts.minimum(tree)
+    snap = st.snapshot()
+    print(f"graph: {tree.n} vertices, {tree.n - 1} tree + {len(extra)} extra edges")
+    print(f"lightest 1-respecting cut: {best} (tree edge above vertex {v})")
+    print(f"energy {snap['energy']:,}   depth {snap['depth']:,}")
+    return 0
+
+
+def cmd_curves(args) -> int:
+    rows = []
+    for name in available_curves():
+        c = get_curve(name)
+        side = c.min_side(args.side * args.side)
+        est = empirical_alpha(c, side, seed=args.seed)
+        rows.append(
+            {"curve": name, "side": est.side,
+             "alpha_hat": round(est.alpha_hat, 3),
+             "published": round(c.alpha, 3) if c.alpha else "-"}
+        )
+    print(format_table(rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Low-Depth Spatial Tree Algorithms — reproduction CLI"
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="inventory of curves, orders, generators")
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("layout", help="layout energy metrics for a generated tree")
+    _add_tree_args(p)
+    p.add_argument("--order", default="all", help="layout order or 'all'")
+    p.add_argument("--show-grid", action="store_true", help="render small grids")
+    p.set_defaults(fn=cmd_layout)
+
+    p = sub.add_parser("treefix", help="run the §V treefix sum")
+    _add_tree_args(p)
+    p.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"])
+    p.set_defaults(fn=cmd_treefix)
+
+    p = sub.add_parser("lca", help="run a batched LCA (§VI)")
+    _add_tree_args(p)
+    p.add_argument("--queries", type=int, default=0, help="query count (default n)")
+    p.set_defaults(fn=cmd_lca)
+
+    p = sub.add_parser("expr", help="evaluate a random {+,×} expression tree")
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--curve", default="hilbert", choices=available_curves())
+    p.set_defaults(fn=cmd_expr)
+
+    p = sub.add_parser("cuts", help="1-respecting cut values (Karger building block)")
+    _add_tree_args(p)
+    p.add_argument("--extra-edges", type=int, default=0, help="non-tree edge count (default 2n)")
+    p.set_defaults(fn=cmd_cuts)
+
+    p = sub.add_parser("curves", help="empirical distance-bound constants (E4)")
+    p.add_argument("--side", type=int, default=32)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=cmd_curves)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Space-filling curves (paper §II-B) and their locality analysis.
+
+Public surface:
+
+* :class:`SpaceFillingCurve` — vectorized index↔(x, y) bijection interface.
+* Concrete curves: :class:`HilbertCurve`, :class:`ZOrderCurve`,
+  :class:`PeanoCurve`, and the non-distance-bound baselines
+  :class:`RowMajorOrder` and :class:`BoustrophedonOrder`.
+* :func:`get_curve` / :func:`available_curves` / :func:`resolve_curve` —
+  registry access by name.
+* :mod:`repro.curves.analysis` — empirical distance-bound constants (E4).
+* :mod:`repro.curves.diagonals` — Z-order diagonal accounting (E2).
+"""
+
+from repro.curves.base import (
+    SpaceFillingCurve,
+    available_curves,
+    get_curve,
+    register_curve,
+    resolve_curve,
+)
+from repro.curves.hilbert import HilbertCurve
+from repro.curves.moore import MooreCurve
+from repro.curves.zorder import ZOrderCurve
+from repro.curves.peano import PeanoCurve
+from repro.curves.baselines import BoustrophedonOrder, RowMajorOrder
+from repro.curves.analysis import (
+    DistanceBoundEstimate,
+    distance_profile,
+    empirical_alpha,
+    is_aligned_empirical,
+    neighbor_step_distances,
+)
+from repro.curves import diagonals
+
+__all__ = [
+    "SpaceFillingCurve",
+    "HilbertCurve",
+    "MooreCurve",
+    "ZOrderCurve",
+    "PeanoCurve",
+    "RowMajorOrder",
+    "BoustrophedonOrder",
+    "available_curves",
+    "get_curve",
+    "register_curve",
+    "resolve_curve",
+    "DistanceBoundEstimate",
+    "empirical_alpha",
+    "distance_profile",
+    "is_aligned_empirical",
+    "neighbor_step_distances",
+    "diagonals",
+]

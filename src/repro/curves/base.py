@@ -1,0 +1,180 @@
+"""Space-filling curve interface and registry.
+
+A *discrete space-filling curve* (paper §II-B) maps the integers
+``0 .. side² - 1`` onto a ``side × side`` grid, visiting each cell exactly
+once. The tree layouts of §III place the *i*-th vertex of a linear order on
+the *i*-th cell of a curve, so all layout energy ultimately reduces to curve
+geometry.
+
+Two curve properties drive the paper's analysis:
+
+* **continuous** — consecutive indices are grid neighbours (Manhattan
+  distance 1). Hilbert and Peano are continuous; Z-order is not (it has
+  *diagonals*, analysed in :mod:`repro.curves.diagonals`).
+* **distance-bound** (§III-B) — ``dist(i, i+j) <= alpha * sqrt(j) + o(sqrt j)``
+  for a constant ``alpha``. All continuous curves here are distance-bound;
+  Z-order is not, yet still yields an energy-bound layout (Theorem 2).
+  Row-major and its serpentine variant are *not* distance-bound and serve as
+  baselines.
+
+Coordinate convention: ``x`` is the column and ``y`` is the row, with ``y``
+growing downward, matching the paper's figures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Iterable
+
+import numpy as np
+
+from repro.errors import GridSizeError, ValidationError
+from repro.utils import as_index_array, check_in_range
+
+
+class SpaceFillingCurve(ABC):
+    """Bijection between curve indices and 2-D grid cells.
+
+    Subclasses implement the vectorized transforms for a *canonical* side
+    length (a power of :attr:`base`). All methods accept and return numpy
+    int64 arrays; scalars may be passed and are broadcast.
+    """
+
+    #: short registry key, e.g. ``"hilbert"``
+    name: str = "abstract"
+    #: sides must be powers of this base (2 for quadtree curves, 3 for Peano)
+    base: int = 2
+    #: True when consecutive indices are always grid neighbours
+    continuous: bool = False
+    #: True when the curve satisfies the paper's distance-bound property
+    distance_bound: bool = False
+    #: published worst-case constant ``alpha`` with ``dist(i,i+j) <= alpha*sqrt(j)``,
+    #: or None when the curve is not distance-bound
+    alpha: float | None = None
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+
+    def min_side(self, n: int) -> int:
+        """Smallest canonical side whose grid holds at least ``n`` cells."""
+        if n < 1:
+            raise ValidationError(f"n must be >= 1, got {n}")
+        side = 1
+        while side * side < n:
+            side *= self.base
+        return side
+
+    def validate_side(self, side: int) -> int:
+        """Check that ``side`` is a positive power of :attr:`base`."""
+        side = int(side)
+        if side < 1:
+            raise GridSizeError(f"side must be >= 1, got {side}")
+        s = side
+        while s % self.base == 0:
+            s //= self.base
+        if s != 1:
+            raise GridSizeError(
+                f"{self.name} curve requires a power-of-{self.base} side, got {side}"
+            )
+        return side
+
+    # ------------------------------------------------------------------ #
+    # transforms
+    # ------------------------------------------------------------------ #
+
+    def index_to_xy(self, d, side: int) -> tuple[np.ndarray, np.ndarray]:
+        """Map curve indices ``d`` to ``(x, y)`` grid coordinates."""
+        side = self.validate_side(side)
+        d = as_index_array(np.atleast_1d(d), name="d")
+        check_in_range(d, 0, side * side, name="d")
+        return self._index_to_xy(d, side)
+
+    def xy_to_index(self, x, y, side: int) -> np.ndarray:
+        """Map grid coordinates to curve indices (inverse of :meth:`index_to_xy`)."""
+        side = self.validate_side(side)
+        x = as_index_array(np.atleast_1d(x), name="x")
+        y = as_index_array(np.atleast_1d(y), name="y")
+        if x.shape != y.shape:
+            raise ValidationError(f"x and y must match in shape: {x.shape} vs {y.shape}")
+        check_in_range(x, 0, side, name="x")
+        check_in_range(y, 0, side, name="y")
+        return self._xy_to_index(x, y, side)
+
+    @abstractmethod
+    def _index_to_xy(self, d: np.ndarray, side: int) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized forward transform for a validated canonical side."""
+
+    @abstractmethod
+    def _xy_to_index(self, x: np.ndarray, y: np.ndarray, side: int) -> np.ndarray:
+        """Vectorized inverse transform for a validated canonical side."""
+
+    # ------------------------------------------------------------------ #
+    # derived helpers
+    # ------------------------------------------------------------------ #
+
+    def positions(self, n: int, side: int | None = None) -> np.ndarray:
+        """Return an ``(n, 2)`` array of the first ``n`` curve positions.
+
+        Column 0 is ``x``, column 1 is ``y``. When ``side`` is omitted the
+        minimal canonical side for ``n`` is used.
+        """
+        if side is None:
+            side = self.min_side(n)
+        x, y = self.index_to_xy(np.arange(n, dtype=np.int64), side)
+        return np.stack([x, y], axis=1)
+
+    def pairwise_distance(self, i, j, side: int) -> np.ndarray:
+        """Manhattan distance between the ``i``-th and ``j``-th curve cells."""
+        xi, yi = self.index_to_xy(i, side)
+        xj, yj = self.index_to_xy(j, side)
+        return np.abs(xi - xj) + np.abs(yi - yj)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r} base={self.base}>"
+
+
+# ---------------------------------------------------------------------- #
+# registry
+# ---------------------------------------------------------------------- #
+
+_REGISTRY: dict[str, Callable[[], SpaceFillingCurve]] = {}
+
+
+def register_curve(factory: Callable[[], SpaceFillingCurve]) -> Callable[[], SpaceFillingCurve]:
+    """Register a curve factory under its instance's :attr:`name`.
+
+    Usable as a class decorator on :class:`SpaceFillingCurve` subclasses with
+    zero-argument constructors.
+    """
+    instance = factory()
+    key = instance.name
+    if key in _REGISTRY:
+        raise ValidationError(f"curve {key!r} is already registered")
+    _REGISTRY[key] = factory
+    return factory
+
+
+def get_curve(name: str) -> SpaceFillingCurve:
+    """Instantiate a registered curve by name (e.g. ``"hilbert"``)."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown curve {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+    return factory()
+
+
+def available_curves() -> list[str]:
+    """Sorted names of all registered curves."""
+    return sorted(_REGISTRY)
+
+
+def resolve_curve(curve: "str | SpaceFillingCurve") -> SpaceFillingCurve:
+    """Accept either a curve instance or a registry name."""
+    if isinstance(curve, SpaceFillingCurve):
+        return curve
+    if isinstance(curve, str):
+        return get_curve(curve)
+    raise ValidationError(f"expected a curve name or instance, got {type(curve).__name__}")

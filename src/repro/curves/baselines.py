@@ -1,0 +1,63 @@
+"""Baseline (non-distance-bound) grid orders.
+
+These exist to make the paper's negative results measurable: §III argues
+that naive layouts give neighbour distances up to ``Omega(sqrt n)``. The
+row-major order is the canonical such baseline; the boustrophedon
+(serpentine) variant is continuous but still not distance-bound, which
+demonstrates that continuity alone is not sufficient for the energy bound.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve, register_curve
+
+
+@register_curve
+class RowMajorOrder(SpaceFillingCurve):
+    """Plain row-major order: index ``d`` maps to ``(d mod side, d // side)``.
+
+    Not continuous (end-of-row wraps) and not distance-bound:
+    ``dist(i, i + side) = sqrt(n)`` hops for a 1-row offset but
+    ``dist(i, i+1)`` can also be ``side - 1`` at a wrap.
+    """
+
+    name = "rowmajor"
+    base = 2
+    continuous = False
+    distance_bound = False
+    alpha = None
+
+    def _index_to_xy(self, d: np.ndarray, side: int) -> tuple[np.ndarray, np.ndarray]:
+        return d % side, d // side
+
+    def _xy_to_index(self, x: np.ndarray, y: np.ndarray, side: int) -> np.ndarray:
+        return y * side + x
+
+
+@register_curve
+class BoustrophedonOrder(SpaceFillingCurve):
+    """Serpentine row-major order: odd rows are traversed right-to-left.
+
+    Continuous (each step is a grid neighbour) yet *not* distance-bound:
+    ``dist(i, i+j)`` for ``j ≈ side`` is ``Theta(1)`` vertically but points
+    ``j < side`` apart can still be ``Theta(j)`` apart horizontally, so the
+    ``O(sqrt j)`` bound fails for ``1 << j < side``.
+    """
+
+    name = "boustrophedon"
+    base = 2
+    continuous = True
+    distance_bound = False
+    alpha = None
+
+    def _index_to_xy(self, d: np.ndarray, side: int) -> tuple[np.ndarray, np.ndarray]:
+        y = d // side
+        forward = d % side
+        x = np.where(y % 2 == 0, forward, side - 1 - forward)
+        return x, y
+
+    def _xy_to_index(self, x: np.ndarray, y: np.ndarray, side: int) -> np.ndarray:
+        forward = np.where(y % 2 == 0, x, side - 1 - x)
+        return y * side + forward

@@ -1,0 +1,123 @@
+"""Z-order diagonal machinery (paper §III-C, Fig. 2, Lemmas 3–7).
+
+Walking the Z-order curve from index ``i`` to ``j > i`` crosses a *diagonal*
+every time it steps over an aligned block boundary: position ``m-1`` is the
+last cell of one power-of-four block and ``m`` the first cell of the next,
+and the two cells can be far apart. The paper bounds the layout energy by
+splitting each send into
+
+* an *aligned-curve* part ``E_b(i, j) <= 8 * sqrt(j - i)`` (Lemma 4), and
+* a *diagonal* part ``E_d(i, j)``: the Manhattan length of the longest
+  diagonal crossed, i.e. the jump at the most-aligned boundary in
+  ``(i, j]`` (Fig. 2 shows ``E_d(6, 10) = 4``).
+
+Lemma 6 then counts how often any fixed diagonal can be the longest one over
+all parent→child messages of a light-first tree, which is what
+:func:`diagonal_usage_counts` lets the benchmarks verify empirically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import get_curve
+from repro.errors import ValidationError
+from repro.utils import as_index_array, ceil_sqrt
+
+
+def alignment_level(m) -> np.ndarray:
+    """Largest ``k`` such that ``4^k`` divides ``m`` (for ``m >= 1``).
+
+    This is the recursion level of the block boundary at index ``m``.
+    """
+    m = as_index_array(np.atleast_1d(m), name="m")
+    if m.size and int(m.min()) < 1:
+        raise ValidationError("alignment_level requires indices >= 1")
+    level = np.zeros(m.shape, dtype=np.int64)
+    cur = m.copy()
+    divisible = cur % 4 == 0
+    while divisible.any():
+        level[divisible] += 1
+        cur = np.where(divisible, cur // 4, cur)
+        divisible = divisible & (cur % 4 == 0)
+    return level
+
+
+def longest_diagonal_boundary(i, j) -> np.ndarray:
+    """The most-aligned index ``m`` in ``(i, j]`` for each pair ``i < j``.
+
+    The step from ``m-1`` to ``m`` is the longest diagonal crossed when
+    walking the curve from ``i`` to ``j``. Pairs with ``i == j`` return 0
+    (no boundary crossed). Requires ``i <= j`` elementwise.
+    """
+    i = as_index_array(np.atleast_1d(i), name="i")
+    j = as_index_array(np.atleast_1d(j), name="j")
+    if i.shape != j.shape:
+        raise ValidationError("i and j must have the same shape")
+    if np.any(i > j):
+        raise ValidationError("longest_diagonal_boundary requires i <= j elementwise")
+    # Find the largest k with a multiple of 4^k inside (i, j]; the boundary
+    # is then the largest such multiple <= j.
+    active = i < j
+    step = np.ones(i.shape, dtype=np.int64)
+    # Grow the alignment while a multiple of 4^(k+1) still lies in (i, j];
+    # terminates because step quadruples and eventually exceeds every j.
+    while True:
+        nxt = step * 4
+        candidate = (j // nxt) * nxt
+        ok = active & (candidate > i)
+        if not ok.any():
+            break
+        step = np.where(ok, nxt, step)
+    return np.where(active, (j // step) * step, 0)
+
+
+def diagonal_manhattan(m, side: int) -> np.ndarray:
+    """Manhattan length of the diagonal at boundary ``m`` on a Z-order grid.
+
+    This is the grid distance between the curve positions of ``m - 1`` and
+    ``m``. Entries with ``m == 0`` (no boundary) yield 0.
+    """
+    m = as_index_array(np.atleast_1d(m), name="m")
+    out = np.zeros(m.shape, dtype=np.int64)
+    mask = m > 0
+    if mask.any():
+        z = get_curve("zorder")
+        mm = m[mask]
+        out[mask] = z.pairwise_distance(mm - 1, mm, side)
+    return out
+
+
+def e_d(i, j, side: int) -> np.ndarray:
+    """Diagonal energy ``E_d(i, j)``: length of the longest diagonal crossed."""
+    m = longest_diagonal_boundary(i, j)
+    return diagonal_manhattan(m, side)
+
+
+def e_b(i, j) -> np.ndarray:
+    """Aligned-curve energy bound ``E_b(i, j) <= 8 * sqrt(|j - i|)`` (Lemma 4)."""
+    i = as_index_array(np.atleast_1d(i), name="i")
+    j = as_index_array(np.atleast_1d(j), name="j")
+    gap = np.abs(j - i)
+    return 8 * np.array([ceil_sqrt(int(g)) for g in gap], dtype=np.int64)
+
+
+def diagonal_usage_counts(i, j) -> dict[int, int]:
+    """Histogram: boundary index ``m`` → how many pairs have it as their
+    longest diagonal.
+
+    Used to check Lemma 6's bound that a diagonal of length ``k`` is the
+    longest at most ``Delta * ceil(log2(4 k^2))`` times for the messages of
+    a light-first tree.
+    """
+    m = longest_diagonal_boundary(i, j)
+    m = m[m > 0]
+    boundaries, counts = np.unique(m, return_counts=True)
+    return {int(b): int(c) for b, c in zip(boundaries, counts)}
+
+
+def verify_decomposition(i, j, side: int) -> np.ndarray:
+    """Return the slack ``E_b(i,j) + E_d(i,j) - dist(i,j)`` (Lemma 3 says >= 0)."""
+    z = get_curve("zorder")
+    actual = z.pairwise_distance(i, j, side)
+    return e_b(i, j) + e_d(i, j, side) - actual

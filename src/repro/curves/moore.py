@@ -1,0 +1,90 @@
+"""Moore curve — the closed (cyclic) Hilbert variant.
+
+Four order-(k−1) Hilbert curves, mirrored and rotated so that the tour of
+the ``2^k × 2^k`` grid is a *closed loop*: the last cell is adjacent to the
+first. Construction used here (``s = side / 2``, ``M`` = the mirrored
+Hilbert transform ``(x, y) ↦ (y, x)``):
+
+| visit order | quadrant      | sub-curve        | enters    | exits     |
+|-------------|---------------|------------------|-----------|-----------|
+| 0           | bottom-left   | M rotated 180°   | (s−1,2s−1)| (s−1, s)  |
+| 1           | top-left      | M rotated 180°   | (s−1,s−1) | (s−1, 0)  |
+| 2           | top-right     | M                | (s, 0)    | (s, s−1)  |
+| 3           | bottom-right  | M                | (s, s)    | (s, 2s−1) |
+
+Every hand-off (and the wrap-around) is a unit step, so the curve is
+continuous *and* cyclic — useful for ring-style collectives, and another
+distance-bound family member for experiment E4. No exact worst-case α is
+published for Moore in the references the paper cites; the class constant
+below is an empirically validated conservative bound (checked in tests),
+not a theorem.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve, register_curve
+from repro.curves.hilbert import HilbertCurve
+from repro.errors import GridSizeError
+
+
+@register_curve
+class MooreCurve(SpaceFillingCurve):
+    """Closed Hilbert variant; requires side >= 2."""
+
+    name = "moore"
+    base = 2
+    continuous = True
+    distance_bound = True
+    #: conservative empirical bound (no published exact constant)
+    alpha = 4.0
+
+    def __init__(self):
+        self._hilbert = HilbertCurve()
+
+    def validate_side(self, side: int) -> int:
+        side = super().validate_side(side)
+        if side < 2:
+            raise GridSizeError("the Moore curve needs side >= 2 (four quadrants)")
+        return side
+
+    def min_side(self, n: int) -> int:
+        return max(2, super().min_side(n))
+
+    def _index_to_xy(self, d: np.ndarray, side: int) -> tuple[np.ndarray, np.ndarray]:
+        s = side // 2
+        cells = s * s
+        q = d // cells
+        r = d % cells
+        hx, hy = self._hilbert._index_to_xy(r, s)
+        # mirrored Hilbert: start (0,0), end (0, s-1)
+        mx, my = hy, hx
+        left = q <= 1
+        # left quadrants use the 180°-rotated mirror
+        x_in = np.where(left, s - 1 - mx, mx)
+        y_in = np.where(left, s - 1 - my, my)
+        off_x = np.where(left, 0, s)
+        off_y = np.where((q == 0) | (q == 3), s, 0)
+        return x_in + off_x, y_in + off_y
+
+    def _xy_to_index(self, x: np.ndarray, y: np.ndarray, side: int) -> np.ndarray:
+        s = side // 2
+        cells = s * s
+        left = x < s
+        top = y < s
+        q = np.where(left, np.where(top, 1, 0), np.where(top, 2, 3))
+        x_in = x - np.where(left, 0, s)
+        y_in = y - np.where(top, 0, s)
+        # undo the rotation on the left quadrants, then the mirror
+        rx = np.where(left, s - 1 - x_in, x_in)
+        ry = np.where(left, s - 1 - y_in, y_in)
+        hx, hy = ry, rx
+        r = self._hilbert._xy_to_index(hx, hy, s)
+        return q * cells + r
+
+    def is_cyclic(self, side: int) -> bool:
+        """True iff the last cell neighbours the first (always, by design)."""
+        side = self.validate_side(side)
+        n = side * side
+        return bool(self.pairwise_distance(np.array([0]), np.array([n - 1]), side)[0] == 1)

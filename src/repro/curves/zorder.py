@@ -1,0 +1,75 @@
+"""Z-order (Morton) curve (paper §II-B, Fig. 2).
+
+The Z-order curve visits the four quadrants of the grid recursively in the
+order upper-left, upper-right, lower-left, lower-right. In bit terms the
+curve index is the interleaving of the ``y`` and ``x`` coordinate bits
+(``y`` bits in the odd, more significant positions of each pair, so that the
+vertical split happens first, matching the paper's quadrant order).
+
+The curve is *not* continuous and *not* distance-bound: stepping across a
+``4^k``-aligned block boundary traverses a *diagonal* whose length grows
+with ``k`` (Fig. 2's blue diagonal). Theorem 2 nevertheless shows Z-order
+light-first layouts are energy-bound; the diagonal accounting lives in
+:mod:`repro.curves.diagonals`.
+
+Bit interleaving is done with the branch-free "part1by1" magic-number
+spread, valid for coordinates up to 32 bits, so both transforms are O(1)
+vectorized passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves.base import SpaceFillingCurve, register_curve
+
+_MASKS_SPREAD = (
+    (16, np.int64(0x0000FFFF0000FFFF)),
+    (8, np.int64(0x00FF00FF00FF00FF)),
+    (4, np.int64(0x0F0F0F0F0F0F0F0F)),
+    (2, np.int64(0x3333333333333333)),
+    (1, np.int64(0x5555555555555555)),
+)
+
+
+def _part1by1(v: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of each element into the even bit positions."""
+    v = v & np.int64(0xFFFFFFFF)
+    for shift, mask in _MASKS_SPREAD:
+        v = (v | (v << shift)) & mask
+    return v
+
+
+def _compact1by1(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_part1by1`: gather the even bit positions."""
+    v = v & np.int64(0x5555555555555555)
+    v = (v | (v >> 1)) & np.int64(0x3333333333333333)
+    v = (v | (v >> 2)) & np.int64(0x0F0F0F0F0F0F0F0F)
+    v = (v | (v >> 4)) & np.int64(0x00FF00FF00FF00FF)
+    v = (v | (v >> 8)) & np.int64(0x0000FFFF0000FFFF)
+    v = (v | (v >> 16)) & np.int64(0x00000000FFFFFFFF)
+    return v
+
+
+@register_curve
+class ZOrderCurve(SpaceFillingCurve):
+    """Vectorized Morton-order transforms.
+
+    Index layout per bit pair: ``d = ... y_k x_k ... y_0 x_0`` — the ``y``
+    bit of each level is the more significant one, so quadrants are visited
+    upper-left, upper-right, lower-left, lower-right as in the paper.
+    """
+
+    name = "zorder"
+    base = 2
+    continuous = False
+    distance_bound = False
+    alpha = None
+
+    def _index_to_xy(self, d: np.ndarray, side: int) -> tuple[np.ndarray, np.ndarray]:
+        x = _compact1by1(d)
+        y = _compact1by1(d >> 1)
+        return x, y
+
+    def _xy_to_index(self, x: np.ndarray, y: np.ndarray, side: int) -> np.ndarray:
+        return _part1by1(x) | (_part1by1(y) << 1)

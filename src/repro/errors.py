@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures without also catching unrelated Python errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ValidationError(ReproError, ValueError):
+    """An argument failed validation (bad shape, dtype, range, or structure)."""
+
+
+class TreeStructureError(ValidationError):
+    """A parents array does not describe a valid rooted tree."""
+
+
+class GridSizeError(ValidationError):
+    """A processor count or grid side is incompatible with the requested curve."""
+
+
+class MemoryBudgetError(ReproError):
+    """A spatial algorithm exceeded the per-processor constant-memory budget.
+
+    The spatial computer model allots each processor a constant number of
+    words; the register file enforces an explicit cap and raises this error
+    when an algorithm would allocate past it.
+    """
+
+
+class MachineStateError(ReproError):
+    """The spatial machine was used in an inconsistent way (e.g. mismatched
+    endpoints in a bulk send, or an operation on a finalized ledger)."""
+
+
+class ConvergenceError(ReproError):
+    """A Las Vegas algorithm failed to converge within its iteration safety cap.
+
+    The paper's randomized routines (random-mate list ranking, COMPACT)
+    terminate in O(log n) rounds with high probability; the implementations
+    guard against broken randomness with a generous cap and raise this error
+    if the cap is hit, rather than looping forever.
+    """

@@ -1,0 +1,35 @@
+"""Tree layouts: linear orders (§III-A) and grid embeddings (§III).
+
+The spatial layout-*creation* pipeline (§IV) lives in
+:mod:`repro.spatial.layout_creation` because it runs on the machine; this
+package is the sequential side: computing orders, binding them to curves,
+and measuring the resulting communication geometry.
+"""
+
+from repro.layout.orders import (
+    available_orders,
+    bfs_order,
+    compute_order,
+    dfs_order,
+    heavy_first_order,
+    is_light_first,
+    light_first_order,
+    random_order,
+)
+from repro.layout.embedding import TreeLayout
+from repro.layout.metrics import LayoutMetrics, compare_layouts, energy_scaling
+
+__all__ = [
+    "available_orders",
+    "bfs_order",
+    "compute_order",
+    "dfs_order",
+    "heavy_first_order",
+    "is_light_first",
+    "light_first_order",
+    "random_order",
+    "TreeLayout",
+    "LayoutMetrics",
+    "compare_layouts",
+    "energy_scaling",
+]

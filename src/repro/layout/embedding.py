@@ -1,0 +1,125 @@
+"""Tree → grid embeddings (paper §III): linear order ∘ space-filling curve.
+
+A :class:`TreeLayout` binds a tree, a linear order, and a curve: the vertex
+at order position ``i`` lives on the curve's ``i``-th grid cell. This is
+the object every spatial tree algorithm takes as input, and the object the
+layout-creation pipeline of §IV produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.curves import SpaceFillingCurve, resolve_curve
+from repro.errors import ValidationError
+from repro.layout.orders import compute_order
+from repro.machine.machine import SpatialMachine
+from repro.trees.tree import Tree
+
+
+@dataclass(frozen=True)
+class TreeLayout:
+    """A tree stored on the grid: ``order[i]`` is the vertex at curve cell ``i``.
+
+    Attributes
+    ----------
+    tree:
+        The embedded tree.
+    order:
+        Position → vertex permutation.
+    position:
+        Vertex → position permutation (inverse of ``order``).
+    curve:
+        The space-filling curve lifting positions to grid cells.
+    side:
+        Grid side length.
+    """
+
+    tree: Tree
+    order: np.ndarray
+    position: np.ndarray
+    curve: SpaceFillingCurve
+    side: int
+
+    @classmethod
+    def build(
+        cls,
+        tree: Tree,
+        *,
+        order: "str | np.ndarray" = "light_first",
+        curve: "str | SpaceFillingCurve" = "hilbert",
+        side: int | None = None,
+        seed=None,
+    ) -> "TreeLayout":
+        """Compute (or validate) the order and bind it to a curve."""
+        curve_obj = resolve_curve(curve)
+        order_arr = compute_order(tree, order, seed=seed)
+        position = np.empty(tree.n, dtype=np.int64)
+        position[order_arr] = np.arange(tree.n)
+        side_val = curve_obj.validate_side(side) if side else curve_obj.min_side(tree.n)
+        if side_val * side_val < tree.n:
+            raise ValidationError(
+                f"side {side_val} too small for {tree.n} vertices"
+            )
+        order_arr.setflags(write=False)
+        position.setflags(write=False)
+        return cls(tree=tree, order=order_arr, position=position, curve=curve_obj, side=side_val)
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    def coordinates(self) -> np.ndarray:
+        """``(n, 2)`` grid coordinates of each *vertex* (not position)."""
+        x, y = self.curve.index_to_xy(self.position, self.side)
+        return np.stack([x, y], axis=1)
+
+    def vertex_distance(self, u, v) -> np.ndarray:
+        """Manhattan distance between vertices' processors."""
+        return self.curve.pairwise_distance(
+            self.position[np.atleast_1d(u)], self.position[np.atleast_1d(v)], self.side
+        )
+
+    def edge_distances(self) -> np.ndarray:
+        """Manhattan distance of every (parent, child) tree edge.
+
+        The sum is exactly the energy of the §III *local messaging* kernel
+        in which every vertex sends one message to each child.
+        """
+        edges = self.tree.edges()
+        return self.vertex_distance(edges[:, 0], edges[:, 1])
+
+    def local_broadcast_energy(self) -> int:
+        """Total energy for every vertex to message all its children once."""
+        return int(self.edge_distances().sum())
+
+    def machine(self, **kwargs) -> SpatialMachine:
+        """A fresh :class:`SpatialMachine` matching this layout.
+
+        Processor ``i`` is the layout's position ``i``; algorithms address
+        vertices through :attr:`position`.
+        """
+        return SpatialMachine(self.n, curve=self.curve, side=self.side, **kwargs)
+
+    def subtree_range(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-vertex contiguous position range ``[lo, hi]`` of its subtree.
+
+        Only meaningful for preorder-style orders (light-first, heavy-first,
+        DFS), where each subtree occupies ``[pos(v), pos(v) + s(v) - 1]`` —
+        the ranges the LCA algorithm's subtree cover works with (§VI-C).
+        """
+        sizes = self.tree.subtree_sizes()
+        lo = self.position
+        hi = self.position + sizes - 1
+        return lo, hi
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TreeLayout(n={self.n}, curve={self.curve.name!r}, side={self.side})"
+        )

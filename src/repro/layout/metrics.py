@@ -1,0 +1,86 @@
+"""Layout quality metrics (experiment E1).
+
+The §III claim under measurement: light-first order on a distance-bound (or
+Z-order) curve gives *constant average* parent→child distance (linear total
+energy), while BFS/DFS/random layouts degrade to ``Ω(sqrt n)`` averages on
+adversarial trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.layout.embedding import TreeLayout
+
+
+@dataclass(frozen=True)
+class LayoutMetrics:
+    """Summary statistics of a layout's parent→child distances."""
+
+    n: int
+    curve: str
+    total_energy: int
+    mean_distance: float
+    median_distance: float
+    max_distance: int
+    energy_per_vertex: float
+
+    @classmethod
+    def of(cls, layout: TreeLayout) -> "LayoutMetrics":
+        d = layout.edge_distances()
+        if len(d) == 0:
+            return cls(layout.n, layout.curve.name, 0, 0.0, 0.0, 0, 0.0)
+        return cls(
+            n=layout.n,
+            curve=layout.curve.name,
+            total_energy=int(d.sum()),
+            mean_distance=float(d.mean()),
+            median_distance=float(np.median(d)),
+            max_distance=int(d.max()),
+            energy_per_vertex=float(d.sum() / layout.n),
+        )
+
+
+def compare_layouts(tree, orders, curves, *, seed=None) -> list[dict]:
+    """Cross-product comparison used by E1: one row per (order, curve).
+
+    Returns plain dicts (order, curve, metrics fields) so the benchmark
+    harness can print them as a table.
+    """
+    rows = []
+    for order in orders:
+        for curve in curves:
+            layout = TreeLayout.build(tree, order=order, curve=curve, seed=seed)
+            m = LayoutMetrics.of(layout)
+            rows.append(
+                {
+                    "order": order if isinstance(order, str) else "custom",
+                    "curve": curve if isinstance(curve, str) else curve.name,
+                    "n": m.n,
+                    "total_energy": m.total_energy,
+                    "mean_distance": m.mean_distance,
+                    "max_distance": m.max_distance,
+                    "energy_per_vertex": m.energy_per_vertex,
+                }
+            )
+    return rows
+
+
+def energy_scaling(make_tree, ns, *, order="light_first", curve="hilbert", seed=None) -> list[dict]:
+    """Energy-vs-n series for one (order, curve): the E1 scaling rows."""
+    rows = []
+    for n in ns:
+        tree = make_tree(int(n))
+        layout = TreeLayout.build(tree, order=order, curve=curve, seed=seed)
+        m = LayoutMetrics.of(layout)
+        rows.append(
+            {
+                "n": int(n),
+                "total_energy": m.total_energy,
+                "energy_per_vertex": m.energy_per_vertex,
+                "mean_distance": m.mean_distance,
+            }
+        )
+    return rows

@@ -1,0 +1,109 @@
+"""Linear vertex orders (paper §III-A).
+
+The paper's **light-first order** stores each vertex before its children
+and visits children smallest-subtree-first: child ``c_i`` of ``v`` sits at
+position ``1 + p_v + Σ_{j<i} s(c_j)``. That is exactly a depth-first
+preorder whose children are sorted ascending by subtree size (stable in
+vertex id — which also fixes the paper's "rightmost child" used by the
+heavy-light decomposition to be the heaviest child).
+
+Alternative orders (heavy-first, plain DFS, BFS, random) are the ablation
+baselines of experiment E1: §III shows BFS is ``Ω(sqrt n)``-bad on perfect
+binary trees and DFS on caterpillars.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.trees.tree import Tree
+from repro.trees.traversal import dfs_preorder
+from repro.utils import resolve_rng
+
+
+def light_first_order(tree: Tree) -> np.ndarray:
+    """The paper's light-first (smallest-first) order: ``order[i]`` = vertex
+    stored at position ``i``."""
+    return dfs_preorder(tree, child_key=tree.subtree_sizes())
+
+
+def heavy_first_order(tree: Tree) -> np.ndarray:
+    """Largest-subtree-first preorder — the mirror ablation of light-first."""
+    return dfs_preorder(tree, child_key=-tree.subtree_sizes())
+
+
+def dfs_order(tree: Tree) -> np.ndarray:
+    """Plain preorder with children in id order (the paper's DFS baseline)."""
+    return dfs_preorder(tree)
+
+
+def bfs_order(tree: Tree) -> np.ndarray:
+    """Level order (the paper's BFS baseline)."""
+    return tree.bfs_order()
+
+
+def random_order(tree: Tree, *, seed=None) -> np.ndarray:
+    """Uniformly random placement — the pathological baseline."""
+    rng = resolve_rng(seed)
+    return rng.permutation(tree.n).astype(np.int64)
+
+
+_ORDERS: dict[str, Callable[..., np.ndarray]] = {
+    "light_first": light_first_order,
+    "heavy_first": heavy_first_order,
+    "dfs": dfs_order,
+    "bfs": bfs_order,
+    "random": random_order,
+}
+
+
+def available_orders() -> list[str]:
+    """Names accepted by :func:`compute_order`."""
+    return sorted(_ORDERS)
+
+
+def compute_order(tree: Tree, order: "str | np.ndarray", *, seed=None) -> np.ndarray:
+    """Resolve an order by name, or validate a user-supplied permutation."""
+    if isinstance(order, str):
+        try:
+            fn = _ORDERS[order]
+        except KeyError:
+            raise ValidationError(
+                f"unknown order {order!r}; available: {available_orders()}"
+            ) from None
+        return fn(tree, seed=seed) if order == "random" else fn(tree)
+    arr = np.asarray(order, dtype=np.int64)
+    if not np.array_equal(np.sort(arr), np.arange(tree.n)):
+        raise ValidationError("a custom order must be a permutation of 0..n-1")
+    return arr
+
+
+def is_light_first(tree: Tree, order: np.ndarray) -> bool:
+    """Check the §III-A definition position by position.
+
+    Every vertex ``v`` at position ``p_v`` must have its children (in
+    increasing subtree size) at positions ``1 + p_v + Σ_{j<i} s(c_j)``.
+    Ties in subtree size make several assignments valid, so ties are
+    accepted in any size-consistent arrangement.
+    """
+    pos = np.empty(tree.n, dtype=np.int64)
+    pos[order] = np.arange(tree.n)
+    sizes = tree.subtree_sizes()
+    offsets, targets = tree.children_csr()
+    for v in range(tree.n):
+        kids = targets[offsets[v] : offsets[v + 1]]
+        if len(kids) == 0:
+            continue
+        kids = kids[np.argsort(pos[kids], kind="stable")]  # by stored position
+        expected = pos[v] + 1
+        for c in kids:
+            if pos[c] != expected:
+                return False
+            expected += sizes[c]
+        # children must be in non-decreasing subtree size
+        if np.any(np.diff(sizes[kids]) < 0):
+            return False
+    return True

@@ -1,0 +1,166 @@
+"""Foundational spatial collectives (paper §II-A).
+
+Broadcast, reduce, all-reduce, and parallel prefix sum with the bounds the
+paper quotes: **O(n) energy and O(log n) depth** (the scan is O(log n) here
+rather than generic poly-log because the tree is laid out along the
+machine's space-filling curve).
+
+All collectives run over a *doubling tree in curve-index space*: at level
+``k`` partners are ``2^k`` apart in curve order, hence ``O(sqrt(2^k))``
+apart on the grid, so level energy is ``n / 2^k * O(sqrt(2^k))`` and the
+geometric series sums to O(n). This is exactly why the machine places
+processors along a distance-bound curve.
+
+The scan is a Blelloch up/down-sweep in *right-edge* layout (partial sums
+live at the last index of their block) so every processor stores O(1)
+words; non-power-of-two sizes use the last real index of a block as a
+surrogate right edge, which only shortens messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.machine.machine import SpatialMachine
+
+Op = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _check_values(machine: SpatialMachine, values) -> np.ndarray:
+    values = np.asarray(values)
+    if values.shape != (machine.n,):
+        raise ValidationError(
+            f"collective values must be one word per processor ({machine.n}), "
+            f"got shape {values.shape}"
+        )
+    return values.copy()
+
+
+def _upsweep(machine: SpatialMachine, acc: np.ndarray, op: Op) -> None:
+    """Fold block sums to surrogate right edges; leaves left-half sums intact."""
+    n = machine.n
+    half = 1
+    while half < n:
+        b = 2 * half
+        starts = np.arange(0, n - half, b, dtype=np.int64)
+        if len(starts) == 0:
+            break
+        src = starts + half - 1          # right edge of the (full) left half
+        dst = np.minimum(starts + b - 1, n - 1)  # surrogate right edge
+        machine.send(src, dst, acc[src])
+        acc[dst] = op(acc[src], acc[dst])
+        half = b
+
+
+def reduce(machine: SpatialMachine, values, *, op: Op = np.add, root: int = 0):
+    """Reduce ``values`` with ``op``; the scalar result ends at ``root``.
+
+    O(n) energy, O(log n) depth (§II-A). Returns the reduced scalar.
+    """
+    acc = _check_values(machine, values)
+    _upsweep(machine, acc, op)
+    total = acc[machine.n - 1]
+    if root != machine.n - 1:
+        machine.send(machine.n - 1, root, total)
+    return total
+
+
+def broadcast(machine: SpatialMachine, value, *, root: int = 0) -> np.ndarray:
+    """Broadcast a scalar from ``root`` to every processor.
+
+    O(n) energy, O(log n) depth (§II-A). Returns the length-``n`` array of
+    received copies.
+    """
+    n = machine.n
+    if not 0 <= root < n:
+        raise ValidationError(f"root must be a processor id in [0, {n})")
+    out = np.full(n, value)
+    if n == 1:
+        return out
+    if root != n - 1:
+        machine.send(root, n - 1, value)
+    # Downsweep of the reduce tree: each surrogate right edge forwards the
+    # value to the right edge of its block's left half. Level k moves
+    # n / 2^k messages of curve gap <= 2^k, i.e. O(sqrt(2^k)) grid distance,
+    # so the level energies form a geometric O(n) series.
+    half = 1
+    while half * 2 < n:
+        half *= 2
+    while half >= 1:
+        b = 2 * half
+        starts = np.arange(0, n - half, b, dtype=np.int64)
+        if len(starts):
+            left = starts + half - 1
+            right = np.minimum(starts + b - 1, n - 1)
+            machine.send(right, left, out[right])
+        half //= 2
+    return out
+
+
+def allreduce(machine: SpatialMachine, values, *, op: Op = np.add) -> np.ndarray:
+    """Reduce then broadcast: every processor ends with the total.
+
+    O(n) energy, O(log n) depth (§II-A: "an all-reduce ... has the same
+    energy and depth bounds").
+    """
+    total = reduce(machine, values, op=op, root=0)
+    return broadcast(machine, total, root=0)
+
+
+def exclusive_scan(machine: SpatialMachine, values, *, op: Op = np.add, identity=0) -> np.ndarray:
+    """Exclusive parallel prefix: ``out[i] = values[0] ⊕ ... ⊕ values[i-1]``.
+
+    Blelloch two-sweep scan over the curve-order doubling tree:
+    O(n) energy, O(log n) depth.
+    """
+    acc = _check_values(machine, values)
+    n = machine.n
+    if n == 1:
+        acc[0] = identity
+        return acc
+    _upsweep(machine, acc, op)
+    # downsweep: replace the total with the identity, then push exclusive
+    # prefixes down; left-half sums were preserved at left edges.
+    acc[n - 1] = identity
+    half = 1
+    while half * 2 < n:
+        half *= 2
+    while half >= 1:
+        b = 2 * half
+        starts = np.arange(0, n - half, b, dtype=np.int64)
+        if len(starts):
+            left = starts + half - 1
+            right = np.minimum(starts + b - 1, n - 1)
+            # swap-and-combine: left gets the block prefix, right gets
+            # block-prefix ⊕ left-half-sum
+            machine.send(right, left, acc[right])
+            machine.send(left, right, acc[left])
+            block_prefix = acc[right].copy()
+            left_sum = acc[left].copy()
+            acc[left] = block_prefix
+            acc[right] = op(block_prefix, left_sum)
+        half //= 2
+    return acc
+
+
+def inclusive_scan(machine: SpatialMachine, values, *, op: Op = np.add, identity=0) -> np.ndarray:
+    """Inclusive parallel prefix: ``out[i] = values[0] ⊕ ... ⊕ values[i]``."""
+    values = np.asarray(values)
+    ex = exclusive_scan(machine, values, op=op, identity=identity)
+    return op(ex, values)
+
+
+def barrier(machine: SpatialMachine) -> None:
+    """Global synchronization (paper §VI-C): an all-reduce of a token.
+
+    After the barrier every processor's dependency clock is at least the
+    pre-barrier maximum, so later messages from any processor are ordered
+    after everything before the barrier. O(n) energy, O(log n) depth.
+    """
+    allreduce(machine, np.zeros(machine.n, dtype=np.int64), op=np.add)
+    # the broadcast already raised every clock to the root's chain; make the
+    # semantics explicit and exact:
+    machine.clock[:] = machine.clock.max()

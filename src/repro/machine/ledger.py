@@ -1,0 +1,88 @@
+"""Cost accounting for the spatial computer model (paper §II-A).
+
+The model's two cost terms are measured exactly:
+
+* **energy** — the sum over all messages of the Manhattan distance between
+  sender and receiver ("distance-weighted communication volume");
+* **depth** — the largest number of messages in a chain of dependent
+  messages. We track a per-processor *clock*: when processor ``s`` at clock
+  ``c`` sends to ``d``, the message has chain length ``c + 1`` and ``d``'s
+  clock rises to at least ``c + 1``. A send is conservatively assumed to
+  depend on everything its sender received earlier (program order), which
+  upper-bounds the true DAG depth and matches the round structure of every
+  algorithm in the paper.
+
+The ledger also keeps named *phase* sub-totals so experiments can report
+e.g. the contraction vs. uncontraction split of the treefix algorithm.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PhaseCost:
+    """Energy/message/depth totals attributed to one named phase."""
+
+    energy: int = 0
+    messages: int = 0
+    depth_start: int = 0
+    depth_end: int = 0
+
+    @property
+    def depth(self) -> int:
+        """Depth added while the phase was active (end − start of max clock)."""
+        return self.depth_end - self.depth_start
+
+
+@dataclass
+class CostLedger:
+    """Running energy/message totals plus per-phase breakdowns."""
+
+    energy: int = 0
+    messages: int = 0
+    phases: dict[str, PhaseCost] = field(default_factory=dict)
+    _active: list[str] = field(default_factory=list)
+
+    def charge(self, energy: int, messages: int) -> None:
+        """Record ``messages`` messages with total Manhattan distance ``energy``."""
+        self.energy += int(energy)
+        self.messages += int(messages)
+        for name in self._active:
+            phase = self.phases[name]
+            phase.energy += int(energy)
+            phase.messages += int(messages)
+
+    @contextmanager
+    def phase(self, name: str, *, current_depth=lambda: 0):
+        """Attribute all costs charged inside the block to phase ``name``.
+
+        ``current_depth`` is a callable the machine supplies so the phase can
+        record how much depth it added. Re-entering a phase name accumulates
+        into the same bucket (depth spans then cover the union of entries).
+        """
+        phase = self.phases.setdefault(name, PhaseCost())
+        fresh = phase.messages == 0 and phase.energy == 0
+        if fresh:
+            phase.depth_start = current_depth()
+        self._active.append(name)
+        try:
+            yield phase
+        finally:
+            self._active.pop()
+            phase.depth_end = current_depth()
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Plain-dict snapshot (used by the experiment harness)."""
+        out = {
+            "total": {"energy": self.energy, "messages": self.messages},
+        }
+        for name, phase in self.phases.items():
+            out[name] = {
+                "energy": phase.energy,
+                "messages": phase.messages,
+                "depth": phase.depth,
+            }
+        return out

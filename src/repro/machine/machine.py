@@ -1,0 +1,220 @@
+"""The spatial computer (paper §II-A) as a deterministic simulator.
+
+A :class:`SpatialMachine` is a ``side × side`` grid holding ``n`` logical
+processors, placed on the grid along a space-filling curve (processor ``i``
+sits at the curve's ``i``-th cell — the layouts of §III then reduce to
+choosing *which vertex is processor i*). It executes *bulk message steps*:
+a vectorized ``send`` moves one value per (src, dst) pair, charging
+
+* energy = Σ Manhattan(src, dst) to the ledger, and
+* depth via per-processor dependency clocks (see
+  :mod:`repro.machine.ledger`).
+
+The simulator is a measurement instrument: it computes the model's cost
+terms exactly while the payload arithmetic runs as ordinary numpy. Python
+never parallelises anything — it doesn't need to, because energy and depth
+are schedule-independent properties of the message DAG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.curves import resolve_curve
+from repro.errors import MachineStateError, ValidationError
+from repro.machine.ledger import CostLedger
+from repro.machine.registers import DEFAULT_BUDGET, RegisterFile
+from repro.utils import as_index_array, check_in_range
+
+
+class SpatialMachine:
+    """A √n×√n-style grid of constant-memory processors with cost accounting.
+
+    Parameters
+    ----------
+    n:
+        Number of logical processors (one tree vertex / list element each).
+    curve:
+        Space-filling curve (name or instance) that places processor ``i``
+        on the grid. Defaults to ``"hilbert"``. The curve choice here is the
+        machine's *address map*; the paper's layout theorems are about which
+        data lives at which address.
+    side:
+        Grid side; defaults to the curve's minimal canonical side covering
+        ``n`` cells (so up to a constant factor more cells than processors,
+        as in the model's √n×√n statement).
+    budget:
+        Per-processor word budget for the register file.
+    metric:
+        Distance metric charged per message: ``"manhattan"`` (the paper's
+        model — mesh interconnects) or ``"chebyshev"`` (L∞ — meshes with
+        diagonal links). The spatial computer is *network-oblivious*
+        (§I-B): the algorithms are metric-agnostic, and since
+        ``L∞ ≤ L1 ≤ 2·L∞`` every energy bound transfers within a factor
+        of 2 — which the tests verify empirically.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        curve="hilbert",
+        side: int | None = None,
+        budget: int = DEFAULT_BUDGET,
+        metric: str = "manhattan",
+    ):
+        if n < 1:
+            raise ValidationError(f"machine needs n >= 1 processors, got {n}")
+        if metric not in ("manhattan", "chebyshev"):
+            raise ValidationError(f"metric must be manhattan|chebyshev, got {metric!r}")
+        self.metric = metric
+        self.n = int(n)
+        self.curve = resolve_curve(curve)
+        self.side = self.curve.validate_side(side) if side else self.curve.min_side(n)
+        if self.side * self.side < n:
+            raise ValidationError(
+                f"grid {self.side}x{self.side} cannot hold {n} processors"
+            )
+        pos = self.curve.positions(self.n, self.side)
+        self._x = pos[:, 0].copy()
+        self._y = pos[:, 1].copy()
+        self._x.setflags(write=False)
+        self._y.setflags(write=False)
+        self.clock = np.zeros(self.n, dtype=np.int64)
+        self.ledger = CostLedger()
+        self.registers = RegisterFile(self.n, budget=budget)
+        #: optional CongestionTracer (see repro.machine.tracing)
+        self.tracer = None
+
+    # ------------------------------------------------------------------ #
+    # geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def positions(self) -> np.ndarray:
+        """``(n, 2)`` grid coordinates of each processor."""
+        return np.stack([self._x, self._y], axis=1)
+
+    def manhattan(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Distances between processor id arrays under the machine's metric
+        (no charging). Named after the model's default; ``metric`` may
+        select L∞ instead."""
+        dx = np.abs(self._x[src] - self._x[dst])
+        dy = np.abs(self._y[src] - self._y[dst])
+        if self.metric == "chebyshev":
+            return np.maximum(dx, dy)
+        return dx + dy
+
+    # ------------------------------------------------------------------ #
+    # messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, src, dst, values: np.ndarray | None = None) -> np.ndarray | None:
+        """Deliver one message per (src[i], dst[i]) pair; returns the payload.
+
+        ``values`` (optional) is the per-message payload, one entry per
+        pair; it is returned unchanged so call sites read naturally
+        (``received = m.send(src, dst, vals[src])``). Payload movement is
+        the caller's job — the machine only does the accounting.
+
+        Self-messages (``src == dst``) are local work: free and depth-less,
+        consistent with energy being a property of *communication*.
+
+        Depth accounting honours the model's O(1)-messages-per-round rule:
+        a processor's clock advances by one per message it *sends* (sends
+        serialize), the k-th message a processor sends in one bulk call has
+        chain length ``clock + k``, and a processor receiving k messages in
+        one call pays ``k - 1`` extra rounds on top of the longest incoming
+        chain (receives serialize too). A vertex talking to Θ(Δ) neighbours
+        directly therefore costs Θ(Δ) depth — which is precisely why the
+        paper's §III-D virtual trees exist.
+        """
+        src = as_index_array(np.atleast_1d(src), name="src")
+        dst = as_index_array(np.atleast_1d(dst), name="dst")
+        if src.shape != dst.shape:
+            raise MachineStateError(
+                f"send endpoints must align: {src.shape} vs {dst.shape}"
+            )
+        check_in_range(src, 0, self.n, name="src")
+        check_in_range(dst, 0, self.n, name="dst")
+        if values is not None and len(np.atleast_1d(values)) != len(src):
+            raise MachineStateError("payload length must match endpoint count")
+        remote = src != dst
+        if remote.any():
+            rs, rd = src[remote], dst[remote]
+            dist = self.manhattan(rs, rd)
+            self.ledger.charge(int(dist.sum()), int(len(rs)))
+            if self.tracer is not None:
+                self.tracer.record(self._x[rs], self._y[rs], self._x[rd], self._y[rd])
+            # --- 1-port clock model ---
+            # Sends serialize: a processor's k-th send in this call departs
+            # at clock + k, and its clock advances by its send count.
+            order = np.argsort(rs, kind="stable")
+            sorted_src = rs[order]
+            boundaries = np.flatnonzero(np.diff(sorted_src)) + 1
+            group_starts = np.concatenate([[0], boundaries])
+            group_lens = np.diff(np.concatenate([group_starts, [len(sorted_src)]]))
+            occ_sorted = np.arange(len(sorted_src)) - np.repeat(group_starts, group_lens)
+            occ = np.empty(len(rs), dtype=np.int64)
+            occ[order] = occ_sorted
+            chain = self.clock[rs] + occ + 1
+            np.add.at(self.clock, rs, 1)
+            # Receives serialize too: processing incoming chains m_1<=..<=m_k
+            # from start clock t0 gives t_i = max(t_{i-1} + 1, m_i), i.e.
+            # t_k = max(t0 + k, max_i(m_i + k - i)).
+            rorder = np.lexsort((chain, rd))
+            rd_s = rd[rorder]
+            m_s = chain[rorder]
+            rb = np.flatnonzero(np.diff(rd_s)) + 1
+            rstarts = np.concatenate([[0], rb])
+            rlens = np.diff(np.concatenate([rstarts, [len(rd_s)]]))
+            pos_in_group = np.arange(len(rd_s)) - np.repeat(rstarts, rlens)
+            remaining = np.repeat(rlens, rlens) - 1 - pos_in_group  # k - i (0-based)
+            vals_adj = m_s + remaining
+            group_max = np.maximum.reduceat(vals_adj, rstarts)
+            dst_unique = rd_s[rstarts]
+            self.clock[dst_unique] = np.maximum(
+                self.clock[dst_unique] + rlens, group_max
+            )
+        return values
+
+    def gather_from(self, dst, src, values: np.ndarray) -> np.ndarray:
+        """Convenience: ``dst[i]`` receives ``values[src[i]]`` (charged send)."""
+        src = as_index_array(np.atleast_1d(src), name="src")
+        payload = values[src]
+        self.send(src, dst, payload)
+        return payload
+
+    @property
+    def depth(self) -> int:
+        """Current computation depth: the longest dependent message chain."""
+        return int(self.clock.max()) if self.n else 0
+
+    @property
+    def energy(self) -> int:
+        """Total energy charged so far."""
+        return self.ledger.energy
+
+    @property
+    def messages(self) -> int:
+        """Total number of (remote) messages charged so far."""
+        return self.ledger.messages
+
+    def phase(self, name: str):
+        """Ledger phase context manager with depth bookkeeping wired in."""
+        return self.ledger.phase(name, current_depth=lambda: self.depth)
+
+    def snapshot(self) -> dict[str, int]:
+        """Current (energy, messages, depth) triple as a dict."""
+        return {"energy": self.energy, "messages": self.messages, "depth": self.depth}
+
+    def reset_costs(self) -> None:
+        """Zero the ledger and clocks (keeps placement and registers)."""
+        self.clock[:] = 0
+        self.ledger = CostLedger()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpatialMachine(n={self.n}, side={self.side}, curve={self.curve.name!r}, "
+            f"energy={self.energy}, depth={self.depth})"
+        )

@@ -1,0 +1,131 @@
+"""PRAM simulation on the spatial computer (paper §II-A).
+
+The paper's yardstick baseline: "a PRAM algorithm with p processors, m
+memory cells and T_p steps takes O(p(√p + √m) T_p) energy with
+poly-logarithmic depth overhead". This module realizes that simulation
+*measurably*: a :class:`PRAMSimulator` lays the p PRAM processors and the m
+shared-memory cells out on one spatial grid and charges every shared-memory
+access as a round-trip message pair (request + response) at real Manhattan
+distances.
+
+The PRAM baselines in :mod:`repro.spatial.baselines` (Wyllie list ranking,
+pointer-jumping treefix, jump-pointer LCA) are written against this API, so
+the Θ(n^{3/2}) energy the paper attributes to PRAM simulation shows up as a
+measurement, not an assumption.
+
+Concurrency discipline: by default the simulator enforces EREW per access
+round (duplicate addresses raise), since the classic algorithms used here
+are EREW. ``mode="crcw"`` relaxes the check for experimentation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MachineStateError, ValidationError
+from repro.machine.machine import SpatialMachine
+from repro.utils import as_index_array, check_in_range
+
+
+class PRAMSimulator:
+    """An EREW/CRCW PRAM whose shared memory lives on a spatial grid.
+
+    Processors occupy spatial ids ``[0, p)`` and memory cells ids
+    ``[p, p + m)`` along the machine's curve, so a memory access travels a
+    genuine grid distance of up to ``O(side) = O(sqrt(p + m))``.
+    """
+
+    def __init__(
+        self,
+        num_procs: int,
+        num_cells: int,
+        *,
+        curve="hilbert",
+        mode: str = "erew",
+    ):
+        if num_procs < 1 or num_cells < 1:
+            raise ValidationError("PRAM needs at least one processor and one cell")
+        if mode not in ("erew", "crcw"):
+            raise ValidationError(f"mode must be 'erew' or 'crcw', got {mode!r}")
+        self.p = int(num_procs)
+        self.m = int(num_cells)
+        self.mode = mode
+        self.machine = SpatialMachine(self.p + self.m, curve=curve)
+        self.memory = np.zeros(self.m, dtype=np.int64)
+        self._next_region = 0
+
+    # ------------------------------------------------------------------ #
+    # memory regions
+    # ------------------------------------------------------------------ #
+
+    def alloc(self, size: int, *, name: str = "") -> int:
+        """Reserve ``size`` consecutive cells; returns the base address."""
+        if size < 0:
+            raise ValidationError("region size must be >= 0")
+        base = self._next_region
+        if base + size > self.m:
+            raise MachineStateError(
+                f"PRAM memory exhausted allocating {name or 'region'!r}: "
+                f"{base + size} > {self.m} cells"
+            )
+        self._next_region += size
+        return base
+
+    # ------------------------------------------------------------------ #
+    # accesses (each is a charged round trip)
+    # ------------------------------------------------------------------ #
+
+    def _check_access(self, proc_ids: np.ndarray, addrs: np.ndarray, *, writing: bool) -> None:
+        check_in_range(proc_ids, 0, self.p, name="proc_ids")
+        check_in_range(addrs, 0, self.m, name="addrs")
+        if self.mode == "erew" and len(addrs):
+            unique = len(np.unique(addrs))
+            if unique != len(addrs):
+                kind = "write" if writing else "read"
+                raise MachineStateError(
+                    f"EREW violation: duplicate addresses in concurrent {kind}"
+                )
+
+    def read(self, proc_ids, addrs) -> np.ndarray:
+        """Each listed processor reads one cell (request + response messages)."""
+        proc_ids = as_index_array(np.atleast_1d(proc_ids), name="proc_ids")
+        addrs = as_index_array(np.atleast_1d(addrs), name="addrs")
+        if proc_ids.shape != addrs.shape:
+            raise ValidationError("proc_ids and addrs must align")
+        self._check_access(proc_ids, addrs, writing=False)
+        cell_ids = addrs + self.p
+        self.machine.send(proc_ids, cell_ids)          # request
+        values = self.memory[addrs]
+        self.machine.send(cell_ids, proc_ids, values)  # response
+        return values
+
+    def write(self, proc_ids, addrs, values) -> None:
+        """Each listed processor writes one cell (a single message)."""
+        proc_ids = as_index_array(np.atleast_1d(proc_ids), name="proc_ids")
+        addrs = as_index_array(np.atleast_1d(addrs), name="addrs")
+        values = np.atleast_1d(np.asarray(values))
+        if proc_ids.shape != addrs.shape or values.shape[0] != len(addrs):
+            raise ValidationError("proc_ids, addrs and values must align")
+        self._check_access(proc_ids, addrs, writing=True)
+        cell_ids = addrs + self.p
+        self.machine.send(proc_ids, cell_ids, values)
+        self.memory[addrs] = values
+
+    # ------------------------------------------------------------------ #
+    # cost surface
+    # ------------------------------------------------------------------ #
+
+    @property
+    def energy(self) -> int:
+        return self.machine.energy
+
+    @property
+    def depth(self) -> int:
+        return self.machine.depth
+
+    @property
+    def messages(self) -> int:
+        return self.machine.messages
+
+    def snapshot(self) -> dict[str, int]:
+        return self.machine.snapshot()

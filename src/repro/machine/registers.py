@@ -1,0 +1,87 @@
+"""Constant-memory register file (paper §II-A: O(1) words per processor).
+
+The spatial computer gives each processor a *constant* number of memory
+words. In the simulator every named register is one word on every
+processor (a length-``n`` numpy array, SoA style), so the number of live
+registers *is* the per-processor memory use. The register file enforces a
+budget: allocating past it raises :class:`~repro.errors.MemoryBudgetError`,
+which turns "the algorithm quietly needs Θ(deg v) state" bugs into test
+failures.
+
+Algorithms should bracket temporaries in a :meth:`RegisterFile.scope` so
+the budget reflects peak simultaneous use, not cumulative allocations.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import MemoryBudgetError, ValidationError
+
+#: default per-processor word budget — generous but constant; the paper only
+#: requires O(1) and the algorithms here peak well below this
+DEFAULT_BUDGET = 64
+
+
+class RegisterFile:
+    """Named per-processor word arrays with an enforced word budget."""
+
+    def __init__(self, n: int, *, budget: int = DEFAULT_BUDGET):
+        if n < 1:
+            raise ValidationError(f"register file needs n >= 1 processors, got {n}")
+        if budget < 1:
+            raise ValidationError(f"budget must be >= 1 word, got {budget}")
+        self.n = int(n)
+        self.budget = int(budget)
+        self._regs: dict[str, np.ndarray] = {}
+        self.peak = 0
+
+    def alloc(self, name: str, *, dtype=np.int64, fill=0) -> np.ndarray:
+        """Allocate one word per processor under ``name`` and return the array."""
+        if name in self._regs:
+            raise ValidationError(f"register {name!r} is already allocated")
+        if len(self._regs) + 1 > self.budget:
+            raise MemoryBudgetError(
+                f"allocating register {name!r} would use {len(self._regs) + 1} words "
+                f"per processor, over the budget of {self.budget} "
+                f"(live: {sorted(self._regs)})"
+            )
+        arr = np.full(self.n, fill, dtype=dtype)
+        self._regs[name] = arr
+        self.peak = max(self.peak, len(self._regs))
+        return arr
+
+    def free(self, name: str) -> None:
+        """Release a register."""
+        try:
+            del self._regs[name]
+        except KeyError:
+            raise ValidationError(f"register {name!r} is not allocated") from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self._regs[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._regs
+
+    @property
+    def live(self) -> int:
+        """Words per processor currently in use."""
+        return len(self._regs)
+
+    @contextmanager
+    def scope(self, *names: str, dtype=np.int64, fill=0):
+        """Allocate ``names`` for the duration of the block, freeing on exit.
+
+        Yields the arrays in declaration order (a single array when one name
+        is given).
+        """
+        arrays = [self.alloc(name, dtype=dtype, fill=fill) for name in names]
+        try:
+            yield arrays[0] if len(arrays) == 1 else arrays
+        finally:
+            for name in names:
+                if name in self._regs:
+                    self.free(name)

@@ -1,0 +1,130 @@
+"""Permutation routing and spatial sorting (paper §II-A).
+
+* :func:`permute` — a global permutation: every processor sends its word
+  directly to its destination. One message per word, depth 1, energy
+  bounded by ``n * 2 * side = Θ(n^{3/2})``; the paper cites the matching
+  ``Ω(n^{3/2})`` lower bound for worst-case permutations on a √n×√n grid.
+* :func:`bitonic_sort` — Batcher's bitonic network over curve order:
+  ``Θ(n^{3/2})`` energy and ``O(log² n)`` depth, matching the paper's
+  "sorting takes Θ(n^{3/2}) energy and poly-logarithmic depth".
+
+Sorting is deliberately *not* used by the light-first layout pipeline
+(§IV), which the paper stresses must avoid sorting to reach near-linear
+energy for its message kernels — but the pipeline's final embedding step is
+a permutation, and the PRAM baselines lean on sort, so both live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.machine.machine import SpatialMachine
+from repro.utils import as_index_array, check_in_range, next_power_of_two
+
+
+def permute(machine: SpatialMachine, values, destinations) -> np.ndarray:
+    """Send ``values[i]`` from processor ``i`` to processor ``destinations[i]``.
+
+    ``destinations`` must be a permutation of ``0..n-1`` (every processor
+    receives exactly one word, respecting the O(1) in/out degree of a
+    round). Returns the received array: ``out[destinations[i]] = values[i]``.
+    """
+    values = np.asarray(values)
+    dest = as_index_array(destinations, name="destinations")
+    n = machine.n
+    if values.shape != (n,) or dest.shape != (n,):
+        raise ValidationError("permute needs one value and one destination per processor")
+    check_in_range(dest, 0, n, name="destinations")
+    counts = np.bincount(dest, minlength=n)
+    if counts.max() != 1:
+        raise ValidationError("destinations must form a permutation (duplicate target)")
+    src = np.arange(n, dtype=np.int64)
+    machine.send(src, dest, values)
+    out = np.empty_like(values)
+    out[dest] = values
+    return out
+
+
+def scatter(machine: SpatialMachine, src_ids, dst_ids, values) -> None:
+    """Arbitrary point-to-point round (thin charged wrapper over ``send``).
+
+    Unlike :func:`permute` this allows partial sends; the caller is
+    responsible for keeping per-processor message counts O(1) per round.
+    """
+    machine.send(src_ids, dst_ids, values)
+
+
+def bitonic_sort(
+    machine: SpatialMachine,
+    keys,
+    payload=None,
+    *,
+    descending: bool = False,
+) -> tuple[np.ndarray, np.ndarray | None]:
+    """Sort ``keys`` (with optional same-shape ``payload``) across processors.
+
+    Batcher's bitonic sorting network executed over curve-index space.
+    Every compare-exchange is two messages between the partners, so the
+    measured energy is ``Θ(n^{3/2})`` and the depth ``O(log² n)``.
+
+    Non-power-of-two sizes are handled by virtual padding with sentinel
+    keys: exchanges with a virtual partner are resolved locally (the
+    sentinel always loses/wins deterministically) and charge nothing, which
+    matches running the network on the next power of two with the padded
+    lanes optimized out.
+    """
+    keys = np.asarray(keys)
+    n = machine.n
+    if keys.shape != (n,):
+        raise ValidationError(f"keys must be one word per processor, got {keys.shape}")
+    if payload is not None:
+        payload = np.asarray(payload)
+        if payload.shape[0] != n:
+            raise ValidationError("payload must have one row per processor")
+    m = next_power_of_two(n)
+    if not np.issubdtype(keys.dtype, np.integer):
+        raise ValidationError("bitonic_sort sorts integer keys (the library's use case)")
+    sentinel = np.iinfo(keys.dtype).max if not descending else np.iinfo(keys.dtype).min
+    ext = np.full(m, sentinel, dtype=keys.dtype)
+    ext[:n] = keys
+    idx_payload = np.arange(m, dtype=np.int64)  # track provenance for payload
+
+    k = 2
+    while k <= m:
+        j = k // 2
+        while j >= 1:
+            i = np.arange(m, dtype=np.int64)
+            partner = i ^ j
+            lower = i < partner
+            # direction of each comparator: ascending iff bit k of i is 0
+            up = (i & k) == 0
+            if descending:
+                up = ~up
+            lo = i[lower]
+            hi = partner[lower]
+            # charge only exchanges where both lanes are real processors
+            real = (lo < n) & (hi < n)
+            if real.any():
+                rl, rh = lo[real], hi[real]
+                machine.send(rl, rh, ext[rl])
+                machine.send(rh, rl, ext[rh])
+            a = ext[lo]
+            b = ext[hi]
+            pa = idx_payload[lo]
+            pb = idx_payload[hi]
+            swap = np.where(up[lower], a > b, a < b)
+            ext[lo] = np.where(swap, b, a)
+            ext[hi] = np.where(swap, a, b)
+            idx_payload[lo] = np.where(swap, pb, pa)
+            idx_payload[hi] = np.where(swap, pa, pb)
+            j //= 2
+        k *= 2
+
+    sorted_keys = ext[:n]
+    if payload is None:
+        return sorted_keys, None
+    src = idx_payload[:n]
+    if (src >= n).any():  # pragma: no cover - sentinels sort past real keys
+        raise ValidationError("internal: sentinel lane leaked into the real prefix")
+    return sorted_keys, payload[src]

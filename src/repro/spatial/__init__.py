@@ -1,0 +1,117 @@
+"""The paper's spatial tree algorithms, executed on the simulated machine.
+
+* :class:`SpatialTree` — main entry point: tree + layout + machine.
+* :mod:`repro.spatial.local_messaging` — §III local broadcast/reduce.
+* :mod:`repro.spatial.virtual_tree` — §III-D degree-≤4 virtual trees.
+* :mod:`repro.spatial.list_ranking` — §IV random-mate list ranking.
+* :mod:`repro.spatial.layout_creation` — §IV light-first layout pipeline.
+* :mod:`repro.spatial.treefix` — §V contraction-based treefix sums.
+* :mod:`repro.spatial.subtree_cover` — §VI-A/B decomposition and cover.
+* :mod:`repro.spatial.lca` — §VI-C batched LCA.
+* :mod:`repro.spatial.baselines` — PRAM-simulated baselines (§II-A).
+"""
+
+from repro.spatial.context import SpatialTree
+from repro.spatial.local_messaging import (
+    family_broadcast,
+    family_reduce,
+    local_broadcast,
+    local_reduce,
+)
+from repro.spatial.virtual_tree import VirtualSchedule, build_virtual_tree
+from repro.spatial.list_ranking import ListRankResult, list_rank, ranks_from_head
+from repro.spatial.layout_creation import LayoutCreationResult, create_light_first_layout
+from repro.spatial.treefix import top_down_treefix, treefix_sum
+from repro.spatial.subtree_cover import (
+    SpatialCover,
+    SpatialRanges,
+    build_cover,
+    compute_ranges,
+    range_broadcast,
+)
+from repro.spatial.lca import lca_batch
+from repro.spatial.applications import (
+    SubtreeStatistics,
+    lca_batch_balanced,
+    mark_ancestors,
+    path_sums,
+    split_hot_vertices,
+    subtree_statistics,
+    tree_distances,
+    vertex_depths,
+)
+from repro.spatial.dynamic import DynamicLightFirstTree
+from repro.spatial.expression import (
+    MOD,
+    OP_ADD,
+    OP_MUL,
+    evaluate_expression,
+    evaluate_expression_sequential,
+    random_expression,
+)
+from repro.spatial.euler import (
+    EulerTourList,
+    euler_tour_list,
+    spatial_euler_tour_ranks,
+    spatial_subtree_sizes_via_tour,
+)
+from repro.spatial.graph import (
+    OneRespectingCuts,
+    one_respecting_cuts,
+    one_respecting_cuts_reference,
+)
+from repro.spatial.baselines import (
+    PRAMResult,
+    pram_lca_batch,
+    pram_list_ranking,
+    pram_treefix,
+)
+
+__all__ = [
+    "SpatialTree",
+    "family_broadcast",
+    "family_reduce",
+    "local_broadcast",
+    "local_reduce",
+    "VirtualSchedule",
+    "build_virtual_tree",
+    "ListRankResult",
+    "list_rank",
+    "ranks_from_head",
+    "LayoutCreationResult",
+    "create_light_first_layout",
+    "top_down_treefix",
+    "treefix_sum",
+    "SpatialCover",
+    "SpatialRanges",
+    "build_cover",
+    "compute_ranges",
+    "range_broadcast",
+    "lca_batch",
+    "SubtreeStatistics",
+    "lca_batch_balanced",
+    "mark_ancestors",
+    "path_sums",
+    "split_hot_vertices",
+    "subtree_statistics",
+    "tree_distances",
+    "vertex_depths",
+    "DynamicLightFirstTree",
+    "MOD",
+    "OP_ADD",
+    "OP_MUL",
+    "evaluate_expression",
+    "evaluate_expression_sequential",
+    "random_expression",
+    "EulerTourList",
+    "euler_tour_list",
+    "spatial_euler_tour_ranks",
+    "spatial_subtree_sizes_via_tour",
+    "OneRespectingCuts",
+    "one_respecting_cuts",
+    "one_respecting_cuts_reference",
+    "PRAMResult",
+    "pram_lca_batch",
+    "pram_list_ranking",
+    "pram_treefix",
+]

@@ -1,0 +1,179 @@
+"""The central runtime object: a tree resident on a spatial machine.
+
+:class:`SpatialTree` binds a :class:`~repro.layout.TreeLayout` to a
+:class:`~repro.machine.SpatialMachine`: vertex ``v`` lives on processor
+``layout.position[v]``, and all vertex-addressed messaging goes through
+:meth:`SpatialTree.send`, which translates vertex ids to processor ids and
+charges the machine.
+
+This is the object the paper's algorithms (§III local messaging, §V treefix
+sums, §VI batched LCA) operate on, and the primary entry point of the
+library's public API:
+
+>>> from repro import SpatialTree
+>>> from repro.trees import random_attachment_tree
+>>> st = SpatialTree.build(random_attachment_tree(1024, seed=0))
+>>> sums = st.treefix_sum(values)          # doctest: +SKIP
+>>> st.machine.energy, st.machine.depth    # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.layout.embedding import TreeLayout
+from repro.machine.machine import SpatialMachine
+from repro.trees.transform import VirtualTree, transform_tree
+from repro.trees.tree import Tree
+from repro.utils import as_index_array, check_in_range
+
+#: trees with max degree at most this use direct parent↔child messaging;
+#: beyond it the §III-D virtual tree takes over ("auto" mode)
+DIRECT_DEGREE_LIMIT = 8
+
+
+class SpatialTree:
+    """A tree stored on the grid in a chosen layout, with cost accounting.
+
+    Parameters
+    ----------
+    layout:
+        The embedding (order ∘ curve) to execute under.
+    machine:
+        Optional pre-built machine (must match the layout's curve/side);
+        by default a fresh one is created.
+    mode:
+        ``"direct"`` — parent↔child messages go straight between their
+        processors (Θ(Δ) depth at a degree-Δ vertex);
+        ``"virtual"`` — all local messaging is relayed over the §III-D
+        degree-≤4 virtual tree (O(log Δ) depth);
+        ``"auto"`` (default) — direct for ``Δ <= 8``, virtual otherwise.
+    """
+
+    def __init__(
+        self,
+        layout: TreeLayout,
+        *,
+        machine: SpatialMachine | None = None,
+        mode: str = "auto",
+    ):
+        if mode not in ("auto", "direct", "virtual"):
+            raise ValidationError(f"mode must be auto|direct|virtual, got {mode!r}")
+        self.layout = layout
+        self.tree: Tree = layout.tree
+        self.machine = machine if machine is not None else layout.machine()
+        if self.machine.n != layout.n:
+            raise ValidationError(
+                f"machine has {self.machine.n} processors but layout needs {layout.n}"
+            )
+        self.proc = layout.position  # vertex id -> processor id
+        if mode == "auto":
+            mode = "direct" if self.tree.max_degree <= DIRECT_DEGREE_LIMIT else "virtual"
+        self.mode = mode
+        self._vt: VirtualTree | None = None
+        self._vt_charged = False
+        self._sched = None  # cached VirtualSchedule (built with the vt)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def build(
+        cls,
+        tree: Tree,
+        *,
+        order="light_first",
+        curve="hilbert",
+        mode: str = "auto",
+        seed=None,
+        **machine_kwargs,
+    ) -> "SpatialTree":
+        """Lay out ``tree`` and put it on a fresh machine."""
+        layout = TreeLayout.build(tree, order=order, curve=curve, seed=seed)
+        machine = layout.machine(**machine_kwargs)
+        return cls(layout, machine=machine, mode=mode)
+
+    # ------------------------------------------------------------------ #
+    # vertex-addressed messaging
+    # ------------------------------------------------------------------ #
+
+    def send(self, src_vertices, dst_vertices, values=None):
+        """Charged message step between *vertices* (ids translated to processors)."""
+        src = as_index_array(np.atleast_1d(src_vertices), name="src_vertices")
+        dst = as_index_array(np.atleast_1d(dst_vertices), name="dst_vertices")
+        check_in_range(src, 0, self.n, name="src_vertices")
+        check_in_range(dst, 0, self.n, name="dst_vertices")
+        return self.machine.send(self.proc[src], self.proc[dst], values)
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    @property
+    def virtual_tree(self) -> VirtualTree:
+        """The §III-D virtual tree, built (and charged) on first use.
+
+        Construction charges the reference-passing messages of Fig. 4; see
+        :mod:`repro.spatial.virtual_tree`.
+        """
+        if self._vt is None:
+            from repro.spatial.virtual_tree import build_virtual_tree
+
+            self._vt = build_virtual_tree(self)
+            self._vt_charged = True
+        return self._vt
+
+    @property
+    def virtual_schedule(self):
+        """Cached per-round message buckets for virtual-tree messaging."""
+        if self._sched is None:
+            from repro.spatial.virtual_tree import VirtualSchedule
+
+            self._sched = VirtualSchedule.from_virtual_tree(self.virtual_tree)
+        return self._sched
+
+    # ------------------------------------------------------------------ #
+    # high-level operations (delegated to the algorithm modules)
+    # ------------------------------------------------------------------ #
+
+    def local_broadcast(self, values, **kwargs) -> np.ndarray:
+        """§III local broadcast: every child receives its parent's value."""
+        from repro.spatial.local_messaging import local_broadcast
+
+        return local_broadcast(self, values, **kwargs)
+
+    def local_reduce(self, values, **kwargs) -> np.ndarray:
+        """§III local reduce: every parent receives its children's reduction."""
+        from repro.spatial.local_messaging import local_reduce
+
+        return local_reduce(self, values, **kwargs)
+
+    def treefix_sum(self, values, **kwargs) -> np.ndarray:
+        """§V bottom-up treefix sum (subtree reductions)."""
+        from repro.spatial.treefix import treefix_sum
+
+        return treefix_sum(self, values, **kwargs)
+
+    def top_down_treefix(self, values, **kwargs) -> np.ndarray:
+        """§V-D top-down treefix sum (root-path reductions)."""
+        from repro.spatial.treefix import top_down_treefix
+
+        return top_down_treefix(self, values, **kwargs)
+
+    def lca_batch(self, us, vs, **kwargs) -> np.ndarray:
+        """§VI batched lowest common ancestors."""
+        from repro.spatial.lca import lca_batch
+
+        return lca_batch(self, us, vs, **kwargs)
+
+    def snapshot(self) -> dict[str, int]:
+        """Machine cost snapshot (energy, messages, depth)."""
+        return self.machine.snapshot()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"SpatialTree(n={self.n}, curve={self.layout.curve.name!r}, "
+            f"mode={self.mode!r}, energy={self.machine.energy}, depth={self.machine.depth})"
+        )

@@ -1,0 +1,169 @@
+"""Dynamic tree updates (paper §VII future work).
+
+The paper's conclusion: "Future exploration of layouts supporting dynamic
+updates may enhance the real-time adaptability of our framework. Not only
+could this address current limitations that require layouts to be
+precomputed ...". This module implements the natural first design point so
+its behaviour can be measured:
+
+* :class:`DynamicLightFirstTree` keeps a tree in light-first order and
+  supports **leaf insertion**. New leaves are *appended*: they take the
+  next free curve positions instead of their light-first slots (moving
+  everything would cost a permutation per update). Appended leaves are
+  physically far from their parents, so the local-messaging energy
+  degrades as appends accumulate.
+* :meth:`DynamicLightFirstTree.rebuild` recomputes the light-first layout
+  (charging the §IV pipeline price), restoring O(n) messaging energy.
+* With ``auto_rebuild_fraction = α``, a rebuild triggers whenever appended
+  leaves exceed ``α·n`` — the classic amortization: each rebuild costs
+  O(n^{3/2}) but is amortized over Θ(αn) insertions, i.e. O(n^{1/2}/α)
+  per insertion, while the messaging energy stays within a constant factor
+  of optimal.
+
+The ablation benchmark (``benchmarks/test_ablation_dynamic.py``) measures
+the degradation-vs-rebuild trade-off.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.layout.embedding import TreeLayout
+from repro.layout.orders import light_first_order
+from repro.machine.machine import SpatialMachine
+from repro.spatial.layout_creation import create_light_first_layout
+from repro.trees.tree import Tree
+
+
+class DynamicLightFirstTree:
+    """A light-first layout that accepts leaf insertions.
+
+    Parameters
+    ----------
+    tree:
+        Initial tree; laid out in light-first order.
+    capacity:
+        Maximum number of vertices the grid must hold (the grid side is
+        fixed up front — hardware does not grow). Defaults to 4× the
+        initial size.
+    curve:
+        Space-filling curve for the placement.
+    auto_rebuild_fraction:
+        When the number of appended-but-not-relaid vertices exceeds this
+        fraction of the tree size, insertions trigger a rebuild
+        automatically. ``None`` disables auto-rebuild.
+    """
+
+    def __init__(
+        self,
+        tree: Tree,
+        *,
+        capacity: int | None = None,
+        curve: str = "hilbert",
+        auto_rebuild_fraction: float | None = None,
+        seed=None,
+    ):
+        self.curve_name = curve
+        self.capacity = int(capacity) if capacity else 4 * tree.n
+        if self.capacity < tree.n:
+            raise ValidationError("capacity must be at least the initial tree size")
+        self.auto_rebuild_fraction = auto_rebuild_fraction
+        self._seed = seed
+        self.rebuild_count = 0
+        self.rebuild_energy = 0
+        self.appended_since_rebuild = 0
+
+        self._parents = list(tree.parents)
+        base = TreeLayout.build(tree, order="light_first", curve=curve)
+        side = base.curve.min_side(self.capacity)
+        self._side = side
+        self._layout = TreeLayout.build(tree, order="light_first", curve=curve, side=side)
+        # position of every vertex on the fixed grid
+        self._positions = list(self._layout.position)
+
+    # ------------------------------------------------------------------ #
+    # structure
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n(self) -> int:
+        return len(self._parents)
+
+    def tree(self) -> Tree:
+        """Current tree snapshot."""
+        return Tree(np.array(self._parents, dtype=np.int64), validate=False)
+
+    def layout(self) -> TreeLayout:
+        """Current placement as a :class:`TreeLayout` on the fixed grid.
+
+        Between rebuilds the order is light-first for the original part
+        plus an appended suffix — exactly what the energy metric reports.
+        """
+        position = np.array(self._positions, dtype=np.int64)
+        order = np.empty(self.n, dtype=np.int64)
+        order[position] = np.arange(self.n)
+        tree = self.tree()
+        return TreeLayout(
+            tree=tree,
+            order=order,
+            position=position,
+            curve=self._layout.curve,
+            side=self._side,
+        )
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+
+    def insert_leaf(self, parent: int) -> int:
+        """Attach a new leaf under ``parent``; returns the new vertex id.
+
+        The leaf is appended at the next free curve position (O(1) work,
+        one placement message charged at rebuild accounting time).
+        """
+        if not 0 <= parent < self.n:
+            raise ValidationError(f"parent {parent} out of range")
+        if self.n >= self.capacity:
+            raise ValidationError("grid capacity exhausted; rebuild with more capacity")
+        new_id = self.n
+        self._parents.append(parent)
+        # positions 0..n-1 are all taken (any layout is a permutation of
+        # them), so the next free curve position is exactly the new id
+        self._positions.append(new_id)
+        self.appended_since_rebuild += 1
+        if (
+            self.auto_rebuild_fraction is not None
+            and self.appended_since_rebuild > self.auto_rebuild_fraction * self.n
+        ):
+            self.rebuild()
+        return new_id
+
+    def insert_leaves(self, parents) -> np.ndarray:
+        """Batch insertion; returns the new vertex ids."""
+        return np.array([self.insert_leaf(int(p)) for p in np.atleast_1d(parents)])
+
+    def rebuild(self) -> int:
+        """Re-run the §IV pipeline; returns (and accumulates) its energy."""
+        tree = self.tree()
+        result = create_light_first_layout(tree, curve=self.curve_name, seed=self._seed)
+        order = light_first_order(tree)
+        position = np.empty(self.n, dtype=np.int64)
+        position[order] = np.arange(self.n)
+        self._positions = list(position)
+        self.rebuild_count += 1
+        self.rebuild_energy += result.energy
+        self.appended_since_rebuild = 0
+        return result.energy
+
+    # ------------------------------------------------------------------ #
+    # measurement
+    # ------------------------------------------------------------------ #
+
+    def messaging_energy(self) -> int:
+        """Current cost of one local broadcast (every parent → children)."""
+        return self.layout().local_broadcast_energy()
+
+    def mean_edge_distance(self) -> float:
+        d = self.layout().edge_distances()
+        return float(d.mean()) if len(d) else 0.0

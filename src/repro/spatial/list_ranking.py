@@ -1,0 +1,206 @@
+"""Random-mate list ranking on the spatial machine (paper §IV, Theorem 5).
+
+List ranking: given a linked list of ``k`` elements scattered over the
+grid, compute each element's (weighted) rank. The paper adapts the
+contraction algorithm of Anderson & Miller: repeatedly splice out an
+independent set of elements chosen by *random-mate* coin flips, then undo
+the splices in reverse to fill in the ranks.
+
+Costs, with high probability: each of the O(log k) rounds touches every
+active element with O(1) messages of up to O(√n) grid distance, so the
+energy is O(n^{3/2}) and the depth O(log n) — Theorem 5. The remaining
+Θ(log k) elements are ranked by a sequential walk (the paper's base case),
+keeping the w.h.p. depth bound.
+
+Rank convention: ``rank[i]`` is the *suffix* weight ``w(i) + w(succ(i)) +
+... + w(tail)`` — the natural fixpoint of the splice invariant. Head-based
+indices follow as ``total - rank[i]`` (:func:`ranks_from_head`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConvergenceError, ValidationError
+from repro.machine.machine import SpatialMachine
+from repro.utils import as_index_array, ceil_log2, resolve_rng
+
+
+@dataclass(frozen=True)
+class ListRankResult:
+    """Suffix ranks plus the contraction statistics the benchmarks report."""
+
+    ranks: np.ndarray
+    rounds: int
+    base_size: int
+
+    def from_head(self, succ: np.ndarray) -> np.ndarray:
+        """0-based index of each element from the head of its list."""
+        total = int(self.ranks[np.flatnonzero(self._heads(succ))].max())
+        return total - self.ranks
+
+    @staticmethod
+    def _heads(succ: np.ndarray) -> np.ndarray:
+        has_pred = np.zeros(len(succ), dtype=bool)
+        live = succ >= 0
+        has_pred[succ[live]] = True
+        return ~has_pred
+
+
+def ranks_from_head(ranks: np.ndarray, weights: np.ndarray | None = None) -> np.ndarray:
+    """Convert suffix ranks to head-based exclusive prefix weights.
+
+    ``head_rank[i] = total_weight - suffix_rank[i]`` counts the weight
+    strictly before ``i``; with unit weights this is the 0-based list index.
+    """
+    total = int(ranks.max())
+    return total - ranks
+
+
+def list_rank(
+    machine: SpatialMachine,
+    succ,
+    *,
+    weights=None,
+    elem_proc=None,
+    seed=None,
+    base_threshold: int | None = None,
+    max_rounds: int | None = None,
+    coin_bias: float = 0.5,
+) -> ListRankResult:
+    """Rank a linked list whose elements live on ``machine``'s processors.
+
+    Parameters
+    ----------
+    succ:
+        ``succ[i]`` is the element after ``i``; the tail has ``-1``. Must
+        form a single chain covering all elements.
+    weights:
+        Per-element weights (default all ones).
+    elem_proc:
+        Processor hosting each element (default: element ``i`` on processor
+        ``i``). Several elements may share a processor (the Euler-tour use
+        stores both directed copies of an edge at the child's processor).
+    base_threshold:
+        Contract until at most this many elements remain, then walk the
+        rest sequentially. Defaults to ``max(2, ceil(log2 k))`` per §IV.
+    coin_bias:
+        Random-mate heads probability (paper: 1/2; DESIGN.md ablation —
+        the expected per-round removal rate is ``p(1-p)``, maximized at
+        the paper's fair coin).
+    """
+    succ = as_index_array(succ, name="succ")
+    k = len(succ)
+    if k == 0:
+        raise ValidationError("cannot rank an empty list")
+    if weights is None:
+        weights = np.ones(k, dtype=np.int64)
+    else:
+        weights = np.asarray(weights, dtype=np.int64).copy()
+        if weights.shape != (k,):
+            raise ValidationError("weights must have one entry per element")
+    if elem_proc is None:
+        if k > machine.n:
+            raise ValidationError(
+                f"{k} elements need elem_proc when the machine has {machine.n} processors"
+            )
+        elem_proc = np.arange(k, dtype=np.int64)
+    else:
+        elem_proc = as_index_array(elem_proc, name="elem_proc")
+        if elem_proc.shape != (k,):
+            raise ValidationError("elem_proc must have one entry per element")
+    if base_threshold is None:
+        base_threshold = max(2, ceil_log2(max(2, k)))
+    if not 0.0 < coin_bias < 1.0:
+        raise ValidationError(f"coin_bias must be in (0, 1), got {coin_bias}")
+    if max_rounds is None:
+        slowdown = 1.0 / max(1e-6, 4 * coin_bias * (1 - coin_bias))
+        max_rounds = int(slowdown * (40 * max(1, ceil_log2(max(2, k))) + 40))
+    rng = resolve_rng(seed)
+
+    def msg(src_elems: np.ndarray, dst_elems: np.ndarray) -> None:
+        machine.send(elem_proc[src_elems], elem_proc[dst_elems])
+
+    # --- initialize doubly-linked structure (one pointer-exchange round) ---
+    cur_succ = succ.copy()
+    pred = np.full(k, -1, dtype=np.int64)
+    live = np.flatnonzero(cur_succ >= 0)
+    if len(np.unique(cur_succ[live])) != len(live):
+        raise ValidationError("succ does not describe a simple list (duplicate successor)")
+    if int((cur_succ < 0).sum()) != 1:
+        raise ValidationError("succ must describe exactly one list (one tail)")
+    pred[cur_succ[live]] = live
+    with machine.phase("list_rank_init"):
+        msg(live, cur_succ[live])  # each element introduces itself to its successor
+
+    w = weights.copy()
+    active = np.ones(k, dtype=bool)
+    removed_succ = np.full(k, -1, dtype=np.int64)
+    removal_round = np.full(k, -1, dtype=np.int64)
+    w_at_removal = np.zeros(k, dtype=np.int64)
+
+    # --- contraction ---
+    rounds = 0
+    with machine.phase("list_rank_contract"):
+        while int(active.sum()) > base_threshold:
+            if rounds >= max_rounds:
+                raise ConvergenceError(
+                    f"list ranking did not contract below {base_threshold} elements "
+                    f"within {max_rounds} rounds (remaining: {int(active.sum())})"
+                )
+            rounds += 1
+            act = np.flatnonzero(active)
+            coins = rng.random(size=k) < coin_bias  # True = heads
+            # every active element with a predecessor reports its coin
+            reporters = act[pred[act] >= 0]
+            if len(reporters):
+                msg(reporters, pred[reporters])
+            # select: heads, successor exists and flipped tails, pred exists
+            cand = act[(cur_succ[act] >= 0) & (pred[act] >= 0)]
+            sel = cand[coins[cand] & ~coins[cur_succ[cand]]]
+            if len(sel) == 0:
+                continue
+            p = pred[sel]
+            s = cur_succ[sel]
+            # splice messages: u -> p carries (succ, weight); u -> s carries pred
+            msg(sel, p)
+            msg(sel, s)
+            removed_succ[sel] = s
+            removal_round[sel] = rounds
+            w_at_removal[sel] = w[sel]
+            w[p] += w[sel]
+            cur_succ[p] = s
+            pred[s] = p
+            active[sel] = False
+
+    # --- sequential base case: walk from the tail along pred links ---
+    ranks = np.zeros(k, dtype=np.int64)
+    act = np.flatnonzero(active)
+    tail = act[cur_succ[act] < 0]
+    if len(tail) != 1:
+        raise ValidationError("succ must describe exactly one list (one tail)")
+    base_size = len(act)
+    with machine.phase("list_rank_base"):
+        cur = int(tail[0])
+        ranks[cur] = w[cur]
+        while pred[cur] >= 0:
+            nxt = int(pred[cur])
+            msg(np.array([cur]), np.array([nxt]))  # carry the running rank
+            ranks[nxt] = w[nxt] + ranks[cur]
+            cur = nxt
+
+    # --- uncontraction: reverse rounds, each removed element asks its
+    # recorded successor for its (now final) rank ---
+    with machine.phase("list_rank_expand"):
+        for r in range(rounds, 0, -1):
+            us = np.flatnonzero(removal_round == r)
+            if len(us) == 0:
+                continue
+            s = removed_succ[us]
+            msg(us, s)  # request
+            msg(s, us)  # response with rank(s)
+            ranks[us] = w_at_removal[us] + ranks[s]
+
+    return ListRankResult(ranks=ranks, rounds=rounds, base_size=base_size)

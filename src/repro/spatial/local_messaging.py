@@ -1,0 +1,271 @@
+"""Local messaging kernels (paper §III, §III-D).
+
+Two restricted tree communication patterns, each in two execution modes:
+
+* **local broadcast** — every vertex's value is delivered to each of its
+  children (the same value to all of them);
+* **local reduce** — every vertex receives the reduction (any associative
+  operator) of its children's messages.
+
+Modes:
+
+* ``direct`` — parent and child processors exchange messages directly.
+  Energy O(n) on an energy-bound layout (Theorem 1), but a degree-Δ vertex
+  serializes Θ(Δ) messages, so depth is Θ(Δ).
+* ``virtual`` — messages are relayed over the §III-D virtual tree ``T̂``
+  (degree ≤ 4): O(n) energy and O(log n) depth for any degree (Theorem 3).
+
+The ``family_*`` variants are what the tree-contraction algorithm of §V
+needs: only a *subset* of vertices act as family parents in a given round,
+children may be masked out of the reduction (inactive supervertices relay
+but contribute the identity), and the reduction can carry several
+components at once (e.g. partial sum + leaf count + non-leaf witness).
+
+Reduction order: operands combine in sibling order (the light-first child
+order), so non-commutative associative operators are safe.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+Op = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _as_values(st, values) -> np.ndarray:
+    values = np.asarray(values)
+    if values.shape[0] != st.n:
+        raise ValidationError(
+            f"values must have one entry per vertex ({st.n}), got {values.shape}"
+        )
+    return values
+
+
+def _resolve_mode(st, mode: str | None) -> str:
+    if mode is None:
+        return st.mode
+    if mode not in ("direct", "virtual"):
+        raise ValidationError(f"mode must be direct|virtual, got {mode!r}")
+    return mode
+
+
+# --------------------------------------------------------------------- #
+# direct mode
+# --------------------------------------------------------------------- #
+
+
+def _children_by_rank(st) -> list[np.ndarray]:
+    """Edge groups by child rank, children in stored-position order.
+
+    Group ``k`` is a ``(m_k, 2)`` array of (parent, k-th child) pairs.
+    Cached on the SpatialTree.
+    """
+    cache = getattr(st, "_children_by_rank", None)
+    if cache is not None:
+        return cache
+    tree = st.tree
+    offsets, targets = tree.children_csr()
+    pos = st.layout.position
+    groups: list[list[tuple[int, int]]] = []
+    for v in range(tree.n):
+        kids = targets[offsets[v] : offsets[v + 1]]
+        if len(kids) == 0:
+            continue
+        kids = kids[np.argsort(pos[kids], kind="stable")]
+        for k, c in enumerate(kids):
+            if k >= len(groups):
+                groups.append([])
+            groups[k].append((v, int(c)))
+    out = [np.array(g, dtype=np.int64).reshape(-1, 2) for g in groups]
+    st._children_by_rank = out
+    return out
+
+
+def _direct_broadcast(st, values, families) -> np.ndarray:
+    received = values.copy()
+    for edges in _children_by_rank(st):
+        parents, children = edges[:, 0], edges[:, 1]
+        if families is not None:
+            sel = families[parents]
+            parents, children = parents[sel], children[sel]
+        if len(parents) == 0:
+            continue
+        st.send(parents, children, values[parents])
+        received[children] = values[parents]
+    return received
+
+
+def _direct_reduce(st, values, op, identity, contribute, families) -> np.ndarray:
+    acc = np.full_like(np.asarray(values), identity)
+    msg = values if contribute is None else np.where(contribute, values, identity)
+    for edges in _children_by_rank(st):
+        parents, children = edges[:, 0], edges[:, 1]
+        if families is not None:
+            sel = families[parents]
+            parents, children = parents[sel], children[sel]
+        if len(parents) == 0:
+            continue
+        st.send(children, parents, msg[children])
+        acc[parents] = op(acc[parents], msg[children])
+    return acc
+
+
+# --------------------------------------------------------------------- #
+# virtual mode
+# --------------------------------------------------------------------- #
+
+
+def _virtual_broadcast(st, values, families) -> np.ndarray:
+    sched = st.virtual_schedule
+    received = values.copy()
+    cur = sched.cur_edges
+    if len(cur):
+        parents, children = cur[:, 0], cur[:, 1]
+        if families is not None:
+            sel = families[parents]
+            parents, children = parents[sel], children[sel]
+        if len(parents):
+            st.send(parents, children, values[parents])
+            received[children] = values[parents]
+    for edges in sched.app_rounds:
+        if len(edges) == 0:
+            continue
+        relays, children = edges[:, 0], edges[:, 1]
+        fam = sched.family[children]
+        if families is not None:
+            sel = families[fam]
+            relays, children, fam = relays[sel], children[sel], fam[sel]
+        if len(relays) == 0:
+            continue
+        # the relay forwards the family parent's value it already received
+        st.send(relays, children, values[fam])
+        received[children] = values[fam]
+    return received
+
+
+def _fold_in_slot_order(st, acc, msg_acc, edges, op, families, fam_of, slots) -> None:
+    """Send and fold one round's edges, slot 0 before slot 1 (sibling order)."""
+    for s in (0, 1):
+        sel = slots == s
+        parents, children = edges[sel, 0], edges[sel, 1]
+        if families is not None:
+            keep = families[fam_of[children]] if fam_of is not None else families[parents]
+            parents, children = parents[keep], children[keep]
+        if len(parents) == 0:
+            continue
+        st.send(children, parents, msg_acc[children])
+        acc[parents] = op(acc[parents], msg_acc[children])
+
+
+def _virtual_reduce(st, values, op, identity, contribute, families) -> np.ndarray:
+    sched = st.virtual_schedule
+    vt = sched.vt
+    msg = values if contribute is None else np.where(contribute, values, identity)
+    # per-vertex running interval accumulator (starts with own message)
+    acc_iv = np.array(msg, copy=True)
+
+    def slot_of(edges, table) -> np.ndarray:
+        # slot 0 = first appended/current child (earlier sibling interval)
+        return np.where(table[edges[:, 0], 0] == edges[:, 1], 0, 1)
+
+    for edges in reversed(sched.app_rounds):
+        if len(edges) == 0:
+            continue
+        slots = slot_of(edges, vt.app)
+        _fold_in_slot_order(st, acc_iv, acc_iv, edges, op, families, sched.family, slots)
+    # final hop: current children deliver their interval accumulators
+    result = np.full_like(np.asarray(values), identity)
+    cur = sched.cur_edges
+    if len(cur):
+        slots = slot_of(cur, vt.cur)
+        for s in (0, 1):
+            sel = slots == s
+            parents, children = cur[sel, 0], cur[sel, 1]
+            if families is not None:
+                keep = families[parents]
+                parents, children = parents[keep], children[keep]
+            if len(parents) == 0:
+                continue
+            st.send(children, parents, acc_iv[children])
+            result[parents] = op(result[parents], acc_iv[children])
+    return result
+
+
+# --------------------------------------------------------------------- #
+# public kernels
+# --------------------------------------------------------------------- #
+
+
+def local_broadcast(st, values, *, mode: str | None = None) -> np.ndarray:
+    """Every child receives its parent's value; the root keeps its own.
+
+    Returns ``received`` with ``received[v] = values[parent(v)]`` for
+    non-root ``v``. O(n) energy on an energy-bound layout; depth O(Δ)
+    (direct) or O(log n) (virtual).
+    """
+    values = _as_values(st, values)
+    mode = _resolve_mode(st, mode)
+    with st.machine.phase("local_broadcast"):
+        if mode == "direct":
+            return _direct_broadcast(st, values, None)
+        return _virtual_broadcast(st, values, None)
+
+
+def local_reduce(st, values, *, op: Op = np.add, identity=0, mode: str | None = None) -> np.ndarray:
+    """Every parent receives the reduction of its children's values.
+
+    Leaves receive ``identity``. Operands combine in sibling (light-first)
+    order, so any associative operator is safe. Same cost profile as
+    :func:`local_broadcast`.
+    """
+    values = _as_values(st, values)
+    mode = _resolve_mode(st, mode)
+    with st.machine.phase("local_reduce"):
+        if mode == "direct":
+            return _direct_reduce(st, values, op, identity, None, None)
+        return _virtual_reduce(st, values, op, identity, None, None)
+
+
+def family_broadcast(st, values, families, *, mode: str | None = None) -> np.ndarray:
+    """Masked local broadcast: only vertices with ``families[v]`` send.
+
+    Children of inactive families keep their old ``values`` entry in the
+    returned array. Relay processors inside an active family forward even
+    if they are themselves logically inactive (they are processors, not
+    participants) — exactly the §V contraction requirement.
+    """
+    values = _as_values(st, values)
+    families = np.asarray(families, dtype=bool)
+    mode = _resolve_mode(st, mode)
+    if mode == "direct":
+        return _direct_broadcast(st, values, families)
+    return _virtual_broadcast(st, values, families)
+
+
+def family_reduce(
+    st,
+    values,
+    families,
+    *,
+    op: Op = np.add,
+    identity=0,
+    contribute=None,
+    mode: str | None = None,
+) -> np.ndarray:
+    """Masked local reduce with an optional per-child contribution mask.
+
+    ``contribute[c] == False`` makes child ``c`` inject ``identity`` while
+    still relaying siblings' partial results (an inactive supervertex in a
+    rake round). Returns the reduction at each active family parent;
+    inactive parents get ``identity``.
+    """
+    values = _as_values(st, values)
+    families = np.asarray(families, dtype=bool)
+    mode = _resolve_mode(st, mode)
+    if mode == "direct":
+        return _direct_reduce(st, values, op, identity, contribute, families)
+    return _virtual_reduce(st, values, op, identity, contribute, families)

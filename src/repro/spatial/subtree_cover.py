@@ -1,0 +1,167 @@
+"""Path decomposition and subtree cover on the machine (paper §VI-A/B).
+
+* The heavy-light decomposition is read directly off light-first order:
+  the heavy child of ``w`` is its rightmost child, i.e. the unique child
+  whose position range ends where ``w``'s does. Each vertex discovers
+  whether it is heavy with one local broadcast (its parent's range), and
+  the layer index is a top-down treefix sum over light-edge indicators —
+  O(n log n) energy, O(log n) depth (§VI-A).
+
+* The subtree cover contains, for every path head ``x``, the subtree rooted
+  at ``x``; in light-first order that subtree is the contiguous position
+  range ``[pos(x), pos(x) + s(x) - 1]`` (§VI-B).
+
+* :func:`range_broadcast` implements Lemma 13: broadcasting within a
+  contiguous range over a *virtual complete binary tree stored in
+  light-first order* (root at the first position, the two half-ranges
+  recursively after it), giving O(length) energy and O(log length) depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.spatial.local_messaging import local_broadcast
+from repro.spatial.treefix import top_down_treefix, treefix_sum
+
+
+@dataclass(frozen=True)
+class SpatialRanges:
+    """Per-vertex contiguous subtree ranges in position space (§VI-C)."""
+
+    lo: np.ndarray  # position of the vertex itself
+    hi: np.ndarray  # last position of its subtree
+
+    def contains(self, v_lo: np.ndarray, pos: np.ndarray) -> np.ndarray:
+        return (pos >= self.lo[v_lo]) & (pos <= self.hi[v_lo])
+
+
+def compute_ranges(st, *, seed=None) -> SpatialRanges:
+    """§VI-C step 1: subtree sizes by treefix sum → position ranges.
+
+    Requires a preorder-contiguous layout (light-first); validated against
+    the layout's own ranges, which the algorithm must reproduce.
+    """
+    from repro.layout.orders import is_light_first
+
+    if not is_light_first(st.tree, st.layout.order):
+        raise ValidationError(
+            "the LCA algorithm requires the tree to be stored in light-first "
+            "order (its ranges and heavy-child tests read positions directly); "
+            "use order='light_first' or run create_light_first_layout first"
+        )
+    sizes = treefix_sum(st, np.ones(st.n, dtype=np.int64), seed=seed)
+    lo = st.layout.position.copy()
+    hi = lo + sizes - 1
+    return SpatialRanges(lo=lo, hi=hi)
+
+
+@dataclass(frozen=True)
+class SpatialCover:
+    """The paper's subtree cover: one subtree per heavy-path head."""
+
+    ranges: SpatialRanges
+    layer: np.ndarray        # layer of each vertex's path
+    is_head: np.ndarray      # True for path heads (roots of cover subtrees)
+    heavy_child_of: np.ndarray  # parent's heavy child marker per vertex
+
+    @property
+    def num_layers(self) -> int:
+        return int(self.layer.max()) + 1
+
+
+def build_cover(st, ranges: SpatialRanges, *, seed=None) -> SpatialCover:
+    """§VI-C steps 2–3: broadcast ranges, mark heavy children, layer treefix."""
+    n = st.n
+    # step 2: every vertex sends its range to its children (one packed word)
+    packed = ranges.lo * np.int64(n) + ranges.hi
+    received = local_broadcast(st, packed)
+    par_hi = received % n
+    # a child is heavy iff its range ends where the parent's does
+    is_root = st.tree.parents < 0
+    heavy = (~is_root) & (ranges.hi == par_hi)
+    # step 3: layer = number of light edges on the root path
+    light = (~is_root) & (~heavy)
+    layer = top_down_treefix(st, light.astype(np.int64), seed=seed)
+    is_head = is_root | light
+    return SpatialCover(
+        ranges=ranges, layer=layer, is_head=is_head, heavy_child_of=heavy
+    )
+
+
+def _range_tree_levels(length: int) -> list[np.ndarray]:
+    """Edges of a balanced binary broadcast tree over ``range(length)``.
+
+    The tree is stored in preorder (light-first): a node is the first index
+    of its interval and its children are the first indices of the two
+    halves of the remainder, so every edge's index gap is at most the
+    child's interval size and the per-level energies form the geometric
+    series of Lemma 13. Returns one ``(k, 2)`` relative-edge array per
+    level, root level first.
+    """
+    levels: list[list[tuple[int, int]]] = []
+    # iterative BFS over (start, size, level) intervals
+    frontier = [(0, length)]
+    depth = 0
+    while frontier:
+        nxt: list[tuple[int, int]] = []
+        edges_here: list[tuple[int, int]] = []
+        for start, size in frontier:
+            rest = size - 1
+            if rest <= 0:
+                continue
+            left = (rest + 1) // 2
+            right = rest - left
+            edges_here.append((start, start + 1))
+            nxt.append((start + 1, left))
+            if right > 0:
+                edges_here.append((start, start + 1 + left))
+                nxt.append((start + 1 + left, right))
+        if edges_here:
+            levels.append(edges_here)
+        frontier = nxt
+        depth += 1
+    return [np.array(e, dtype=np.int64).reshape(-1, 2) for e in levels]
+
+
+def range_broadcast(st, starts: np.ndarray, lengths: np.ndarray) -> None:
+    """Broadcast within each of several disjoint position ranges (Lemma 13).
+
+    ``starts[i]``/``lengths[i]`` give range ``[starts[i], starts[i] +
+    lengths[i])``; the payload is whatever the caller tracks — the machine
+    charges one word per tree edge. Ranges are processed concurrently; the
+    message rounds are the union of each range's broadcast-tree levels.
+    """
+    if len(starts) == 0:
+        return
+    machine = st.machine
+    max_len = int(lengths.max())
+    if max_len <= 1:
+        return
+    # group ranges by identical length to reuse the relative edge lists
+    by_len: dict[int, np.ndarray] = {}
+    for L in np.unique(lengths):
+        L = int(L)
+        if L > 1:
+            by_len[L] = np.asarray(starts)[lengths == L]
+    # precompute levels per distinct length
+    levels_for = {L: _range_tree_levels(L) for L in by_len}
+    num_rounds = max(len(v) for v in levels_for.values())
+    for r in range(num_rounds):
+        src_all = []
+        dst_all = []
+        for L, base in by_len.items():
+            levels = levels_for[L]
+            if r >= len(levels):
+                continue
+            edges = levels[r]
+            # offset the relative edges by every range start of this length
+            src = (base[:, None] + edges[None, :, 0]).ravel()
+            dst = (base[:, None] + edges[None, :, 1]).ravel()
+            src_all.append(src)
+            dst_all.append(dst)
+        if src_all:
+            machine.send(np.concatenate(src_all), np.concatenate(dst_all))

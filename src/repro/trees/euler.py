@@ -1,0 +1,77 @@
+"""Sequential Euler tours (paper §IV, step 1).
+
+An Euler tour of a rooted tree visits each vertex every time the
+depth-first walk enters it, giving a sequence of ``2n - 1`` vertex visits
+(every edge is traversed once down and once up). The paper uses tours for
+two things, both reproduced here as sequential references:
+
+* subtree sizes: ``s(v) = (last(v) - first(v)) / 2 + 1`` where ``first`` and
+  ``last`` index the tour;
+* the light-first linear order: the first occurrences of the vertices in a
+  tour that visits children in increasing subtree-size order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.trees.tree import Tree
+from repro.trees.traversal import _ordered_children
+
+
+def euler_tour(tree: Tree, *, child_key: np.ndarray | None = None) -> np.ndarray:
+    """The vertex-visit Euler tour, length ``2n - 1``.
+
+    ``child_key`` orders children the same way as in
+    :func:`repro.trees.traversal.dfs_preorder`.
+    """
+    children = _ordered_children(tree, child_key)
+    tour = np.empty(2 * tree.n - 1, dtype=np.int64)
+    i = 0
+    # frames: (vertex, next-child index); re-visit the vertex after each child
+    stack: list[list[int]] = [[tree.root, 0]]
+    tour[i] = tree.root
+    i += 1
+    while stack:
+        frame = stack[-1]
+        v, k = frame
+        kids = children[v]
+        if k < len(kids):
+            frame[1] += 1
+            c = int(kids[k])
+            tour[i] = c
+            i += 1
+            stack.append([c, 0])
+        else:
+            stack.pop()
+            if stack:
+                tour[i] = stack[-1][0]
+                i += 1
+    return tour
+
+
+def first_last_occurrence(tour: np.ndarray, n: int) -> tuple[np.ndarray, np.ndarray]:
+    """First and last index of each vertex in the tour."""
+    first = np.full(n, -1, dtype=np.int64)
+    last = np.full(n, -1, dtype=np.int64)
+    idx = np.arange(len(tour), dtype=np.int64)
+    # reversed scatter keeps the first occurrence; forward scatter the last
+    first[tour[::-1]] = idx[::-1]
+    last[tour] = idx
+    return first, last
+
+
+def subtree_sizes_from_tour(tour: np.ndarray, n: int) -> np.ndarray:
+    """Paper §IV step 1b: ``s(v) = (last(v) - first(v)) / 2 + 1``."""
+    first, last = first_last_occurrence(tour, n)
+    return (last - first) // 2 + 1
+
+
+def edge_tour(tree: Tree, *, child_key: np.ndarray | None = None) -> np.ndarray:
+    """Directed-edge Euler tour: ``(2(n-1), 2)`` array of (from, to) hops.
+
+    This is the doubled-edge linked list that the spatial list-ranking
+    algorithm ranks (§IV); consecutive rows share endpoints.
+    """
+    tour = euler_tour(tree, child_key=child_key)
+    return np.stack([tour[:-1], tour[1:]], axis=1)

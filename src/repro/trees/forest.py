@@ -1,0 +1,83 @@
+"""Forests on one grid (decision forests, §I's random-forest motivation).
+
+The clean way to run the paper's single-tree algorithms over a forest is to
+join the trees under one *virtual super-root*: the result is a single tree,
+light-first order interleaves nothing (each tree's subtree is one
+contiguous block), and every kernel applies unchanged. The super-root
+carries the identity value, so per-tree results are exactly the single-tree
+results.
+
+:func:`combine_forest` builds the super-tree plus the id maps;
+:func:`split_forest_values` slices a per-super-vertex array back into
+per-tree arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.trees.tree import Tree
+
+
+@dataclass(frozen=True)
+class ForestIndex:
+    """Id bookkeeping for a combined forest.
+
+    ``offset[t]`` is the super-tree id of tree ``t``'s vertex 0 (vertex
+    ``v`` of tree ``t`` becomes ``offset[t] + v``); super-root id is 0.
+    """
+
+    tree: Tree
+    offsets: np.ndarray
+    sizes: np.ndarray
+
+    @property
+    def num_trees(self) -> int:
+        return len(self.offsets)
+
+    def to_super(self, t: int, v) -> np.ndarray:
+        """Map tree-``t`` vertex ids to super-tree ids."""
+        return np.atleast_1d(np.asarray(v, dtype=np.int64)) + self.offsets[t]
+
+    def to_local(self, super_ids) -> tuple[np.ndarray, np.ndarray]:
+        """Map super-tree ids back to (tree index, local id) pairs.
+
+        The super-root (id 0) maps to tree −1, local −1.
+        """
+        super_ids = np.atleast_1d(np.asarray(super_ids, dtype=np.int64))
+        t = np.searchsorted(self.offsets, super_ids, side="right") - 1
+        t = np.where(super_ids == 0, -1, t)
+        local = np.where(t >= 0, super_ids - self.offsets[np.clip(t, 0, None)], -1)
+        return t, local
+
+
+def combine_forest(trees: list[Tree]) -> ForestIndex:
+    """Join ``trees`` under a fresh super-root (id 0)."""
+    if not trees:
+        raise ValidationError("combine_forest needs at least one tree")
+    sizes = np.array([t.n for t in trees], dtype=np.int64)
+    offsets = np.concatenate([[1], 1 + np.cumsum(sizes)[:-1]])
+    n = 1 + int(sizes.sum())
+    parents = np.empty(n, dtype=np.int64)
+    parents[0] = -1
+    for off, t in zip(offsets, trees):
+        nonroot = t.parents >= 0
+        # shift internal edges by the block offset; roots attach to the
+        # super-root (id 0)
+        parents[off : off + t.n] = np.where(nonroot, t.parents + off, 0)
+    return ForestIndex(tree=Tree(parents, validate=False), offsets=offsets, sizes=sizes)
+
+
+def split_forest_values(index: ForestIndex, values: np.ndarray) -> list[np.ndarray]:
+    """Slice a per-super-vertex result array into per-tree arrays
+    (dropping the super-root's entry)."""
+    values = np.asarray(values)
+    if values.shape[0] != index.tree.n:
+        raise ValidationError("values must have one entry per super-tree vertex")
+    out = []
+    for off, size in zip(index.offsets, index.sizes):
+        out.append(values[off : off + size])
+    return out

@@ -1,0 +1,96 @@
+"""Heavy-light path decomposition (paper §VI-A, Fig. 8).
+
+The paper constructs the decomposition "directly from light-first order:
+always connect a vertex with its heaviest child", i.e. the rightmost child
+in light-first order. Every light edge at least halves the subtree size, so
+a root-to-leaf path crosses at most ``log2 n`` light edges and the
+decomposition has ``O(log n)`` *layers*.
+
+We break subtree-size ties by vertex id, matching the stable sort used to
+define light-first order, so "heaviest child" here is exactly the rightmost
+child there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trees.tree import Tree
+
+
+def heavy_children(tree: Tree) -> np.ndarray:
+    """``heavy[v]`` = child of ``v`` with the largest subtree (ties by id), or -1."""
+    sizes = tree.subtree_sizes()
+    offsets, targets = tree.children_csr()
+    heavy = np.full(tree.n, -1, dtype=np.int64)
+    for v in range(tree.n):
+        kids = targets[offsets[v] : offsets[v + 1]]
+        if len(kids):
+            # max by (size, id); argsort is stable so the last entry wins ties by id
+            order = np.argsort(sizes[kids], kind="stable")
+            heavy[v] = kids[order[-1]]
+    return heavy
+
+
+@dataclass(frozen=True)
+class PathDecomposition:
+    """A heavy-light decomposition.
+
+    Attributes
+    ----------
+    head:
+        ``head[v]`` is the topmost vertex of the path containing ``v``.
+    layer:
+        ``layer[v]`` is the number of other paths the root-to-``v`` path
+        intersects (paper's layer index; the root's path is layer 0).
+    heavy:
+        ``heavy[v]`` is the heavy child of ``v`` (or -1 for leaves).
+    """
+
+    head: np.ndarray
+    layer: np.ndarray
+    heavy: np.ndarray
+
+    @property
+    def num_layers(self) -> int:
+        """Number of distinct layers (paper: ``O(log n)``)."""
+        return int(self.layer.max()) + 1
+
+    def paths(self) -> list[np.ndarray]:
+        """All decomposition paths, each as a top-down array of vertices."""
+        n = len(self.head)
+        members: dict[int, list[int]] = {}
+        for v in range(n):
+            members.setdefault(int(self.head[v]), []).append(v)
+        out = []
+        for h in sorted(members):
+            path = members[h]
+            # order top-down: follow heavy links from the head
+            chain = [h]
+            while self.heavy[chain[-1]] >= 0 and int(self.head[self.heavy[chain[-1]]]) == h:
+                chain.append(int(self.heavy[chain[-1]]))
+            assert sorted(chain) == sorted(path), "path membership mismatch"
+            out.append(np.array(chain, dtype=np.int64))
+        return out
+
+
+def heavy_light_decomposition(tree: Tree) -> PathDecomposition:
+    """Compute the heavy-light decomposition in BFS order (sequential reference)."""
+    heavy = heavy_children(tree)
+    head = np.empty(tree.n, dtype=np.int64)
+    layer = np.zeros(tree.n, dtype=np.int64)
+    parents = tree.parents
+    for v in tree.bfs_order():
+        p = parents[v]
+        if p < 0:
+            head[v] = v
+            layer[v] = 0
+        elif heavy[p] == v:
+            head[v] = head[p]
+            layer[v] = layer[p]
+        else:
+            head[v] = v
+            layer[v] = layer[p] + 1
+    return PathDecomposition(head=head, layer=layer, heavy=heavy)

@@ -1,0 +1,111 @@
+"""Newick import/export for phylogenetic workloads (paper §I motivation).
+
+Supports the plain Newick subset used by phylogenetics tools: nested
+parentheses, optional labels, optional ``:branch_length`` annotations
+(parsed and returned, not stored in the topology). Enough to round-trip the
+synthetic phylogenies of :func:`repro.trees.generators.birth_death_phylogeny`
+and to ingest externally produced trees in the phylogenetics example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.trees.tree import Tree
+
+
+def parse_newick(text: str) -> tuple[Tree, list[str]]:
+    """Parse a Newick string into a :class:`Tree` plus per-vertex labels.
+
+    Vertices are numbered in the order their subtrees *close* is not
+    guaranteed; instead they are numbered in preorder of the parse, with the
+    root as vertex 0. Unlabelled vertices get empty-string labels.
+    """
+    s = text.strip()
+    if s.endswith(";"):
+        s = s[:-1]
+    if not s:
+        raise ValidationError("empty Newick string")
+
+    parents: list[int] = []
+    labels: list[str] = []
+
+    def new_vertex(parent: int) -> int:
+        parents.append(parent)
+        labels.append("")
+        return len(parents) - 1
+
+    i = 0
+    n_chars = len(s)
+
+    def read_label(v: int) -> None:
+        nonlocal i
+        start = i
+        # a label token may include a ':branch_length' suffix
+        while i < n_chars and s[i] not in ",();":
+            i += 1
+        token = s[start:i]
+        labels[v] = token.partition(":")[0]
+
+    # Iterative parse (paths thousands deep must not hit the recursion limit).
+    # ``open_stack`` holds the vertices whose '(' has not been closed yet.
+    current = new_vertex(-1)
+    open_stack: list[int] = []
+    done = False
+    while not done:
+        # --- parse the start of `current`'s clade ---
+        if i < n_chars and s[i] == "(":
+            open_stack.append(current)
+            i += 1
+            current = new_vertex(current)
+            continue
+        read_label(current)
+        # --- current clade finished; consume separators and closers ---
+        while True:
+            if i >= n_chars:
+                if open_stack:
+                    raise ValidationError("unbalanced parentheses in Newick string")
+                done = True
+                break
+            ch = s[i]
+            if ch == ",":
+                if not open_stack:
+                    raise ValidationError("',' outside parentheses in Newick string")
+                i += 1
+                current = new_vertex(open_stack[-1])
+                break  # parse the sibling clade from the top
+            if ch == ")":
+                if not open_stack:
+                    raise ValidationError("unbalanced parentheses in Newick string")
+                i += 1
+                current = open_stack.pop()
+                read_label(current)
+                continue
+            raise ValidationError(f"unexpected character {ch!r} at offset {i}")
+    return Tree(np.array(parents, dtype=np.int64)), labels
+
+
+def to_newick(tree: Tree, labels: list[str] | None = None) -> str:
+    """Serialize ``tree`` to a Newick string (children in id order)."""
+    if labels is not None and len(labels) != tree.n:
+        raise ValidationError("labels must have one entry per vertex")
+
+    offsets, targets = tree.children_csr()
+
+    def label(v: int) -> str:
+        return labels[v] if labels is not None else str(v)
+
+    # post-order assembly: every child's fragment exists before its parent's
+    from repro.trees.traversal import dfs_postorder
+
+    fragment: dict[int, str] = {}
+    for v in dfs_postorder(tree):
+        v = int(v)
+        kids = targets[offsets[v] : offsets[v + 1]]
+        if len(kids) == 0:
+            fragment[v] = label(v)
+        else:
+            inner = ",".join(fragment.pop(int(c)) for c in kids)
+            fragment[v] = f"({inner}){label(v)}"
+    return fragment[tree.root] + ";"

@@ -1,0 +1,153 @@
+"""The unbounded-degree TRANSFORM (paper §III-D, Fig. 3).
+
+``transform_tree`` turns an arbitrary-degree tree ``T`` into a *virtual
+tree* ``T̂`` of degree at most 4: every vertex ``v`` keeps at most two
+*current children* ``C(v)`` (a subset of its own children in ``T``) and
+gains at most two *appended children* ``A(v)`` (always siblings of ``v`` in
+``T``). Messages of the local-messaging kernels are relayed along the
+virtual edges: a vertex forwards its parent-in-``T``'s value to its appended
+children, so a local broadcast/reduce on ``T`` becomes constant-degree
+message passing on ``T̂``.
+
+The construction is the recursive halving of the paper's ``TRANSFORM``:
+with children ``c_1 .. c_d`` ordered smallest-subtree-first,
+
+* ``C(v) = {c_1, c_{⌊d/2⌋+1}}``,
+* the run ``c_2 .. c_{⌊d/2⌋}`` is *appended* under ``c_1`` and the run
+  ``c_{⌊d/2⌋+2} .. c_d`` under ``c_{⌊d/2⌋+1}``,
+
+and each appended run is split the same way among its members (step 2).
+Lemma 8: if ``T`` is in light-first order then so is ``T̂`` — the virtual
+children of every vertex remain sorted by subtree size, verified in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trees.tree import Tree
+from repro.trees.traversal import _ordered_children
+
+
+@dataclass(frozen=True)
+class VirtualTree:
+    """The degree-≤4 virtual tree ``T̂`` produced by :func:`transform_tree`.
+
+    All arrays have one row per vertex of the original tree; absent slots
+    are -1.
+
+    Attributes
+    ----------
+    tree:
+        The original tree ``T``.
+    cur:
+        ``(n, 2)`` current children ``C(v)`` — a sub-selection of ``v``'s
+        children in ``T``.
+    app:
+        ``(n, 2)`` appended children ``A(v)`` — siblings of ``v`` in ``T``.
+    vparent:
+        Parent in the virtual tree (the vertex whose ``C`` or ``A`` lists us).
+    is_appended:
+        True when the vertex is an *appended* child of its virtual parent
+        (i.e. appears in ``A(vparent)`` rather than ``C(vparent)``).
+    """
+
+    tree: Tree
+    cur: np.ndarray
+    app: np.ndarray
+    vparent: np.ndarray
+    is_appended: np.ndarray
+
+    @property
+    def n(self) -> int:
+        return self.tree.n
+
+    def virtual_children(self, v: int) -> np.ndarray:
+        """``C(v) ∪ A(v)`` without the -1 padding."""
+        merged = np.concatenate([self.cur[v], self.app[v]])
+        return merged[merged >= 0]
+
+    def virtual_degree(self) -> np.ndarray:
+        """Number of virtual children per vertex (paper: at most 4)."""
+        return (self.cur >= 0).sum(axis=1) + (self.app >= 0).sum(axis=1)
+
+    def as_tree(self) -> Tree:
+        """The virtual tree as a plain :class:`Tree` (same vertex ids)."""
+        return Tree(self.vparent, validate=False)
+
+    def original_parent_of_appended(self) -> np.ndarray:
+        """For each vertex, its parent in ``T`` (the vertex whose local
+        broadcast value it must receive) — used by the messaging kernels."""
+        return self.tree.parents
+
+
+def transform_tree(tree: Tree, *, child_key: np.ndarray | None = None) -> VirtualTree:
+    """Apply the paper's ``TRANSFORM`` to ``tree``.
+
+    ``child_key`` gives the ordering of children used for the runs; the
+    default (None) orders by subtree size with ties by id — the light-first
+    order, which is what Lemma 8 requires. Passing a different key is
+    allowed for experimentation (the degree bound holds regardless; only the
+    light-first preservation depends on the key).
+    """
+    if child_key is None:
+        child_key = tree.subtree_sizes()
+    children = _ordered_children(tree, child_key)
+
+    n = tree.n
+    cur = np.full((n, 2), -1, dtype=np.int64)
+    app = np.full((n, 2), -1, dtype=np.int64)
+    vparent = np.full(n, -1, dtype=np.int64)
+    is_appended = np.zeros(n, dtype=bool)
+
+    def attach(parent: int, slot: np.ndarray, child: int, appended: bool) -> None:
+        if slot[0] < 0:
+            slot[0] = child
+        else:
+            slot[1] = child
+        vparent[child] = parent
+        is_appended[child] = appended
+
+    # Worklist of (vertex, appended-run) pairs: the run is a slice
+    # (owner, lo, hi) of children[owner] that this vertex must distribute
+    # among its appended children. Every vertex enters the worklist exactly
+    # once.
+    work: list[tuple[int, int, int, int]] = [(tree.root, tree.root, 0, 0)]
+    while work:
+        v, owner, lo, hi = work.pop()
+        # --- step 1: split the current children of v ---
+        kids = children[v]
+        d = len(kids)
+        if d:
+            if d <= 2:
+                for c in kids:
+                    attach(v, cur[v], int(c), appended=False)
+                    work.append((int(c), v, 0, 0))
+            else:
+                half = d // 2
+                c1 = int(kids[0])
+                cm = int(kids[half])
+                attach(v, cur[v], c1, appended=False)
+                attach(v, cur[v], cm, appended=False)
+                # run c_2..c_{half} goes under c1; run c_{half+2}..c_d under cm
+                work.append((c1, v, 1, half))
+                work.append((cm, v, half + 1, d))
+        # --- step 2: split the appended run assigned to v ---
+        run = children[owner][lo:hi]
+        dd = len(run)
+        if dd:
+            if dd <= 2:
+                for a in run:
+                    attach(v, app[v], int(a), appended=True)
+                    work.append((int(a), owner, 0, 0))
+            else:
+                half = dd // 2
+                a1 = int(run[0])
+                am = int(run[half])
+                attach(v, app[v], a1, appended=True)
+                attach(v, app[v], am, appended=True)
+                work.append((a1, owner, lo + 1, lo + half))
+                work.append((am, owner, lo + half + 1, hi))
+    return VirtualTree(tree=tree, cur=cur, app=app, vparent=vparent, is_appended=is_appended)

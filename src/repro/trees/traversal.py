@@ -1,0 +1,78 @@
+"""Sequential tree traversals and orders.
+
+These are the *reference* orders: the spatial layout code in
+:mod:`repro.layout` defines the paper's light-first order on top of them,
+and tests cross-check the spatial (on-machine) algorithms against these
+sequential implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.trees.tree import Tree
+
+
+def _ordered_children(tree: Tree, key: np.ndarray | None) -> list[np.ndarray]:
+    """Children of each vertex, optionally sorted by ``key`` (ascending, ties by id)."""
+    offsets, targets = tree.children_csr()
+    out = []
+    for v in range(tree.n):
+        kids = targets[offsets[v] : offsets[v + 1]]
+        if key is not None and len(kids) > 1:
+            kids = kids[np.argsort(key[kids], kind="stable")]
+        out.append(kids)
+    return out
+
+
+def dfs_preorder(tree: Tree, *, child_key: np.ndarray | None = None) -> np.ndarray:
+    """Depth-first preorder visit sequence (a permutation of ``0..n-1``).
+
+    ``child_key`` optionally reorders each vertex's children ascending by
+    the key (stable in vertex id); ``child_key = subtree_sizes`` yields
+    exactly the paper's light-first visit order.
+    """
+    children = _ordered_children(tree, child_key)
+    order = np.empty(tree.n, dtype=np.int64)
+    stack = [tree.root]
+    i = 0
+    while stack:
+        v = stack.pop()
+        order[i] = v
+        i += 1
+        # push reversed so the first child is popped first
+        stack.extend(children[v][::-1])
+    return order
+
+
+def dfs_postorder(tree: Tree, *, child_key: np.ndarray | None = None) -> np.ndarray:
+    """Depth-first postorder visit sequence (children before parents)."""
+    children = _ordered_children(tree, child_key)
+    order = np.empty(tree.n, dtype=np.int64)
+    i = 0
+    # iterative two-phase DFS: (vertex, expanded?) frames
+    stack: list[tuple[int, bool]] = [(tree.root, False)]
+    while stack:
+        v, expanded = stack.pop()
+        if expanded:
+            order[i] = v
+            i += 1
+        else:
+            stack.append((v, True))
+            for c in children[v][::-1]:
+                stack.append((int(c), False))
+    return order
+
+
+def bfs_order(tree: Tree) -> np.ndarray:
+    """Breadth-first (level) order — the paper's BFS-layout baseline."""
+    return tree.bfs_order()
+
+
+def position_of(order: np.ndarray) -> np.ndarray:
+    """Invert a visit sequence: ``position_of(order)[v]`` is the rank of ``v``."""
+    pos = np.empty(len(order), dtype=np.int64)
+    pos[order] = np.arange(len(order), dtype=np.int64)
+    return pos

@@ -1,0 +1,298 @@
+"""Rooted tree data structure (paper §II-C, Table I).
+
+A tree on ``n`` vertices is stored as a *parents array*: ``parents[v]`` is
+the parent of vertex ``v`` and ``parents[root] == -1``. All derived
+structure (children lists in CSR form, depths, subtree sizes) is computed
+vectorized and cached on first use, so a :class:`Tree` is cheap to pass
+around and safe to share: it is immutable after construction.
+
+Table I correspondence:
+
+* ``n``           → :attr:`Tree.n`
+* ``deg(v)``      → :meth:`Tree.degree`
+* ``Δ``           → :attr:`Tree.max_degree`
+* ``s(v)``        → :meth:`Tree.subtree_sizes` (includes ``v`` itself)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import TreeStructureError, ValidationError
+from repro.utils import as_index_array
+
+
+class Tree:
+    """An immutable rooted tree defined by a parents array.
+
+    Parameters
+    ----------
+    parents:
+        Integer array of length ``n``; ``parents[v]`` is the parent of
+        vertex ``v``, and exactly one entry (the root) is ``-1``.
+    validate:
+        When True (default) the constructor verifies the array describes a
+        single tree reaching all vertices. Internal callers that construct
+        trees from already-verified data may pass False.
+    """
+
+    __slots__ = (
+        "_parents",
+        "_root",
+        "_child_offsets",
+        "_child_targets",
+        "_depths",
+        "_subtree_sizes",
+        "_bfs_order",
+    )
+
+    def __init__(self, parents: Sequence[int] | np.ndarray, *, validate: bool = True):
+        parents = as_index_array(parents, name="parents")
+        if parents.size == 0:
+            raise TreeStructureError("a tree must have at least one vertex")
+        roots = np.flatnonzero(parents == -1)
+        if len(roots) != 1:
+            raise TreeStructureError(
+                f"parents array must contain exactly one -1 root entry, found {len(roots)}"
+            )
+        n = len(parents)
+        if parents.max() >= n or parents.min() < -1:
+            raise TreeStructureError("parent indices must lie in [-1, n)")
+        self._parents = parents
+        self._parents.setflags(write=False)
+        self._root = int(roots[0])
+        self._child_offsets: np.ndarray | None = None
+        self._child_targets: np.ndarray | None = None
+        self._depths: np.ndarray | None = None
+        self._subtree_sizes: np.ndarray | None = None
+        self._bfs_order: np.ndarray | None = None
+        if validate:
+            self._check_connected()
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_edges(cls, n: int, edges: Iterable[tuple[int, int]], root: int = 0) -> "Tree":
+        """Build a tree from undirected edges by orienting away from ``root``.
+
+        Runs a BFS from ``root`` over the edge adjacency; raises
+        :class:`TreeStructureError` if the edges do not form a spanning tree.
+        """
+        edge_arr = np.array(list(edges), dtype=np.int64).reshape(-1, 2)
+        if len(edge_arr) != n - 1:
+            raise TreeStructureError(
+                f"a tree on {n} vertices needs exactly {n - 1} edges, got {len(edge_arr)}"
+            )
+        if n == 1:
+            return cls(np.array([-1], dtype=np.int64), validate=False)
+        # adjacency in CSR form
+        endpoints = np.concatenate([edge_arr[:, 0], edge_arr[:, 1]])
+        partners = np.concatenate([edge_arr[:, 1], edge_arr[:, 0]])
+        if endpoints.min() < 0 or endpoints.max() >= n:
+            raise TreeStructureError("edge endpoints out of range")
+        order = np.argsort(endpoints, kind="stable")
+        endpoints = endpoints[order]
+        partners = partners[order]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(offsets, endpoints + 1, 1)
+        offsets = np.cumsum(offsets)
+        parents = np.full(n, -2, dtype=np.int64)
+        parents[root] = -1
+        frontier = [root]
+        seen = 1
+        while frontier:
+            nxt: list[int] = []
+            for u in frontier:
+                for w in partners[offsets[u] : offsets[u + 1]]:
+                    w = int(w)
+                    if parents[w] == -2:
+                        parents[w] = u
+                        nxt.append(w)
+                        seen += 1
+            frontier = nxt
+        if seen != n:
+            raise TreeStructureError("edges do not connect all vertices to the root")
+        return cls(parents, validate=False)
+
+    # ------------------------------------------------------------------ #
+    # basic properties
+    # ------------------------------------------------------------------ #
+
+    @property
+    def parents(self) -> np.ndarray:
+        """Read-only parents array; ``parents[root] == -1``."""
+        return self._parents
+
+    @property
+    def root(self) -> int:
+        return self._root
+
+    @property
+    def n(self) -> int:
+        """Number of vertices (Table I: ``n``)."""
+        return len(self._parents)
+
+    def __len__(self) -> int:
+        return self.n
+
+    # ------------------------------------------------------------------ #
+    # derived structure (lazy, cached)
+    # ------------------------------------------------------------------ #
+
+    def _build_children(self) -> None:
+        n = self.n
+        mask = self._parents >= 0
+        kids = np.flatnonzero(mask)
+        pars = self._parents[kids]
+        order = np.argsort(pars, kind="stable")
+        targets = kids[order]
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        np.add.at(offsets, pars + 1, 1)
+        offsets = np.cumsum(offsets)
+        offsets.setflags(write=False)
+        targets.setflags(write=False)
+        self._child_offsets = offsets
+        self._child_targets = targets
+
+    def children_csr(self) -> tuple[np.ndarray, np.ndarray]:
+        """Children lists in CSR form: ``(offsets, targets)``.
+
+        The children of ``v`` are ``targets[offsets[v]:offsets[v+1]]``,
+        ordered by vertex id.
+        """
+        if self._child_offsets is None:
+            self._build_children()
+        return self._child_offsets, self._child_targets  # type: ignore[return-value]
+
+    def children(self, v: int) -> np.ndarray:
+        """The children of vertex ``v`` (ordered by vertex id)."""
+        offsets, targets = self.children_csr()
+        return targets[offsets[v] : offsets[v + 1]]
+
+    def num_children(self) -> np.ndarray:
+        """Array of child counts per vertex."""
+        offsets, _ = self.children_csr()
+        return np.diff(offsets)
+
+    def degree(self, v: int) -> int:
+        """Table I ``deg(v)``: number of children plus one for the parent."""
+        d = int(self.num_children()[v])
+        return d if v == self._root else d + 1
+
+    @property
+    def max_degree(self) -> int:
+        """Table I ``Δ``: maximum ``deg(v)`` over the tree."""
+        counts = self.num_children().copy()
+        counts[np.arange(self.n) != self._root] += 1
+        return int(counts.max())
+
+    def is_leaf(self) -> np.ndarray:
+        """Boolean mask of leaves."""
+        return self.num_children() == 0
+
+    def leaves(self) -> np.ndarray:
+        """Vertex ids of all leaves."""
+        return np.flatnonzero(self.is_leaf())
+
+    def bfs_order(self) -> np.ndarray:
+        """Vertices in breadth-first order from the root (level by level)."""
+        if self._bfs_order is None:
+            offsets, targets = self.children_csr()
+            order = np.empty(self.n, dtype=np.int64)
+            order[0] = self._root
+            head, tail = 0, 1
+            while head < tail:
+                v = order[head]
+                head += 1
+                kids = targets[offsets[v] : offsets[v + 1]]
+                order[tail : tail + len(kids)] = kids
+                tail += len(kids)
+            if tail != self.n:
+                raise TreeStructureError(
+                    "parents array contains a cycle or vertices unreachable from the root"
+                )
+            order.setflags(write=False)
+            self._bfs_order = order
+        return self._bfs_order
+
+    def depths(self) -> np.ndarray:
+        """Depth of every vertex (root has depth 0)."""
+        if self._depths is None:
+            depths = np.zeros(self.n, dtype=np.int64)
+            for v in self.bfs_order()[1:]:
+                depths[v] = depths[self._parents[v]] + 1
+            depths.setflags(write=False)
+            self._depths = depths
+        return self._depths
+
+    def height(self) -> int:
+        """Length of the longest root-to-leaf path (edges)."""
+        return int(self.depths().max())
+
+    def subtree_sizes(self) -> np.ndarray:
+        """Table I ``s(v)``: number of descendants of ``v`` including ``v``.
+
+        Computed by accumulating counts from leaves to root in reverse BFS
+        order (each vertex appears after its parent in BFS order, so the
+        reverse order processes all children before their parent).
+        """
+        if self._subtree_sizes is None:
+            sizes = np.ones(self.n, dtype=np.int64)
+            order = self.bfs_order()
+            for v in order[::-1]:
+                p = self._parents[v]
+                if p >= 0:
+                    sizes[p] += sizes[v]
+            sizes.setflags(write=False)
+            self._subtree_sizes = sizes
+        return self._subtree_sizes
+
+    # ------------------------------------------------------------------ #
+    # structural checks & transforms
+    # ------------------------------------------------------------------ #
+
+    def _check_connected(self) -> None:
+        # BFS must reach all vertices; anything unreached implies a cycle or
+        # forest component detached from the root.
+        try:
+            order = self.bfs_order()
+        except IndexError as exc:  # pragma: no cover - defensive
+            raise TreeStructureError("parents array is malformed") from exc
+        if len(np.unique(order)) != self.n:
+            raise TreeStructureError("parents array contains a cycle or unreachable vertices")
+
+    def relabel(self, new_ids: np.ndarray) -> "Tree":
+        """Return a tree where old vertex ``v`` becomes ``new_ids[v]``.
+
+        ``new_ids`` must be a permutation of ``0..n-1``. The result has
+        ``result.parents[new_ids[v]] == new_ids[parents[v]]``.
+        """
+        new_ids = as_index_array(new_ids, name="new_ids")
+        if len(new_ids) != self.n:
+            raise ValidationError("new_ids must have one entry per vertex")
+        if not np.array_equal(np.sort(new_ids), np.arange(self.n)):
+            raise ValidationError("new_ids must be a permutation of 0..n-1")
+        new_parents = np.empty(self.n, dtype=np.int64)
+        old_parent = self._parents
+        mapped = np.where(old_parent >= 0, new_ids[np.clip(old_parent, 0, None)], -1)
+        new_parents[new_ids] = mapped
+        return Tree(new_parents, validate=False)
+
+    def edges(self) -> np.ndarray:
+        """``(n-1, 2)`` array of (parent, child) pairs, ordered by child id."""
+        kids = np.flatnonzero(self._parents >= 0)
+        return np.stack([self._parents[kids], kids], axis=1)
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """True iff ``u`` is an ancestor of ``v`` (every vertex is its own ancestor)."""
+        depths = self.depths()
+        while depths[v] > depths[u]:
+            v = int(self._parents[v])
+        return u == v
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Tree(n={self.n}, root={self._root}, max_degree={self.max_degree})"

@@ -1,0 +1,88 @@
+"""Sequential treefix sums (paper §V) — the correctness references.
+
+A *bottom-up treefix sum* gives every vertex the reduction of the values in
+its subtree (including its own value). A *top-down treefix sum* (§V-D)
+gives every vertex the reduction of the values on its root-to-vertex path
+(including its own value). Any associative operator may be used.
+
+The spatial contraction-based algorithms in :mod:`repro.spatial.treefix`
+are validated against these direct traversals, including with
+non-commutative operators (operands are always combined in tree order:
+children ascending by vertex id for bottom-up, root-to-leaf for top-down).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.trees.tree import Tree
+from repro.utils import check_same_length
+
+
+Op = Callable[[np.ndarray, np.ndarray], np.ndarray]
+
+
+def _check_values(tree: Tree, values: np.ndarray) -> np.ndarray:
+    values = np.asarray(values)
+    if len(values) != tree.n:
+        raise ValidationError(
+            f"values must have one entry per vertex ({tree.n}), got {len(values)}"
+        )
+    return values
+
+
+def bottom_up_treefix(
+    tree: Tree,
+    values: np.ndarray,
+    *,
+    op: Op = np.add,
+) -> np.ndarray:
+    """``sum(v)`` = reduction of ``values`` over the subtree rooted at ``v``.
+
+    Processes vertices in reverse BFS order so every child is folded into
+    its parent exactly once; with the default ``np.add`` this is the paper's
+    treefix sum.
+    """
+    values = _check_values(tree, values)
+    out = values.copy()
+    parents = tree.parents
+    for v in tree.bfs_order()[::-1]:
+        p = parents[v]
+        if p >= 0:
+            out[p] = op(out[p], out[v])
+    return out
+
+
+def top_down_treefix(
+    tree: Tree,
+    values: np.ndarray,
+    *,
+    op: Op = np.add,
+) -> np.ndarray:
+    """``sum'(v)`` = reduction of ``values`` along the root-to-``v`` path.
+
+    Processes vertices in BFS order so every parent is final before its
+    children read it. With a non-commutative ``op`` the combination order is
+    root first: ``out[v] = op(out[parent], values[v])``.
+    """
+    values = _check_values(tree, values)
+    out = values.copy()
+    parents = tree.parents
+    for v in tree.bfs_order():
+        p = parents[v]
+        if p >= 0:
+            out[v] = op(out[p], out[v])
+    return out
+
+
+def subtree_max(tree: Tree, values: np.ndarray) -> np.ndarray:
+    """Convenience: bottom-up treefix with ``max`` (an associative operator)."""
+    return bottom_up_treefix(tree, values, op=np.maximum)
+
+
+def path_min(tree: Tree, values: np.ndarray) -> np.ndarray:
+    """Convenience: top-down treefix with ``min``."""
+    return top_down_treefix(tree, values, op=np.minimum)

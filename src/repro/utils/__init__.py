@@ -1,0 +1,36 @@
+"""Shared utilities: validation helpers, integer math, and seeded RNG plumbing."""
+
+from repro.utils.mathutils import (
+    ceil_log2,
+    ceil_sqrt,
+    is_power_of_two,
+    is_power_of_four,
+    next_power_of_two,
+    next_power_of_four,
+    floor_log2,
+)
+from repro.utils.validation import (
+    as_index_array,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+)
+from repro.utils.rng import resolve_rng, spawn_rngs
+
+__all__ = [
+    "ceil_log2",
+    "ceil_sqrt",
+    "is_power_of_two",
+    "is_power_of_four",
+    "next_power_of_two",
+    "next_power_of_four",
+    "floor_log2",
+    "as_index_array",
+    "check_in_range",
+    "check_nonnegative",
+    "check_positive",
+    "check_same_length",
+    "resolve_rng",
+    "spawn_rngs",
+]

@@ -1,0 +1,59 @@
+"""Exact integer math helpers used throughout the layout and curve code.
+
+Everything here is exact integer arithmetic: the curve orders and grid sides
+are powers of two/three/four, and float log/sqrt round-off at large ``n``
+would silently corrupt curve indices, so we never go through floats.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ValidationError
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two (1 counts)."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def is_power_of_four(n: int) -> bool:
+    """Return True if ``n`` is a positive power of four (1 counts)."""
+    return is_power_of_two(n) and (n.bit_length() - 1) % 2 == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two ``>= n`` (``n >= 1`` required)."""
+    if n < 1:
+        raise ValidationError(f"next_power_of_two requires n >= 1, got {n}")
+    return 1 << (n - 1).bit_length()
+
+
+def next_power_of_four(n: int) -> int:
+    """Smallest power of four ``>= n`` (``n >= 1`` required)."""
+    p = next_power_of_two(n)
+    if (p.bit_length() - 1) % 2 == 1:
+        p <<= 1
+    return p
+
+
+def floor_log2(n: int) -> int:
+    """Exact ``floor(log2(n))`` for ``n >= 1``."""
+    if n < 1:
+        raise ValidationError(f"floor_log2 requires n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Exact ``ceil(log2(n))`` for ``n >= 1``."""
+    if n < 1:
+        raise ValidationError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def ceil_sqrt(n: int) -> int:
+    """Exact ``ceil(sqrt(n))`` for ``n >= 0`` using integer arithmetic."""
+    if n < 0:
+        raise ValidationError(f"ceil_sqrt requires n >= 0, got {n}")
+    r = math.isqrt(n)
+    return r if r * r == n else r + 1

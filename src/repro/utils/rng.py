@@ -1,0 +1,40 @@
+"""Seeded randomness plumbing.
+
+Every randomized routine in the library (tree generators, random-mate
+contraction, Las Vegas layout creation) accepts a ``seed`` argument that may
+be ``None`` (fresh entropy), an ``int``, or an existing
+:class:`numpy.random.Generator`. These helpers normalize that argument and
+derive independent child streams so concurrent phases never share state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+RngLike = "int | np.random.Generator | None"
+
+
+def resolve_rng(seed: "int | np.random.Generator | None") -> np.random.Generator:
+    """Return a random generator for any accepted seed form.
+
+    Accepts ``None`` (fresh entropy), an integer seed, a
+    :class:`numpy.random.Generator`, or any duck-typed object providing
+    ``random``/``integers``/``permutation`` (used by tests to inject
+    sabotaged randomness into the Las Vegas algorithms).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is not None and not isinstance(seed, (int, np.integer)):
+        if all(hasattr(seed, name) for name in ("random", "integers")):
+            return seed  # duck-typed generator
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: "int | np.random.Generator | None", count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent generators from ``seed``.
+
+    Uses :meth:`numpy.random.Generator.spawn` so the child streams are
+    independent regardless of how many draws the parent has made.
+    """
+    rng = resolve_rng(seed)
+    return list(rng.spawn(count))

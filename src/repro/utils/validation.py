@@ -1,0 +1,68 @@
+"""Argument-validation helpers shared by the public API surface.
+
+The library is array-centric; these helpers normalize inputs to well-typed
+numpy arrays and raise :class:`repro.errors.ValidationError` with messages
+that name the offending argument, so failures point at the caller's bug
+rather than surfacing deep inside a vectorized kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+
+def as_index_array(values: Sequence[int] | np.ndarray, *, name: str = "indices") -> np.ndarray:
+    """Coerce ``values`` to a 1-D int64 array, rejecting floats with fractions."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValidationError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        if np.issubdtype(arr.dtype, np.floating) and np.all(arr == np.floor(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            raise ValidationError(f"{name} must be integers, got dtype {arr.dtype}")
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def check_positive(value: int, *, name: str) -> int:
+    """Require ``value > 0`` and return it as a Python int."""
+    value = int(value)
+    if value <= 0:
+        raise ValidationError(f"{name} must be positive, got {value}")
+    return value
+
+
+def check_nonnegative(value: int, *, name: str) -> int:
+    """Require ``value >= 0`` and return it as a Python int."""
+    value = int(value)
+    if value < 0:
+        raise ValidationError(f"{name} must be non-negative, got {value}")
+    return value
+
+
+def check_in_range(arr: np.ndarray, low: int, high: int, *, name: str) -> None:
+    """Require every element of ``arr`` to lie in ``[low, high)``."""
+    if arr.size == 0:
+        return
+    lo = int(arr.min())
+    hi = int(arr.max())
+    if lo < low or hi >= high:
+        raise ValidationError(
+            f"{name} must lie in [{low}, {high}), got range [{lo}, {hi}]"
+        )
+
+
+def check_same_length(*pairs: tuple[str, np.ndarray]) -> None:
+    """Require all named arrays to share a common length."""
+    if not pairs:
+        return
+    first_name, first = pairs[0]
+    for name, arr in pairs[1:]:
+        if len(arr) != len(first):
+            raise ValidationError(
+                f"{name} (length {len(arr)}) must match {first_name} (length {len(first)})"
+            )

@@ -1,0 +1,88 @@
+"""Shared fixtures: a zoo of tree shapes and seeded RNG plumbing.
+
+The tree zoo deliberately covers every structural regime the paper's
+arguments distinguish: paths (compress-only), stars (rake-only, unbounded
+degree), caterpillars (DFS-adversarial), perfect binary trees
+(BFS-adversarial), bounded-degree random trees, heavy-tailed random trees,
+and the domain-shaped generators (phylogenies, decision trees).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.trees import (
+    Tree,
+    birth_death_phylogeny,
+    caterpillar_tree,
+    decision_tree_shape,
+    path_tree,
+    perfect_kary_tree,
+    preferential_attachment_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    random_binary_tree,
+    star_tree,
+)
+
+TREE_ZOO = {
+    "single": lambda: path_tree(1),
+    "pair": lambda: path_tree(2),
+    "path64": lambda: path_tree(64),
+    "star64": lambda: star_tree(64),
+    "caterpillar65": lambda: caterpillar_tree(65),
+    "perfect_binary": lambda: perfect_kary_tree(5),
+    "perfect_ternary": lambda: perfect_kary_tree(3, k=3),
+    "random_binary": lambda: random_binary_tree(150, seed=11),
+    "random_attachment": lambda: random_attachment_tree(200, seed=12),
+    "preferential": lambda: preferential_attachment_tree(150, seed=13),
+    "prufer": lambda: prufer_random_tree(150, seed=14),
+    "phylogeny": lambda: birth_death_phylogeny(80, seed=15),
+    "decision_tree": lambda: decision_tree_shape(120, seed=16),
+}
+
+
+@pytest.fixture(params=sorted(TREE_ZOO), ids=sorted(TREE_ZOO))
+def zoo_tree(request) -> Tree:
+    """One tree per zoo shape (parametrized over all shapes)."""
+    return TREE_ZOO[request.param]()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20240521)
+
+
+def brute_subtree_sum(tree: Tree, values: np.ndarray) -> np.ndarray:
+    """O(n²) oracle: subtree sums by explicit descendant enumeration."""
+    out = np.zeros(tree.n, dtype=np.int64)
+    for v in range(tree.n):
+        for u in range(tree.n):
+            if tree.is_ancestor(v, u):
+                out[v] += values[u]
+    return out
+
+
+def brute_path_sum(tree: Tree, values: np.ndarray) -> np.ndarray:
+    """O(n²) oracle: root-to-vertex path sums by parent walking."""
+    out = np.zeros(tree.n, dtype=np.int64)
+    for v in range(tree.n):
+        u = v
+        while u >= 0:
+            out[v] += values[u]
+            u = int(tree.parents[u])
+    return out
+
+
+def brute_lca(tree: Tree, u: int, v: int) -> int:
+    """O(n) oracle: LCA by ancestor-set intersection."""
+    anc = set()
+    x = u
+    while x >= 0:
+        anc.add(x)
+        x = int(tree.parents[x])
+    x = v
+    while x not in anc:
+        x = int(tree.parents[x])
+    return x

@@ -1,0 +1,283 @@
+"""Tests for the derived operations (repro.spatial.applications), the
+hot-vertex splitting of §VI, forests, and dynamic updates (§VII)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from tests.conftest import brute_lca
+
+from repro.errors import ValidationError
+from repro.spatial import (
+    DynamicLightFirstTree,
+    SpatialTree,
+    lca_batch_balanced,
+    mark_ancestors,
+    path_sums,
+    split_hot_vertices,
+    subtree_statistics,
+    tree_distances,
+    vertex_depths,
+)
+from repro.spatial.applications import subtree_sizes as app_subtree_sizes
+from repro.trees import (
+    BinaryLiftingLCA,
+    combine_forest,
+    path_tree,
+    random_attachment_tree,
+    split_forest_values,
+    star_tree,
+)
+
+
+def brute_path_vertices(tree, u, v):
+    w = brute_lca(tree, u, v)
+    path = []
+    x = u
+    while x != w:
+        path.append(x)
+        x = int(tree.parents[x])
+    path.append(w)
+    x = v
+    while x != w:
+        path.append(x)
+        x = int(tree.parents[x])
+    return path
+
+
+class TestDerivedOperations:
+    def test_vertex_depths(self, zoo_tree):
+        st_ = SpatialTree.build(zoo_tree)
+        assert np.array_equal(vertex_depths(st_, seed=1), zoo_tree.depths())
+
+    def test_subtree_sizes(self, zoo_tree):
+        st_ = SpatialTree.build(zoo_tree)
+        assert np.array_equal(app_subtree_sizes(st_, seed=1), zoo_tree.subtree_sizes())
+
+    def test_tree_distances(self, zoo_tree, rng):
+        st_ = SpatialTree.build(zoo_tree)
+        us = rng.integers(0, zoo_tree.n, size=20)
+        vs = rng.integers(0, zoo_tree.n, size=20)
+        got = tree_distances(st_, us, vs, seed=2)
+        for g, u, v in zip(got, us, vs):
+            assert g == len(brute_path_vertices(zoo_tree, int(u), int(v))) - 1
+
+    def test_path_sums(self, zoo_tree, rng):
+        st_ = SpatialTree.build(zoo_tree)
+        vals = rng.integers(-30, 30, size=zoo_tree.n)
+        us = rng.integers(0, zoo_tree.n, size=15)
+        vs = rng.integers(0, zoo_tree.n, size=15)
+        got = path_sums(st_, vals, us, vs, seed=3)
+        for g, u, v in zip(got, us, vs):
+            path = brute_path_vertices(zoo_tree, int(u), int(v))
+            assert g == vals[path].sum()
+
+    def test_path_sum_u_equals_v(self):
+        t = path_tree(10)
+        st_ = SpatialTree.build(t)
+        vals = np.arange(10)
+        got = path_sums(st_, vals, np.array([4]), np.array([4]), seed=0)
+        assert got[0] == 4
+
+    def test_subtree_statistics(self, zoo_tree, rng):
+        st_ = SpatialTree.build(zoo_tree)
+        vals = rng.integers(-100, 100, size=zoo_tree.n)
+        stats = subtree_statistics(st_, vals, seed=4)
+        # verify on a handful of vertices with explicit descendant sets
+        for v in rng.integers(0, zoo_tree.n, size=5):
+            desc = [u for u in range(zoo_tree.n) if zoo_tree.is_ancestor(int(v), u)]
+            assert stats.total[v] == vals[desc].sum()
+            assert stats.minimum[v] == vals[desc].min()
+            assert stats.maximum[v] == vals[desc].max()
+            assert stats.size[v] == len(desc)
+            leaf_cnt = sum(1 for u in desc if len(zoo_tree.children(u)) == 0)
+            assert stats.leaves[v] == leaf_cnt
+
+    def test_mark_ancestors(self, rng):
+        t = random_attachment_tree(150, seed=5)
+        st_ = SpatialTree.build(t)
+        marked = np.zeros(150, dtype=bool)
+        marked[rng.integers(0, 150, size=5)] = True
+        got = mark_ancestors(st_, marked, seed=6)
+        for v in range(150):
+            expect = False
+            x = v
+            while x >= 0:
+                if marked[x]:
+                    expect = True
+                    break
+                x = int(t.parents[x])
+            assert got[v] == expect
+
+    def test_shape_validation(self):
+        st_ = SpatialTree.build(path_tree(4))
+        with pytest.raises(ValidationError):
+            path_sums(st_, np.zeros(5), [0], [1])
+        with pytest.raises(ValidationError):
+            mark_ancestors(st_, np.zeros(5, dtype=bool))
+
+
+class TestHotVertexSplitting:
+    def test_split_bounds_query_count(self):
+        t = random_attachment_tree(100, seed=7)
+        us = np.zeros(200, dtype=np.int64)  # vertex 0 is extremely hot
+        vs = np.arange(100).repeat(2)
+        new_tree, new_us, new_vs, owner = split_hot_vertices(t, us, vs, max_queries_per_vertex=4)
+        counts = np.bincount(np.concatenate([new_us, new_vs]), minlength=new_tree.n)
+        assert counts.max() <= 2 * 4  # each endpoint slot bounded
+        assert new_tree.n > t.n
+
+    def test_owner_maps_back(self):
+        t = random_attachment_tree(100, seed=8)
+        us = np.zeros(50, dtype=np.int64)
+        vs = np.arange(50, 100, dtype=np.int64)
+        new_tree, new_us, new_vs, owner = split_hot_vertices(t, us, vs)
+        assert np.array_equal(np.unique(owner), np.arange(t.n))
+        assert (owner[new_us] == us).all()
+        assert (owner[new_vs] == vs).all()
+
+    def test_balanced_lca_correct_under_hot_batch(self):
+        t = random_attachment_tree(120, seed=9)
+        rng = np.random.default_rng(1)
+        us = np.full(80, 7, dtype=np.int64)
+        vs = rng.integers(0, 120, size=80)
+        answers, st_ = lca_batch_balanced(t, us, vs, seed=10)
+        expect = BinaryLiftingLCA(t).query_batch(us, vs)
+        assert np.array_equal(answers, expect)
+
+    def test_no_hot_vertices_is_identity_shape(self):
+        t = path_tree(20)
+        us = np.arange(10, dtype=np.int64)
+        vs = np.arange(10, 20, dtype=np.int64)
+        new_tree, new_us, new_vs, owner = split_hot_vertices(t, us, vs, max_queries_per_vertex=4)
+        assert new_tree.n == t.n
+        assert np.array_equal(owner, np.arange(t.n))
+
+    def test_split_star_center(self):
+        t = star_tree(60)
+        rng = np.random.default_rng(2)
+        us = np.zeros(100, dtype=np.int64)
+        vs = rng.integers(1, 60, size=100)
+        answers, _ = lca_batch_balanced(t, us, vs, seed=11, max_queries_per_vertex=2)
+        assert (answers == 0).all()
+
+
+class TestForest:
+    def test_combined_structure(self):
+        trees = [path_tree(5), star_tree(4), random_attachment_tree(10, seed=1)]
+        idx = combine_forest(trees)
+        assert idx.tree.n == 20
+        assert idx.tree.root == 0
+        # each tree's block is a valid subtree under the super-root
+        for t_i, (off, size) in enumerate(zip(idx.offsets, idx.sizes)):
+            assert idx.tree.parents[off] == 0
+            assert size == trees[t_i].n
+
+    def test_id_mapping_roundtrip(self):
+        trees = [path_tree(5), star_tree(7)]
+        idx = combine_forest(trees)
+        sup = idx.to_super(1, np.array([0, 3]))
+        t_back, local = idx.to_local(sup)
+        assert (t_back == 1).all()
+        assert np.array_equal(local, [0, 3])
+        t0, l0 = idx.to_local(np.array([0]))
+        assert t0[0] == -1 and l0[0] == -1
+
+    def test_treefix_over_forest_matches_per_tree(self, rng):
+        from repro.trees import bottom_up_treefix
+
+        trees = [random_attachment_tree(40, seed=s) for s in range(3)]
+        idx = combine_forest(trees)
+        vals = rng.integers(0, 50, size=idx.tree.n)
+        vals[0] = 0  # super-root carries the identity
+        st_ = SpatialTree.build(idx.tree)
+        sums = st_.treefix_sum(vals, seed=12)
+        per_tree = split_forest_values(idx, sums)
+        per_vals = split_forest_values(idx, vals)
+        for t, s, v in zip(trees, per_tree, per_vals):
+            assert np.array_equal(s, bottom_up_treefix(t, v))
+
+    def test_empty_forest_rejected(self):
+        with pytest.raises(ValidationError):
+            combine_forest([])
+
+    def test_split_values_shape_checked(self):
+        idx = combine_forest([path_tree(3)])
+        with pytest.raises(ValidationError):
+            split_forest_values(idx, np.zeros(3))
+
+
+class TestDynamicUpdates:
+    def test_appends_degrade_then_rebuild_restores(self):
+        rng = np.random.default_rng(3)
+        base = random_attachment_tree(200, seed=13)
+        dt = DynamicLightFirstTree(base, capacity=600)
+        e0 = dt.mean_edge_distance()
+        for _ in range(200):
+            dt.insert_leaf(int(rng.integers(0, dt.n)))
+        e1 = dt.mean_edge_distance()
+        dt.rebuild()
+        e2 = dt.mean_edge_distance()
+        assert e1 > 2 * e0       # appended leaves are far from parents
+        assert e2 < e1           # rebuild restores locality
+        assert dt.rebuild_count == 1
+        assert dt.rebuild_energy > 0
+
+    def test_auto_rebuild_triggers(self):
+        dt = DynamicLightFirstTree(
+            path_tree(50), capacity=200, auto_rebuild_fraction=0.2
+        )
+        for _ in range(30):
+            dt.insert_leaf(0)
+        assert dt.rebuild_count >= 1
+        assert dt.appended_since_rebuild < 30
+
+    def test_tree_snapshot_valid(self):
+        dt = DynamicLightFirstTree(star_tree(20), capacity=100)
+        new = dt.insert_leaves([0, 1, 2])
+        t = dt.tree()
+        assert t.n == 23
+        assert t.parents[new[0]] == 0
+        # snapshot trees validate (reachability)
+        from repro.trees import Tree
+
+        Tree(t.parents.copy())
+
+    def test_capacity_enforced(self):
+        dt = DynamicLightFirstTree(path_tree(4), capacity=5)
+        dt.insert_leaf(0)
+        with pytest.raises(ValidationError):
+            dt.insert_leaf(0)
+
+    def test_layout_is_light_first_after_rebuild(self):
+        from repro.layout import is_light_first
+
+        dt = DynamicLightFirstTree(random_attachment_tree(60, seed=14), capacity=200)
+        for _ in range(40):
+            dt.insert_leaf(0)
+        dt.rebuild()
+        layout = dt.layout()
+        assert is_light_first(dt.tree(), layout.order)
+
+    def test_algorithms_run_on_snapshot(self):
+        dt = DynamicLightFirstTree(random_attachment_tree(50, seed=15), capacity=150)
+        for _ in range(20):
+            dt.insert_leaf(int(np.random.default_rng(4).integers(0, 50)))
+        dt.rebuild()
+        st_ = SpatialTree.build(dt.tree())
+        sizes = st_.treefix_sum(np.ones(dt.n, dtype=np.int64), seed=16)
+        assert sizes[dt.tree().root] == dt.n
+
+
+@settings(max_examples=10, deadline=None)
+@given(n=st.integers(min_value=2, max_value=80), seed=st.integers(0, 200))
+def test_property_distances_symmetric(n, seed):
+    t = random_attachment_tree(n, seed=seed)
+    st_ = SpatialTree.build(t)
+    rng = np.random.default_rng(seed)
+    us = rng.integers(0, n, size=6)
+    vs = rng.integers(0, n, size=6)
+    d1 = tree_distances(st_, us, vs, seed=seed)
+    d2 = tree_distances(SpatialTree.build(t), vs, us, seed=seed)
+    assert np.array_equal(d1, d2)
+    assert (d1 >= 0).all()

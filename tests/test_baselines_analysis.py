@@ -1,0 +1,166 @@
+"""Tests for the PRAM baselines (§II-A) and the analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import bounds, fit_exponent, format_table, run_scaling
+from repro.analysis.experiments import assert_exponent_between
+from repro.analysis.reporting import format_series, render_curve, render_layout_grid
+from repro.errors import ValidationError
+from repro.layout import TreeLayout
+from repro.spatial import pram_lca_batch, pram_list_ranking, pram_treefix
+from repro.trees import (
+    BinaryLiftingLCA,
+    bottom_up_treefix,
+    path_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    star_tree,
+)
+
+
+class TestPRAMListRanking:
+    def test_correct_on_random_lists(self):
+        rng = np.random.default_rng(0)
+        for k in (1, 2, 7, 64, 200):
+            perm = rng.permutation(k)
+            succ = np.full(k, -1, dtype=np.int64)
+            succ[perm[:-1]] = perm[1:]
+            res = pram_list_ranking(succ)
+            expect = np.empty(k, dtype=np.int64)
+            expect[perm] = np.arange(k)
+            assert np.array_equal(res.values, expect), k
+
+    def test_energy_super_three_halves(self):
+        es = []
+        for k in (256, 2048):
+            rng = np.random.default_rng(k)
+            perm = rng.permutation(k)
+            succ = np.full(k, -1, dtype=np.int64)
+            succ[perm[:-1]] = perm[1:]
+            es.append(pram_list_ranking(succ).energy)
+        exponent = np.log(es[1] / es[0]) / np.log(2048 / 256)
+        assert exponent >= 1.35  # Θ(n^{3/2} log n) up to boundary effects
+
+    def test_steps_logarithmic(self):
+        succ = np.concatenate([np.arange(1, 512), [-1]])
+        res = pram_list_ranking(succ)
+        assert res.steps == 9
+
+
+class TestPRAMTreefix:
+    def test_matches_reference(self, zoo_tree, rng):
+        vals = rng.integers(-50, 50, size=zoo_tree.n)
+        res = pram_treefix(zoo_tree, vals)
+        assert np.array_equal(res.values, bottom_up_treefix(zoo_tree, vals))
+
+    def test_single_vertex(self):
+        res = pram_treefix(path_tree(1), np.array([9]))
+        assert res.values[0] == 9 and res.energy == 0
+
+    def test_values_shape_checked(self):
+        with pytest.raises(ValidationError):
+            pram_treefix(path_tree(3), np.zeros(4))
+
+    def test_spatial_beats_pram_on_energy(self):
+        """The §I-C headline: our treefix spends asymptotically less energy
+        than the PRAM simulation on the same input."""
+        from repro.spatial import SpatialTree
+        from repro.spatial.treefix import treefix_sum
+
+        n = 2048
+        t = prufer_random_tree(n, seed=1)
+        vals = np.ones(n, dtype=np.int64)
+        st_ = SpatialTree.build(t)
+        treefix_sum(st_, vals, seed=2)
+        pram = pram_treefix(t, vals)
+        assert pram.energy > 10 * st_.machine.energy
+
+
+class TestPRAMLCA:
+    def test_matches_reference(self, zoo_tree, rng):
+        oracle = BinaryLiftingLCA(zoo_tree)
+        qs = rng.integers(0, zoo_tree.n, size=(40, 2))
+        res = pram_lca_batch(zoo_tree, qs[:, 0], qs[:, 1])
+        assert np.array_equal(res.values, oracle.query_batch(qs[:, 0], qs[:, 1]))
+
+    def test_star_and_path(self):
+        for t in (star_tree(60), path_tree(60)):
+            oracle = BinaryLiftingLCA(t)
+            rng = np.random.default_rng(3)
+            qs = rng.integers(0, 60, size=(30, 2))
+            res = pram_lca_batch(t, qs[:, 0], qs[:, 1])
+            assert np.array_equal(res.values, oracle.query_batch(qs[:, 0], qs[:, 1]))
+
+
+class TestBounds:
+    def test_monotone_in_n(self):
+        for fn in (
+            bounds.local_messaging_energy,
+            bounds.treefix_energy,
+            bounds.lca_energy,
+            bounds.sort_energy,
+            bounds.list_ranking_energy,
+        ):
+            assert fn(4096) > fn(256)
+
+    def test_depth_bounds(self):
+        assert bounds.treefix_depth(1024, bounded_degree=True) == 10
+        assert bounds.treefix_depth(1024, bounded_degree=False) == 100
+        assert bounds.lca_depth(1024) == 100
+
+    def test_pram_simulation_formula(self):
+        assert bounds.pram_simulation_energy(100, 400, 1) == 100 * (10 + 20)
+
+    def test_rejects_bad_n(self):
+        with pytest.raises(ValidationError):
+            bounds.treefix_energy(0)
+
+
+class TestReporting:
+    def test_format_table(self):
+        rows = [{"n": 4, "e": 1.5}, {"n": 16, "e": 2.25}]
+        out = format_table(rows)
+        assert "n" in out and "16" in out and "2.25" in out
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_series_with_normalizer(self):
+        out = format_series("test", [4, 16], [8.0, 32.0], normalizer=lambda n: n)
+        assert "value/bound" in out
+
+    def test_fit_exponent_recovers_slope(self):
+        ns = [64, 256, 1024, 4096]
+        vals = [n**1.5 for n in ns]
+        assert abs(fit_exponent(ns, vals) - 1.5) < 1e-9
+
+    def test_fit_exponent_degenerate(self):
+        assert np.isnan(fit_exponent([4], [2.0]))
+
+    def test_render_layout_grid(self):
+        layout = TreeLayout.build(path_tree(16))
+        text = render_layout_grid(layout)
+        assert "15" in text and len(text.splitlines()) == 4
+
+    def test_render_layout_grid_too_large(self):
+        layout = TreeLayout.build(path_tree(2000))
+        assert "too large" in render_layout_grid(layout)
+
+    def test_render_curve(self):
+        from repro.curves import get_curve
+
+        text = render_curve(get_curve("zorder"), 4)
+        assert text.splitlines()[0].split() == ["0", "1", "4", "5"]
+
+    def test_run_scaling_and_guardrail(self):
+        result = run_scaling(
+            "quadratic",
+            [16, 64, 256],
+            lambda n: {"energy": n * n, "depth": n, "messages": n},
+        )
+        assert_exponent_between(result, 1.9, 2.1)
+        with pytest.raises(AssertionError):
+            assert_exponent_between(result, 2.5, 3.0)
+        table = result.table(energy_bound=lambda n: n * n)
+        assert "E/bound" in table

@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInfo:
+    def test_info_lists_curves(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "hilbert" in out and "zorder" in out and "moore" in out
+        assert "orders:" in out
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+
+
+class TestLayout:
+    def test_layout_all_orders(self, capsys):
+        assert main(["layout", "--tree", "star", "--n", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "light_first" in out and "bfs" in out
+
+    def test_layout_single_order_with_grid(self, capsys):
+        assert main(
+            ["layout", "--tree", "path", "--n", "16", "--order", "light_first", "--show-grid"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "15" in out  # grid rendering shows the last vertex
+
+    def test_layout_zorder_curve(self, capsys):
+        assert main(["layout", "--tree", "prufer", "--n", "100", "--curve", "zorder"]) == 0
+
+
+class TestAlgorithms:
+    def test_treefix_verifies(self, capsys):
+        assert main(["treefix", "--tree", "random", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "energy" in out
+
+    def test_treefix_virtual_mode(self, capsys):
+        assert main(["treefix", "--tree", "star", "--n", "128", "--mode", "virtual"]) == 0
+        assert "mode=virtual" in capsys.readouterr().out
+
+    def test_lca_verifies(self, capsys):
+        assert main(["lca", "--tree", "prufer", "--n", "128", "--queries", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+
+    def test_expr_verifies(self, capsys):
+        assert main(["expr", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "root value" in out
+
+    def test_cuts_runs(self, capsys):
+        assert main(["cuts", "--tree", "prufer", "--n", "128", "--extra-edges", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "lightest 1-respecting cut" in out
+
+    def test_curves_table(self, capsys):
+        assert main(["curves", "--side", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "alpha_hat" in out and "peano" in out
+
+
+class TestErrors:
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_missing_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_bad_tree_kind_rejected_by_argparse(self):
+        with pytest.raises(SystemExit):
+            main(["treefix", "--tree", "nope"])

@@ -1,0 +1,227 @@
+"""Unit and property tests for the space-filling curves (paper §II-B).
+
+Covers: bijection and round-trip for every curve, continuity of the
+continuous curves, the aligned property of the Hilbert curve (Lemma 4's
+hypothesis), distance-bound constants (§III-B), registry behaviour, and the
+exact small examples the paper draws (Fig. 2's Z-order grid).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves import (
+    available_curves,
+    empirical_alpha,
+    get_curve,
+    is_aligned_empirical,
+    neighbor_step_distances,
+    resolve_curve,
+)
+from repro.errors import GridSizeError, ValidationError
+
+ALL_CURVES = available_curves()
+CONTINUOUS = [c for c in ALL_CURVES if get_curve(c).continuous]
+DISTANCE_BOUND = [c for c in ALL_CURVES if get_curve(c).distance_bound]
+
+
+@pytest.mark.parametrize("name", ALL_CURVES)
+class TestBijection:
+    def test_roundtrip_small(self, name):
+        c = get_curve(name)
+        side = c.min_side(40)
+        n = side * side
+        d = np.arange(n)
+        x, y = c.index_to_xy(d, side)
+        assert np.array_equal(c.xy_to_index(x, y, side), d)
+
+    def test_covers_grid(self, name):
+        c = get_curve(name)
+        side = c.min_side(40)
+        x, y = c.index_to_xy(np.arange(side * side), side)
+        cells = set(zip(x.tolist(), y.tolist()))
+        assert len(cells) == side * side
+        assert all(0 <= a < side and 0 <= b < side for a, b in cells)
+
+    def test_roundtrip_larger_order(self, name):
+        c = get_curve(name)
+        side = c.min_side(40) * c.base  # one more recursion level
+        d = np.linspace(0, side * side - 1, 500).astype(np.int64)
+        x, y = c.index_to_xy(d, side)
+        assert np.array_equal(c.xy_to_index(x, y, side), d)
+
+    def test_out_of_range_index_rejected(self, name):
+        c = get_curve(name)
+        side = c.min_side(4)
+        with pytest.raises(ValidationError):
+            c.index_to_xy(np.array([side * side]), side)
+
+    def test_bad_side_rejected(self, name):
+        c = get_curve(name)
+        with pytest.raises(GridSizeError):
+            c.index_to_xy(np.array([0]), 5 if c.base == 2 else 4)
+
+    def test_min_side_is_minimal(self, name):
+        c = get_curve(name)
+        for n in (1, 2, 5, 17, 100):
+            side = c.min_side(n)
+            assert side * side >= n
+            smaller = side // c.base
+            try:
+                c.validate_side(smaller)
+            except Exception:
+                continue  # curve has a structural minimum side (e.g. Moore)
+            if side > 1:
+                assert smaller**2 < n
+
+
+@pytest.mark.parametrize("name", CONTINUOUS)
+def test_continuous_curves_step_distance_one(name):
+    c = get_curve(name)
+    side = c.min_side(200)
+    steps = neighbor_step_distances(c, side)
+    assert (steps == 1).all()
+
+
+def test_zorder_is_not_continuous():
+    steps = neighbor_step_distances("zorder", 8)
+    assert steps.max() > 1
+    assert (steps >= 1).all()
+
+
+def test_rowmajor_wraps_are_long():
+    steps = neighbor_step_distances("rowmajor", 8)
+    # end-of-row wrap distance is side - 1 + 1 = side ... verify ≥ side-1
+    assert steps.max() >= 7
+
+
+class TestHilbertSpecifics:
+    def test_first_cells_of_order_one(self):
+        c = get_curve("hilbert")
+        x, y = c.index_to_xy(np.arange(4), 2)
+        cells = list(zip(x.tolist(), y.tolist()))
+        # one continuous tour of the 2x2 grid starting at (0, 0)
+        assert cells[0] == (0, 0)
+        assert len(set(cells)) == 4
+
+    @pytest.mark.parametrize("k", [1, 2, 3])
+    def test_aligned_property(self, k):
+        # every 4^k consecutive elements fit in a 2*2^k box (Lemma 4 input)
+        assert is_aligned_empirical("hilbert", 16, k)
+
+    def test_distance_bound_constant_below_published(self):
+        est = empirical_alpha("hilbert", 32, seed=0)
+        assert est.alpha_hat <= 3.0 + 1e-9, est
+
+    def test_scalar_inputs_broadcast(self):
+        c = get_curve("hilbert")
+        x, y = c.index_to_xy(5, 4)
+        assert x.shape == (1,)
+
+
+class TestPeanoSpecifics:
+    def test_order_one_serpentine(self):
+        c = get_curve("peano")
+        x, y = c.index_to_xy(np.arange(9), 3)
+        assert (x[0], y[0]) == (0, 0)
+        assert (x[-1], y[-1]) == (2, 2)
+
+    def test_distance_bound_constant_below_published(self):
+        est = empirical_alpha("peano", 27, seed=0)
+        assert est.alpha_hat <= np.sqrt(10 + 2 / 3) + 1e-9, est
+
+    def test_base_three_sides(self):
+        c = get_curve("peano")
+        assert c.min_side(10) == 9
+        with pytest.raises(GridSizeError):
+            c.validate_side(6)
+
+
+class TestZOrderSpecifics:
+    def test_paper_figure_2_grid(self):
+        """The 16-element Z-order drawing of Fig. 2, row by row."""
+        c = get_curve("zorder")
+        x, y = c.index_to_xy(np.arange(16), 4)
+        grid = np.empty((4, 4), dtype=int)
+        grid[y, x] = np.arange(16)
+        expected = np.array(
+            [
+                [0, 1, 4, 5],
+                [2, 3, 6, 7],
+                [8, 9, 12, 13],
+                [10, 11, 14, 15],
+            ]
+        )
+        assert np.array_equal(grid, expected)
+
+    def test_not_distance_bound_ratio_grows(self):
+        # the worst dist(i, i+1)/1 grows with the grid: compare two sizes
+        small = empirical_alpha("zorder", 16, seed=0).alpha_hat
+        large = empirical_alpha("zorder", 128, seed=0).alpha_hat
+        assert large > small
+
+
+@pytest.mark.parametrize("name", DISTANCE_BOUND)
+def test_distance_bound_curves_alpha_flat_across_sizes(name):
+    """alpha_hat must not grow with the grid side for distance-bound curves."""
+    c = get_curve(name)
+    sides = [c.min_side(64), c.min_side(64) * c.base]
+    alphas = [empirical_alpha(c, s, seed=1).alpha_hat for s in sides]
+    assert alphas[1] <= alphas[0] * 1.25 + 0.5
+
+
+class TestRegistry:
+    def test_known_curves_present(self):
+        for expected in ("hilbert", "zorder", "peano", "rowmajor", "boustrophedon"):
+            assert expected in ALL_CURVES
+
+    def test_get_curve_unknown(self):
+        with pytest.raises(ValidationError, match="unknown curve"):
+            get_curve("does-not-exist")
+
+    def test_resolve_curve_accepts_instance_and_name(self):
+        c = get_curve("hilbert")
+        assert resolve_curve(c) is c
+        assert resolve_curve("hilbert").name == "hilbert"
+        with pytest.raises(ValidationError):
+            resolve_curve(42)
+
+
+class TestBoustrophedon:
+    def test_snake_rows(self):
+        c = get_curve("boustrophedon")
+        x, y = c.index_to_xy(np.arange(16), 4)
+        assert list(x[:4]) == [0, 1, 2, 3]
+        assert list(x[4:8]) == [3, 2, 1, 0]
+        assert (y[:4] == 0).all() and (y[4:8] == 1).all()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    name=st.sampled_from(ALL_CURVES),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_property_random_points_roundtrip(name, seed):
+    c = get_curve(name)
+    side = c.min_side(100)
+    rng = np.random.default_rng(seed)
+    d = rng.integers(0, side * side, size=20)
+    x, y = c.index_to_xy(d, side)
+    assert np.array_equal(c.xy_to_index(x, y, side), d)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    name=st.sampled_from(DISTANCE_BOUND),
+    gap=st.integers(min_value=1, max_value=200),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_distance_bound_holds(name, gap, seed):
+    """dist(i, i+j) <= alpha * sqrt(j) for the published constants."""
+    c = get_curve(name)
+    side = c.min_side(256)
+    n = side * side
+    rng = np.random.default_rng(seed)
+    i = rng.integers(0, n - gap, size=10)
+    d = c.pairwise_distance(i, i + gap, side)
+    assert (d <= c.alpha * np.sqrt(gap) + 2).all()

@@ -1,0 +1,127 @@
+"""Tests for the Z-order diagonal machinery (paper §III-C, Fig. 2).
+
+The paper gives one concrete number — ``E_d(6, 10) = 4`` — plus structural
+claims: Lemma 3's decomposition bound, Lemma 6's usage count for a fixed
+diagonal, and Lemma 7's O(n) total diagonal energy for light-first layouts.
+All are checked here (the energy scaling itself is benchmark E2).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.curves.diagonals import (
+    alignment_level,
+    diagonal_manhattan,
+    diagonal_usage_counts,
+    e_b,
+    e_d,
+    longest_diagonal_boundary,
+    verify_decomposition,
+)
+from repro.errors import ValidationError
+
+
+class TestAlignmentLevel:
+    def test_basic_levels(self):
+        assert alignment_level(np.array([1, 2, 3])).tolist() == [0, 0, 0]
+        assert alignment_level(np.array([4, 8, 12])).tolist() == [1, 1, 1]
+        assert alignment_level(np.array([16, 32, 64])).tolist() == [2, 2, 3]
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            alignment_level(np.array([0]))
+
+
+class TestLongestDiagonalBoundary:
+    def test_paper_example(self):
+        # Fig. 2: between 6 and 10 the longest diagonal is at the 8 boundary
+        assert longest_diagonal_boundary(6, 10)[0] == 8
+
+    def test_no_crossing(self):
+        assert longest_diagonal_boundary(5, 5)[0] == 0
+
+    def test_within_block(self):
+        # (4, 6]: boundaries 5 and 6; the most aligned is 6? both level 0 →
+        # the largest multiple of 4^0 <= 6 is picked
+        m = longest_diagonal_boundary(4, 6)[0]
+        assert 4 < m <= 6
+
+    def test_rejects_reversed(self):
+        with pytest.raises(ValidationError):
+            longest_diagonal_boundary(5, 3)
+
+    @given(
+        i=st.integers(min_value=0, max_value=4000),
+        gap=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_most_aligned_in_range(self, i, gap):
+        j = i + gap
+        m = int(longest_diagonal_boundary(i, j)[0])
+        assert i < m <= j
+        lvl = int(alignment_level(m)[0]) if m >= 1 else -1
+        # no more-aligned boundary can exist inside (i, j]
+        step = 4 ** (lvl + 1)
+        assert (j // step) * step <= i
+
+
+class TestDiagonalEnergy:
+    def test_paper_fig2_value(self):
+        assert e_d(6, 10, 4)[0] == 4
+
+    def test_zero_when_no_boundary(self):
+        assert e_d(3, 3, 4)[0] == 0
+
+    def test_diagonal_manhattan_matches_curve_jump(self):
+        from repro.curves import get_curve
+
+        z = get_curve("zorder")
+        for m in (1, 2, 4, 8, 12, 16, 32):
+            d = diagonal_manhattan(np.array([m]), 8)[0]
+            assert d == z.pairwise_distance(m - 1, m, 8)[0]
+
+    @given(
+        i=st.integers(min_value=0, max_value=1000),
+        gap=st.integers(min_value=1, max_value=500),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_property_lemma3_decomposition(self, i, gap):
+        """dist(i, j) <= E_b(i, j) + E_d(i, j) (Lemma 3)."""
+        side = 64  # 4096 cells
+        j = i + gap
+        slack = verify_decomposition(np.array([i]), np.array([j]), side)
+        assert slack[0] >= 0
+
+    def test_e_b_bound_formula(self):
+        assert e_b(0, 16)[0] == 8 * 4
+        assert e_b(np.array([3]), np.array([3]))[0] == 0
+
+
+class TestUsageCounts:
+    def test_light_first_tree_obeys_lemma6(self):
+        """Count how often each boundary is the longest diagonal over the
+        parent→child sends of a light-first layout; Lemma 6 bounds it by
+        Δ·ceil(log2(4 k²)) where k is the diagonal length."""
+        from repro.layout import TreeLayout
+        from repro.trees import random_binary_tree
+
+        tree = random_binary_tree(512, seed=3)
+        layout = TreeLayout.build(tree, order="light_first", curve="zorder")
+        edges = tree.edges()
+        pi = layout.position[edges[:, 0]]
+        pj = layout.position[edges[:, 1]]
+        lo = np.minimum(pi, pj)
+        hi = np.maximum(pi, pj)
+        counts = diagonal_usage_counts(lo, hi)
+        delta = tree.max_degree
+        for m, cnt in counts.items():
+            length = int(diagonal_manhattan(np.array([m]), layout.side)[0])
+            bound = delta * int(np.ceil(np.log2(max(2, 4 * length * length))))
+            assert cnt <= bound, (m, cnt, bound)
+
+    def test_counts_sum_to_crossing_pairs(self):
+        i = np.array([0, 1, 5, 7])
+        j = np.array([0, 3, 9, 7])
+        counts = diagonal_usage_counts(i, j)
+        assert sum(counts.values()) == 2  # two pairs actually cross a boundary

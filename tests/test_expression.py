@@ -1,0 +1,137 @@
+"""Tests for spatial expression tree evaluation (§V's Miller–Reif lineage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.spatial import SpatialTree
+from repro.spatial.expression import (
+    MOD,
+    OP_ADD,
+    OP_MUL,
+    evaluate_expression,
+    evaluate_expression_sequential,
+    random_expression,
+)
+from repro.trees import Tree, path_tree, prufer_random_tree, random_attachment_tree, star_tree
+
+
+class TestSequentialReference:
+    def test_hand_case(self):
+        # (2 + 3) * 4
+        t = Tree(np.array([-1, 0, 0, 1, 1]))
+        ops = np.array([OP_MUL, OP_ADD, OP_ADD, OP_ADD, OP_ADD])
+        vals = np.array([0, 0, 4, 2, 3])
+        out = evaluate_expression_sequential(t, ops, vals)
+        assert int(out[0]) == 20 and int(out[1]) == 5
+
+    def test_all_add_equals_treefix(self, zoo_tree, rng):
+        from repro.trees import bottom_up_treefix
+
+        vals = rng.integers(0, 1000, size=zoo_tree.n)
+        ops = np.full(zoo_tree.n, OP_ADD)
+        # with + everywhere, internal vertices' leaf constants are ignored
+        # but treefix counts them: zero them out for comparability
+        leaf_vals = np.where(zoo_tree.is_leaf(), vals, 0)
+        out = evaluate_expression_sequential(zoo_tree, ops, leaf_vals)
+        expect = bottom_up_treefix(zoo_tree, leaf_vals)
+        assert all(int(a) == int(b) for a, b in zip(out, expect))
+
+    def test_modular_wraparound(self):
+        t = path_tree(2)
+        ops = np.array([OP_MUL, OP_MUL])
+        vals = np.array([0, MOD - 1])
+        out = evaluate_expression_sequential(t, ops, vals)
+        assert int(out[0]) == (MOD - 1) % MOD
+
+
+class TestSpatialEvaluation:
+    def test_matches_reference_zoo(self, zoo_tree, rng):
+        ops = rng.integers(0, 2, size=zoo_tree.n)
+        vals = rng.integers(0, 10_000, size=zoo_tree.n)
+        expect = evaluate_expression_sequential(zoo_tree, ops, vals)
+        st_ = SpatialTree.build(zoo_tree)
+        got = evaluate_expression(st_, ops, vals, seed=1)
+        assert all(int(a) == int(b) for a, b in zip(got, expect))
+
+    def test_deep_multiplication_chain(self):
+        """A pure path of × vertices: compress + affine composition only."""
+        n = 200
+        t = path_tree(n)
+        ops = np.full(n, OP_MUL)
+        vals = np.zeros(n, dtype=np.int64)
+        vals[n - 1] = 7  # single leaf at the bottom
+        st_ = SpatialTree.build(t)
+        got = evaluate_expression(st_, ops, vals, seed=2)
+        assert int(got[0]) == 7  # product over single-child chains is x itself
+
+    def test_star_products(self):
+        n = 100
+        t = star_tree(n)
+        ops = np.full(n, OP_MUL)
+        vals = np.arange(1, n + 1, dtype=np.int64)
+        st_ = SpatialTree.build(t)
+        got = evaluate_expression(st_, ops, vals, seed=3)
+        expect = 1
+        for x in vals[1:]:
+            expect = (expect * int(x)) % MOD
+        assert int(got[0]) == expect
+
+    def test_large_field_values(self):
+        tree, ops, vals = random_expression(500, seed=4)
+        st_ = SpatialTree.build(tree)
+        got = evaluate_expression(st_, ops, vals, seed=5)
+        expect = evaluate_expression_sequential(tree, ops, vals)
+        assert all(int(a) == int(b) for a, b in zip(got, expect))
+
+    def test_single_vertex(self):
+        st_ = SpatialTree.build(path_tree(1))
+        got = evaluate_expression(st_, np.array([OP_ADD]), np.array([9]), seed=0)
+        assert int(got[0]) == 9
+
+    def test_seed_invariance_of_results(self):
+        tree, ops, vals = random_expression(300, seed=6)
+        outs = []
+        for seed in (1, 2, 3):
+            st_ = SpatialTree.build(tree)
+            outs.append(evaluate_expression(st_, ops, vals, seed=seed))
+        assert all(int(a) == int(b) for a, b in zip(outs[0], outs[1]))
+        assert all(int(a) == int(b) for a, b in zip(outs[1], outs[2]))
+
+    def test_costs_near_linear(self):
+        per = []
+        ns = (1024, 4096)
+        for n in ns:
+            tree, ops, vals = random_expression(n, seed=7)
+            st_ = SpatialTree.build(tree)
+            evaluate_expression(st_, ops, vals, seed=8)
+            per.append(st_.machine.energy / (n * np.log2(n)))
+        assert per[1] <= per[0] * 1.5
+
+    def test_depth_polylog(self):
+        n = 4096
+        tree, ops, vals = random_expression(n, seed=9)
+        st_ = SpatialTree.build(tree)
+        evaluate_expression(st_, ops, vals, seed=10)
+        assert st_.machine.depth <= 12 * np.log2(n) ** 2
+
+    def test_validation(self):
+        st_ = SpatialTree.build(path_tree(4))
+        with pytest.raises(ValidationError):
+            evaluate_expression(st_, np.zeros(5, dtype=np.int64), np.zeros(4))
+        with pytest.raises(ValidationError):
+            evaluate_expression(st_, np.full(4, 7), np.zeros(4))
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=1, max_value=120), seed=st.integers(0, 300))
+def test_property_spatial_matches_sequential(n, seed):
+    tree = random_attachment_tree(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    ops = rng.integers(0, 2, size=n)
+    vals = rng.integers(0, 1_000_000, size=n)
+    st_ = SpatialTree.build(tree)
+    got = evaluate_expression(st_, ops, vals, seed=seed)
+    expect = evaluate_expression_sequential(tree, ops, vals)
+    assert all(int(a) == int(b) for a, b in zip(got, expect))

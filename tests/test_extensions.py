@@ -1,0 +1,167 @@
+"""Tests for the extension features added beyond the minimal reproduction:
+alternative metrics (network obliviousness), the spider generator, ablation
+knobs' correctness, and deeper coverage of analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.curves import distance_profile, empirical_alpha, get_curve
+from repro.errors import ValidationError
+from repro.machine import SpatialMachine, exclusive_scan, reduce
+from repro.spatial import SpatialTree, list_rank
+from repro.spatial.treefix import top_down_treefix, treefix_sum
+from repro.trees import (
+    bottom_up_treefix,
+    prufer_random_tree,
+    spider_tree,
+    top_down_treefix as ref_top_down,
+)
+
+
+class TestChebyshevMetric:
+    """§I-B: the model is network-oblivious — results are metric-agnostic
+    and the energy bounds transfer within a constant factor."""
+
+    def test_metric_validation(self):
+        with pytest.raises(ValidationError):
+            SpatialMachine(4, metric="taxicab-squared")
+
+    def test_linf_sandwich(self):
+        rng = np.random.default_rng(0)
+        m1 = SpatialMachine(256, metric="manhattan")
+        m2 = SpatialMachine(256, metric="chebyshev")
+        src = rng.integers(0, 256, size=100)
+        dst = rng.integers(0, 256, size=100)
+        m1.send(src, dst)
+        m2.send(src, dst)
+        assert m2.energy <= m1.energy <= 2 * m2.energy
+
+    def test_collectives_correct_under_linf(self):
+        m = SpatialMachine(100, metric="chebyshev")
+        vals = np.arange(100)
+        assert reduce(m, vals) == vals.sum()
+        assert np.array_equal(exclusive_scan(m, np.ones(100, dtype=np.int64)), np.arange(100))
+
+    def test_treefix_correct_under_linf(self, rng):
+        tree = prufer_random_tree(200, seed=1)
+        layout_machine = SpatialMachine(200, metric="chebyshev")
+        st = SpatialTree(
+            __import__("repro.layout", fromlist=["TreeLayout"]).TreeLayout.build(tree),
+            machine=layout_machine,
+        )
+        vals = rng.integers(0, 40, size=200)
+        assert np.array_equal(treefix_sum(st, vals, seed=2), bottom_up_treefix(tree, vals))
+
+    def test_linear_energy_still_holds_under_linf(self):
+        per = []
+        for n in (1024, 8192):
+            m = SpatialMachine(n, metric="chebyshev")
+            exclusive_scan(m, np.ones(n, dtype=np.int64))
+            per.append(m.energy / n)
+        assert per[1] <= per[0] * 1.2
+
+
+class TestSpiderTree:
+    def test_structure(self):
+        t = spider_tree(5, 7)
+        assert t.n == 36
+        assert t.max_degree == 5
+        assert t.height() == 7
+        assert len(t.leaves()) == 5
+
+    def test_degenerate_cases(self):
+        assert spider_tree(1, 10).height() == 10  # a path
+        assert spider_tree(10, 1).max_degree == 10  # a star
+
+    def test_treefix_on_spider(self, rng):
+        """Mixed compress (legs) + rake (center) stress."""
+        t = spider_tree(16, 32)
+        vals = rng.integers(0, 100, size=t.n)
+        for mode in ("direct", "virtual"):
+            st = SpatialTree.build(t, mode=mode)
+            assert np.array_equal(treefix_sum(st, vals, seed=3), bottom_up_treefix(t, vals))
+
+    def test_top_down_on_spider(self, rng):
+        t = spider_tree(8, 16)
+        vals = rng.integers(0, 100, size=t.n)
+        st = SpatialTree.build(t)
+        assert np.array_equal(top_down_treefix(st, vals, seed=4), ref_top_down(t, vals))
+
+    def test_lca_on_spider(self, rng):
+        from repro.spatial import lca_batch
+        from repro.trees import BinaryLiftingLCA
+
+        t = spider_tree(10, 12)
+        us = rng.integers(0, t.n, size=40)
+        vs = rng.integers(0, t.n, size=40)
+        st = SpatialTree.build(t)
+        assert np.array_equal(
+            lca_batch(st, us, vs, seed=5), BinaryLiftingLCA(t).query_batch(us, vs)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValidationError):
+            spider_tree(0, 5)
+        with pytest.raises(ValidationError):
+            spider_tree(5, 0)
+
+
+class TestAblationKnobCorrectness:
+    """Knobs change costs, never results."""
+
+    def test_biased_treefix_correct(self, rng):
+        t = prufer_random_tree(200, seed=6)
+        vals = rng.integers(0, 50, size=200)
+        expect = bottom_up_treefix(t, vals)
+        for bias in (0.15, 0.85):
+            st = SpatialTree.build(t)
+            assert np.array_equal(treefix_sum(st, vals, seed=7, coin_bias=bias), expect)
+
+    def test_biased_list_rank_correct(self):
+        rng = np.random.default_rng(8)
+        perm = rng.permutation(200)
+        succ = np.full(200, -1, dtype=np.int64)
+        succ[perm[:-1]] = perm[1:]
+        expect = None
+        for bias in (0.2, 0.5, 0.8):
+            m = SpatialMachine(200)
+            res = list_rank(m, succ, seed=9, coin_bias=bias)
+            if expect is None:
+                expect = res.ranks
+            assert np.array_equal(res.ranks, expect)
+
+    def test_sync_barriers_correct(self, rng):
+        t = prufer_random_tree(150, seed=10)
+        vals = rng.integers(0, 50, size=150)
+        st = SpatialTree.build(t)
+        got = treefix_sum(st, vals, seed=11, sync_barriers=True)
+        assert np.array_equal(got, bottom_up_treefix(t, vals))
+
+    def test_rounds_counter_exposed(self):
+        t = prufer_random_tree(100, seed=12)
+        st = SpatialTree.build(t)
+        treefix_sum(st, np.ones(100, dtype=np.int64), seed=13)
+        assert st.last_contraction_rounds >= 1
+
+
+class TestAnalysisHelpers:
+    def test_distance_profile_monotone_envelope(self):
+        gaps = [1, 4, 16, 64]
+        prof = distance_profile("hilbert", 32, gaps, seed=1)
+        # worst distance grows with the gap for a distance-bound curve
+        assert prof[0] <= prof[-1]
+        assert (prof >= 1).all()
+
+    def test_empirical_alpha_fields(self):
+        est = empirical_alpha("hilbert", 16, seed=2)
+        assert est.curve == "hilbert"
+        assert est.samples > 0
+        assert 1 <= est.worst_j <= 255
+        # the worst pair actually attains the reported ratio
+        c = get_curve("hilbert")
+        d = int(c.pairwise_distance(est.worst_i, est.worst_i + est.worst_j, 16)[0])
+        assert abs(d / np.sqrt(est.worst_j) - est.alpha_hat) < 1e-9
+
+    def test_distance_profile_ignores_out_of_range_gaps(self):
+        prof = distance_profile("hilbert", 4, [1, 1000], seed=3)
+        assert prof[1] == 0

@@ -1,0 +1,117 @@
+"""Tests for the Karger building block: 1-respecting cut values."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.spatial import SpatialTree
+from repro.spatial.graph import (
+    OneRespectingCuts,
+    one_respecting_cuts,
+    one_respecting_cuts_reference,
+)
+from repro.trees import path_tree, prufer_random_tree, random_attachment_tree, star_tree
+
+
+def random_extra_edges(n, m, rng):
+    a = rng.integers(0, n, size=2 * m).reshape(-1, 2)
+    keep = a[:, 0] != a[:, 1]
+    return a[keep][:m]
+
+
+class TestCutValues:
+    def test_matches_reference_zoo(self, zoo_tree, rng):
+        if zoo_tree.n < 3:
+            pytest.skip("needs non-tree edges")
+        edges = random_extra_edges(zoo_tree.n, 30, rng)
+        st_ = SpatialTree.build(zoo_tree)
+        got = one_respecting_cuts(st_, edges, seed=1)
+        expect = one_respecting_cuts_reference(zoo_tree, edges)
+        nonroot = zoo_tree.parents >= 0
+        assert np.array_equal(got.cut[nonroot], expect[nonroot])
+        assert got.cut[zoo_tree.root] == 0
+
+    def test_weighted_edges(self, rng):
+        t = random_attachment_tree(80, seed=2)
+        edges = random_extra_edges(80, 20, rng)
+        w = rng.integers(1, 10, size=len(edges))
+        tw = rng.integers(1, 5, size=80)
+        st_ = SpatialTree.build(t)
+        got = one_respecting_cuts(st_, edges, edge_weights=w, tree_edge_weights=tw, seed=3)
+        expect = one_respecting_cuts_reference(t, edges, edge_weights=w, tree_edge_weights=tw)
+        nonroot = t.parents >= 0
+        assert np.array_equal(got.cut[nonroot], expect[nonroot])
+
+    def test_no_extra_edges_pure_tree(self):
+        t = path_tree(10)
+        st_ = SpatialTree.build(t)
+        got = one_respecting_cuts(st_, np.zeros((0, 2), dtype=np.int64), seed=4)
+        # every tree edge is a cut of weight exactly 1
+        assert (got.cut[1:] == 1).all()
+
+    def test_cycle_edge_cancels_on_path(self):
+        # path 0-1-2-3 plus back edge (0, 3): edges inside the cycle have
+        # cut value 2, so no 1-respecting cut of value 1 exists on the cycle
+        t = path_tree(4)
+        st_ = SpatialTree.build(t)
+        got = one_respecting_cuts(st_, np.array([[0, 3]]), seed=5)
+        assert list(got.cut[1:]) == [2, 2, 2]
+
+    def test_minimum_finder(self, rng):
+        t = prufer_random_tree(60, seed=6)
+        edges = random_extra_edges(60, 15, rng)
+        st_ = SpatialTree.build(t)
+        got = one_respecting_cuts(st_, edges, seed=7)
+        v, val = got.minimum(t)
+        nonroot = np.flatnonzero(t.parents >= 0)
+        assert val == got.cut[nonroot].min()
+        assert t.parents[v] >= 0
+
+    def test_hot_endpoint_splitting_used(self, rng):
+        """All extra edges share one endpoint — the §VI splitting path."""
+        t = random_attachment_tree(100, seed=8)
+        other = rng.integers(1, 100, size=50)
+        edges = np.stack([np.zeros(50, dtype=np.int64), other], axis=1)
+        edges = edges[edges[:, 0] != edges[:, 1]]
+        st_ = SpatialTree.build(t)
+        got = one_respecting_cuts(st_, edges, seed=9, max_queries_per_vertex=4)
+        expect = one_respecting_cuts_reference(t, edges)
+        nonroot = t.parents >= 0
+        assert np.array_equal(got.cut[nonroot], expect[nonroot])
+
+    def test_star_center_cuts(self, rng):
+        t = star_tree(40)
+        edges = random_extra_edges(40, 10, rng)
+        st_ = SpatialTree.build(t)
+        got = one_respecting_cuts(st_, edges, seed=10)
+        expect = one_respecting_cuts_reference(t, edges)
+        assert np.array_equal(got.cut[1:], expect[1:])
+
+    def test_validation(self):
+        st_ = SpatialTree.build(path_tree(5))
+        with pytest.raises(ValidationError):
+            one_respecting_cuts(st_, np.array([[1, 1]]))
+        with pytest.raises(ValidationError):
+            one_respecting_cuts(st_, np.array([[0, 9]]))
+        with pytest.raises(ValidationError):
+            one_respecting_cuts(st_, np.array([[0, 1]]), edge_weights=np.ones(3))
+
+    def test_single_vertex_minimum_rejected(self):
+        st_ = SpatialTree.build(path_tree(1))
+        cuts = one_respecting_cuts(st_, np.zeros((0, 2), dtype=np.int64))
+        with pytest.raises(ValidationError):
+            cuts.minimum(st_.tree)
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(min_value=3, max_value=80), seed=st.integers(0, 300))
+def test_property_cut_values_match_reference(n, seed):
+    t = random_attachment_tree(n, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    edges = random_extra_edges(n, min(20, n), rng)
+    st_ = SpatialTree.build(t)
+    got = one_respecting_cuts(st_, edges, seed=seed)
+    expect = one_respecting_cuts_reference(t, edges)
+    nonroot = t.parents >= 0
+    assert np.array_equal(got.cut[nonroot], expect[nonroot])

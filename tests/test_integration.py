@@ -1,0 +1,168 @@
+"""Integration tests: full pipelines across subsystems, end-to-end flows
+matching how a downstream user would drive the library."""
+
+import numpy as np
+import pytest
+
+from repro import SpatialTree, create_light_first_layout
+from repro.layout import TreeLayout, is_light_first
+from repro.machine import SpatialMachine, attach_tracer
+from repro.spatial import lca_batch, treefix_sum
+from repro.spatial.treefix import top_down_treefix
+from repro.trees import (
+    BinaryLiftingLCA,
+    bottom_up_treefix,
+    combine_forest,
+    prufer_random_tree,
+    random_attachment_tree,
+    split_forest_values,
+    star_tree,
+)
+
+
+class TestEndToEndPipeline:
+    """Arbitrary placement → §IV layout creation → §V/§VI algorithms."""
+
+    def test_create_then_compute(self, rng):
+        tree = prufer_random_tree(300, seed=21)
+        creation = create_light_first_layout(
+            tree, seed=22, initial_positions=rng.permutation(300)
+        )
+        st = SpatialTree(creation.layout)
+        vals = rng.integers(0, 100, size=300)
+        sums = treefix_sum(st, vals, seed=23)
+        assert np.array_equal(sums, bottom_up_treefix(tree, vals))
+        us = rng.integers(0, 300, size=50)
+        vs = rng.integers(0, 300, size=50)
+        answers = lca_batch(st, us, vs, seed=24)
+        assert np.array_equal(answers, BinaryLiftingLCA(tree).query_batch(us, vs))
+        # the §I-D amortization story: creation >> one algorithm pass
+        assert creation.energy > st.machine.energy / 10
+
+    @pytest.mark.parametrize("curve", ["hilbert", "peano", "zorder"])
+    def test_all_curves_full_stack(self, curve, rng):
+        tree = random_attachment_tree(200, seed=25)
+        st = SpatialTree.build(tree, curve=curve)
+        vals = rng.integers(0, 50, size=200)
+        assert np.array_equal(treefix_sum(st, vals, seed=26), bottom_up_treefix(tree, vals))
+        us = rng.integers(0, 200, size=30)
+        vs = rng.integers(0, 200, size=30)
+        assert np.array_equal(
+            lca_batch(st, us, vs, seed=27),
+            BinaryLiftingLCA(tree).query_batch(us, vs),
+        )
+
+    def test_shared_machine_accumulates_costs(self, rng):
+        tree = prufer_random_tree(150, seed=28)
+        st = SpatialTree.build(tree)
+        vals = np.ones(150, dtype=np.int64)
+        treefix_sum(st, vals, seed=29)
+        e1 = st.machine.energy
+        top_down_treefix(st, vals, seed=30)
+        e2 = st.machine.energy
+        lca_batch(st, rng.permutation(150), rng.permutation(150), seed=31)
+        e3 = st.machine.energy
+        assert 0 < e1 < e2 < e3
+        phases = st.machine.ledger.summary()
+        assert phases["total"]["energy"] == e3
+
+    def test_tracer_through_full_algorithm(self):
+        tree = prufer_random_tree(256, seed=32)
+        st = SpatialTree.build(tree)
+        tracer = attach_tracer(st.machine)
+        treefix_sum(st, np.ones(256, dtype=np.int64), seed=33)
+        assert tracer.total_traversals == st.machine.energy + st.machine.messages
+
+    def test_forest_end_to_end(self, rng):
+        trees = [prufer_random_tree(60, seed=s) for s in range(4)]
+        idx = combine_forest(trees)
+        st = SpatialTree.build(idx.tree)
+        vals = rng.integers(0, 20, size=idx.tree.n)
+        vals[0] = 0
+        sums = treefix_sum(st, vals, seed=34)
+        for t, s, v in zip(
+            trees, split_forest_values(idx, sums), split_forest_values(idx, vals)
+        ):
+            assert np.array_equal(s, bottom_up_treefix(t, v))
+        # the super-root holds the forest total
+        assert sums[0] == vals.sum()
+
+
+class TestDeterminism:
+    def test_same_seed_same_costs(self):
+        tree = prufer_random_tree(200, seed=35)
+        snaps = []
+        for _ in range(2):
+            st = SpatialTree.build(tree)
+            treefix_sum(st, np.ones(200, dtype=np.int64), seed=36)
+            snaps.append(st.snapshot())
+        assert snaps[0] == snaps[1]
+
+    def test_different_seeds_same_results_different_costs(self):
+        tree = prufer_random_tree(400, seed=37)
+        outs, costs = [], []
+        for seed in (1, 2):
+            st = SpatialTree.build(tree)
+            outs.append(treefix_sum(st, np.arange(400), seed=seed))
+            costs.append(st.machine.energy)
+        assert np.array_equal(outs[0], outs[1])
+        assert costs[0] != costs[1]  # Las Vegas: cost varies, result doesn't
+
+
+class TestLayoutReuse:
+    """§I-D: the layout is computed once and reused across iterations."""
+
+    def test_many_iterations_amortize(self, rng):
+        tree = prufer_random_tree(500, seed=38)
+        creation = create_light_first_layout(tree, seed=39)
+        st = SpatialTree(creation.layout)
+        st.virtual_schedule  # one-time
+        per_iter = []
+        for it in range(3):
+            before = st.machine.energy
+            treefix_sum(st, rng.integers(0, 10, size=500), seed=40 + it)
+            per_iter.append(st.machine.energy - before)
+        # steady-state iterations cost the same (±random-mate noise)
+        assert max(per_iter) < 1.5 * min(per_iter)
+        assert creation.energy > max(per_iter)
+
+    def test_layout_object_is_immutable_enough(self):
+        tree = star_tree(64)
+        layout = TreeLayout.build(tree)
+        with pytest.raises(ValueError):
+            layout.order[0] = 5
+        with pytest.raises(ValueError):
+            layout.position[0] = 5
+
+
+class TestExamplesRun:
+    """The shipped examples must execute cleanly end to end."""
+
+    def test_figures_example(self, capsys):
+        import examples.figures as fig
+
+        fig.main()
+        out = capsys.readouterr().out
+        assert "all figure-level assertions passed" in out
+
+    def test_quickstart_example(self, capsys):
+        import examples.quickstart as qs
+
+        qs.main()
+        out = capsys.readouterr().out
+        assert "treefix sum" in out
+
+    def test_congestion_example(self, capsys):
+        import examples.wafer_congestion as wc
+
+        wc.main()
+        out = capsys.readouterr().out
+        assert "peak congestion ratio" in out
+
+    def test_reproduce_all_checklist(self, capsys):
+        import examples.reproduce_all as ra
+
+        ra.CHECKS.clear()
+        ra.main()
+        out = capsys.readouterr().out
+        assert "12/12 checks passed" in out

@@ -1,0 +1,204 @@
+"""Tests for linear orders and grid embeddings (paper §III-A, E1 ablations)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.layout import (
+    LayoutMetrics,
+    TreeLayout,
+    available_orders,
+    compare_layouts,
+    compute_order,
+    energy_scaling,
+    heavy_first_order,
+    is_light_first,
+    light_first_order,
+)
+from repro.trees import (
+    caterpillar_tree,
+    path_tree,
+    perfect_kary_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    star_tree,
+)
+
+
+class TestLightFirstOrder:
+    def test_definition_satisfied(self, zoo_tree):
+        order = light_first_order(zoo_tree)
+        assert is_light_first(zoo_tree, order)
+
+    def test_root_first(self, zoo_tree):
+        assert light_first_order(zoo_tree)[0] == zoo_tree.root
+
+    def test_children_positions_formula(self):
+        """Exact §III-A check: c_i at position 1 + p_v + Σ_{j<i} s(c_j)."""
+        t = prufer_random_tree(80, seed=1)
+        order = light_first_order(t)
+        pos = np.empty(t.n, dtype=np.int64)
+        pos[order] = np.arange(t.n)
+        sizes = t.subtree_sizes()
+        for v in range(t.n):
+            kids = t.children(v)
+            kids = kids[np.argsort(sizes[kids], kind="stable")]
+            expected = pos[v] + 1
+            for c in kids:
+                assert pos[c] == expected
+                expected += sizes[c]
+
+    def test_heavy_first_violates_light_first(self):
+        t = random_attachment_tree(100, seed=2)
+        assert not is_light_first(t, heavy_first_order(t))
+
+    def test_bfs_violates_light_first_on_binary_tree(self):
+        t = perfect_kary_tree(4)
+        assert not is_light_first(t, t.bfs_order())
+
+    def test_is_light_first_accepts_ties_swapped(self):
+        # star: all children have size 1 — any child order is light-first
+        t = star_tree(5)
+        order = np.array([0, 4, 3, 2, 1])
+        assert is_light_first(t, order)
+
+
+class TestComputeOrder:
+    def test_all_named_orders_are_permutations(self, zoo_tree):
+        for name in available_orders():
+            order = compute_order(zoo_tree, name, seed=3)
+            assert np.array_equal(np.sort(order), np.arange(zoo_tree.n))
+
+    def test_custom_permutation_accepted(self):
+        t = path_tree(4)
+        order = compute_order(t, np.array([3, 2, 1, 0]))
+        assert list(order) == [3, 2, 1, 0]
+
+    def test_bad_custom_rejected(self):
+        t = path_tree(4)
+        with pytest.raises(ValidationError):
+            compute_order(t, np.array([0, 0, 1, 2]))
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_order(path_tree(3), "zigzag")
+
+
+class TestTreeLayout:
+    def test_build_defaults(self, zoo_tree):
+        layout = TreeLayout.build(zoo_tree)
+        assert layout.n == zoo_tree.n
+        assert layout.curve.name == "hilbert"
+        assert np.array_equal(layout.order[layout.position], np.arange(zoo_tree.n))
+
+    def test_coordinates_unique(self, zoo_tree):
+        layout = TreeLayout.build(zoo_tree)
+        coords = layout.coordinates()
+        assert len({(int(x), int(y)) for x, y in coords}) == zoo_tree.n
+
+    def test_edge_distances_match_manual(self):
+        t = random_attachment_tree(60, seed=5)
+        layout = TreeLayout.build(t)
+        d = layout.edge_distances()
+        coords = layout.coordinates()
+        edges = t.edges()
+        manual = np.abs(coords[edges[:, 0]] - coords[edges[:, 1]]).sum(axis=1)
+        assert np.array_equal(d, manual)
+        assert layout.local_broadcast_energy() == int(manual.sum())
+
+    def test_subtree_range_contiguous_for_light_first(self):
+        t = random_attachment_tree(100, seed=6)
+        layout = TreeLayout.build(t, order="light_first")
+        lo, hi = layout.subtree_range()
+        sizes = t.subtree_sizes()
+        assert np.array_equal(hi - lo + 1, sizes)
+        # every descendant position falls inside the range
+        for v in range(0, t.n, 7):
+            for u in range(t.n):
+                if t.is_ancestor(v, u):
+                    assert lo[v] <= layout.position[u] <= hi[v]
+
+    def test_vertex_distance(self):
+        t = path_tree(10)
+        layout = TreeLayout.build(t)
+        assert layout.vertex_distance(3, 3)[0] == 0
+        assert (layout.vertex_distance(np.arange(9), np.arange(1, 10)) >= 1).all()
+
+    def test_machine_matches_layout_geometry(self):
+        t = path_tree(20)
+        layout = TreeLayout.build(t, curve="zorder")
+        m = layout.machine()
+        assert m.side == layout.side
+        assert m.curve.name == "zorder"
+
+    def test_single_vertex(self):
+        layout = TreeLayout.build(path_tree(1))
+        assert layout.local_broadcast_energy() == 0
+
+
+class TestPaperNegativeResults:
+    """§III: the quantitative separations the paper states."""
+
+    def test_bfs_bad_on_perfect_binary_tree(self):
+        t = perfect_kary_tree(12)  # n = 8191
+        good = LayoutMetrics.of(TreeLayout.build(t, order="light_first"))
+        bad = LayoutMetrics.of(TreeLayout.build(t, order="bfs"))
+        # light-first: constant mean; BFS: Ω(sqrt n) mean
+        assert good.mean_distance < 4
+        assert bad.mean_distance > np.sqrt(t.n) / 4
+
+    def test_dfs_bad_on_caterpillar(self):
+        t = caterpillar_tree(2**13 + 1)
+        good = LayoutMetrics.of(TreeLayout.build(t, order="light_first"))
+        bad = LayoutMetrics.of(TreeLayout.build(t, order="dfs"))
+        assert good.mean_distance < 4
+        assert bad.mean_distance > np.sqrt(t.n) / 4
+
+    def test_light_first_linear_energy_all_curves(self):
+        t = prufer_random_tree(4000, seed=8)
+        for curve in ("hilbert", "peano", "zorder"):
+            m = LayoutMetrics.of(TreeLayout.build(t, order="light_first", curve=curve))
+            assert m.energy_per_vertex < 8, (curve, m)
+
+    def test_random_layout_bad_everywhere(self):
+        t = prufer_random_tree(4096, seed=9)
+        m = LayoutMetrics.of(TreeLayout.build(t, order="random", curve="hilbert", seed=1))
+        assert m.mean_distance > np.sqrt(t.n) / 4
+
+
+class TestMetricsHelpers:
+    def test_compare_layouts_rows(self):
+        t = random_attachment_tree(64, seed=1)
+        rows = compare_layouts(t, ["light_first", "bfs"], ["hilbert", "zorder"], seed=0)
+        assert len(rows) == 4
+        assert {r["order"] for r in rows} == {"light_first", "bfs"}
+
+    def test_energy_scaling_series(self):
+        rows = energy_scaling(lambda n: path_tree(n), [16, 64])
+        assert [r["n"] for r in rows] == [16, 64]
+        assert all(r["total_energy"] >= 0 for r in rows)
+
+    def test_empty_tree_metrics(self):
+        m = LayoutMetrics.of(TreeLayout.build(path_tree(1)))
+        assert m.total_energy == 0 and m.mean_distance == 0.0
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(min_value=2, max_value=200), seed=st.integers(0, 1000))
+def test_property_light_first_subtrees_contiguous(n, seed):
+    """In light-first order every subtree is one contiguous position block
+    — the property the LCA ranges (§VI-C) rely on."""
+    t = random_attachment_tree(n, seed=seed)
+    order = light_first_order(t)
+    pos = np.empty(n, dtype=np.int64)
+    pos[order] = np.arange(n)
+    sizes = t.subtree_sizes()
+    for v in rng_sample(n, seed):
+        members = sorted(pos[u] for u in range(n) if t.is_ancestor(v, int(u)))
+        assert members == list(range(pos[v], pos[v] + sizes[v]))
+
+
+def rng_sample(n, seed, k=5):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=min(k, n))

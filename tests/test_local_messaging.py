@@ -1,0 +1,171 @@
+"""Tests for §III local messaging: both kernels, both modes, masked
+variants, and the Theorem 1/3 cost envelopes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.spatial import (
+    SpatialTree,
+    family_broadcast,
+    family_reduce,
+    local_broadcast,
+    local_reduce,
+)
+from repro.trees import (
+    path_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    star_tree,
+)
+
+
+def expected_broadcast(tree, values):
+    out = values.copy()
+    nonroot = tree.parents >= 0
+    out[nonroot] = values[tree.parents[nonroot]]
+    return out
+
+
+def expected_reduce(tree, values, op=np.add, identity=0):
+    out = np.full(tree.n, identity, dtype=np.int64)
+    for v in range(tree.n):
+        p = tree.parents[v]
+        if p >= 0:
+            out[p] = op(out[p], values[v])
+    return out
+
+
+@pytest.mark.parametrize("mode", ["direct", "virtual"])
+class TestKernels:
+    def test_broadcast_matches_reference(self, zoo_tree, rng, mode):
+        vals = rng.integers(0, 1000, size=zoo_tree.n)
+        st_ = SpatialTree.build(zoo_tree, mode=mode)
+        got = local_broadcast(st_, vals)
+        assert np.array_equal(got, expected_broadcast(zoo_tree, vals))
+
+    def test_reduce_matches_reference(self, zoo_tree, rng, mode):
+        vals = rng.integers(0, 1000, size=zoo_tree.n)
+        st_ = SpatialTree.build(zoo_tree, mode=mode)
+        got = local_reduce(st_, vals)
+        assert np.array_equal(got, expected_reduce(zoo_tree, vals))
+
+    def test_reduce_max_operator(self, zoo_tree, rng, mode):
+        vals = rng.integers(-500, 500, size=zoo_tree.n)
+        st_ = SpatialTree.build(zoo_tree, mode=mode)
+        lo = np.int64(np.iinfo(np.int64).min)
+        got = local_reduce(st_, vals, op=np.maximum, identity=lo)
+        assert np.array_equal(got, expected_reduce(zoo_tree, vals, np.maximum, lo))
+
+    def test_methods_on_spatial_tree(self, zoo_tree, rng, mode):
+        vals = rng.integers(0, 10, size=zoo_tree.n)
+        st_ = SpatialTree.build(zoo_tree, mode=mode)
+        assert np.array_equal(
+            st_.local_broadcast(vals), expected_broadcast(zoo_tree, vals)
+        )
+
+    def test_values_shape_checked(self, zoo_tree, rng, mode):
+        st_ = SpatialTree.build(zoo_tree, mode=mode)
+        with pytest.raises(ValidationError):
+            local_broadcast(st_, np.zeros(zoo_tree.n + 1))
+
+
+class TestMaskedVariants:
+    def test_family_broadcast_only_selected(self, rng):
+        t = random_attachment_tree(120, seed=3)
+        vals = rng.integers(0, 100, size=120)
+        families = np.zeros(120, dtype=bool)
+        chosen = [int(v) for v in range(120) if len(t.children(v))][:5]
+        families[chosen] = True
+        st_ = SpatialTree.build(t)
+        got = family_broadcast(st_, vals, families)
+        for v in range(120):
+            p = t.parents[v]
+            if p >= 0 and families[p]:
+                assert got[v] == vals[p]
+            else:
+                assert got[v] == vals[v]
+
+    def test_family_reduce_contribute_mask(self, rng):
+        t = star_tree(40)
+        vals = rng.integers(1, 10, size=40)
+        contribute = np.zeros(40, dtype=bool)
+        contribute[1:20] = True
+        fam = np.zeros(40, dtype=bool)
+        fam[0] = True
+        st_ = SpatialTree.build(t, mode="virtual")
+        got = family_reduce(st_, vals, fam, contribute=contribute)
+        assert got[0] == vals[1:20].sum()
+
+    def test_family_reduce_inactive_family_gets_identity(self):
+        t = path_tree(5)
+        st_ = SpatialTree.build(t)
+        got = family_reduce(st_, np.ones(5, dtype=np.int64), np.zeros(5, dtype=bool))
+        assert (got == 0).all()
+
+
+class TestCostEnvelopes:
+    def test_linear_energy_in_n(self):
+        """Theorem 1/3: one local broadcast is O(n) energy; per-vertex
+        energy must stay bounded across a 16x size increase."""
+        per = []
+        for n in (1024, 16384):
+            t = prufer_random_tree(n, seed=1)
+            st_ = SpatialTree.build(t, mode="virtual")
+            st_.virtual_schedule  # build (and charge) once
+            base = st_.machine.energy
+            local_broadcast(st_, np.zeros(n, dtype=np.int64))
+            per.append((st_.machine.energy - base) / n)
+        assert per[1] <= per[0] * 1.5
+
+    def test_virtual_depth_logarithmic_on_star(self):
+        n = 4096
+        st_ = SpatialTree.build(star_tree(n), mode="virtual")
+        st_.virtual_schedule  # construction charge (itself O(log n)) first
+        before = st_.machine.depth
+        assert before <= 6 * np.log2(n)
+        local_broadcast(st_, np.zeros(n, dtype=np.int64))
+        assert st_.machine.depth - before <= 3 * np.log2(n)
+
+    def test_direct_depth_linear_on_star(self):
+        n = 512
+        st_ = SpatialTree.build(star_tree(n), mode="direct")
+        local_broadcast(st_, np.zeros(n, dtype=np.int64))
+        assert st_.machine.depth >= n - 2
+
+    def test_bounded_degree_direct_depth_constant(self):
+        st_ = SpatialTree.build(path_tree(2048), mode="direct")
+        local_broadcast(st_, np.zeros(2048, dtype=np.int64))
+        assert st_.machine.depth <= 4
+
+    def test_auto_mode_selection(self):
+        assert SpatialTree.build(path_tree(64)).mode == "direct"
+        assert SpatialTree.build(star_tree(64)).mode == "virtual"
+
+    def test_virtual_construction_charged_once(self):
+        t = star_tree(100)
+        st_ = SpatialTree.build(t, mode="virtual")
+        local_broadcast(st_, np.zeros(100, dtype=np.int64))
+        e1 = st_.machine.energy
+        local_broadcast(st_, np.zeros(100, dtype=np.int64))
+        e2 = st_.machine.energy - e1
+        # second broadcast is cheaper: no construction charge
+        construction = st_.machine.ledger.summary().get(
+            "virtual_tree_construction", {"energy": 0}
+        )["energy"]
+        assert construction > 0
+        assert e2 < e1
+
+
+@settings(max_examples=15, deadline=None)
+@given(n=st.integers(min_value=1, max_value=150), seed=st.integers(0, 500))
+def test_property_broadcast_reduce_roundtrip(n, seed):
+    """broadcast(ones) then reduce(received) counts children correctly."""
+    t = random_attachment_tree(n, seed=seed)
+    st_ = SpatialTree.build(t)
+    received = local_broadcast(st_, np.arange(n, dtype=np.int64))
+    nonroot = t.parents >= 0
+    assert np.array_equal(received[nonroot], t.parents[nonroot])
+    counts = local_reduce(st_, np.ones(n, dtype=np.int64))
+    assert np.array_equal(counts, t.num_children())

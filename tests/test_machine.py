@@ -1,0 +1,236 @@
+"""Tests for the spatial machine: energy accounting, the 1-port depth
+model, the register file, and the cost ledger (paper §II-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MachineStateError, MemoryBudgetError, ValidationError
+from repro.machine import CostLedger, RegisterFile, SpatialMachine
+
+
+class TestGeometry:
+    def test_positions_follow_curve(self):
+        m = SpatialMachine(16, curve="hilbert")
+        from repro.curves import get_curve
+
+        expected = get_curve("hilbert").positions(16, m.side)
+        assert np.array_equal(m.positions, expected)
+
+    def test_manhattan_symmetry(self):
+        m = SpatialMachine(64)
+        a = np.array([0, 5, 10])
+        b = np.array([63, 7, 10])
+        assert np.array_equal(m.manhattan(a, b), m.manhattan(b, a))
+        assert m.manhattan(np.array([3]), np.array([3]))[0] == 0
+
+    def test_minimal_side(self):
+        assert SpatialMachine(16).side == 4
+        assert SpatialMachine(17).side == 8
+        assert SpatialMachine(5, curve="peano").side == 3
+
+    def test_explicit_side_validated(self):
+        with pytest.raises(ValidationError):
+            SpatialMachine(100, side=4)
+
+    def test_rejects_zero_processors(self):
+        with pytest.raises(ValidationError):
+            SpatialMachine(0)
+
+
+class TestEnergyAccounting:
+    def test_single_message_energy_is_distance(self):
+        m = SpatialMachine(16)
+        m.send(0, 15)
+        assert m.energy == m.manhattan(np.array([0]), np.array([15]))[0]
+        assert m.messages == 1
+
+    def test_self_message_free(self):
+        m = SpatialMachine(4)
+        m.send(2, 2)
+        assert m.energy == 0 and m.messages == 0 and m.depth == 0
+
+    def test_bulk_energy_is_sum(self):
+        m = SpatialMachine(64)
+        src = np.arange(10)
+        dst = np.arange(10, 20)
+        m.send(src, dst)
+        assert m.energy == int(m.manhattan(src, dst).sum())
+        assert m.messages == 10
+
+    def test_payload_returned_unchanged(self):
+        m = SpatialMachine(8)
+        vals = np.array([7, 8])
+        out = m.send([0, 1], [2, 3], vals)
+        assert out is vals
+
+    def test_mismatched_endpoints_rejected(self):
+        m = SpatialMachine(8)
+        with pytest.raises(MachineStateError):
+            m.send([0, 1], [2])
+        with pytest.raises(MachineStateError):
+            m.send([0], [1], np.zeros(3))
+
+    def test_out_of_range_rejected(self):
+        m = SpatialMachine(8)
+        with pytest.raises(ValidationError):
+            m.send([0], [8])
+
+    def test_reset_costs(self):
+        m = SpatialMachine(8)
+        m.send(0, 5)
+        m.reset_costs()
+        assert m.energy == 0 and m.depth == 0 and m.messages == 0
+
+
+class TestDepthModel:
+    """The 1-port clock model: sends and receives serialize per processor."""
+
+    def test_chain_depth(self):
+        m = SpatialMachine(16)
+        for i in range(5):
+            m.send(i, i + 1)
+        # a 5-hop relay is a chain of 5 dependent messages
+        assert m.depth == 5
+
+    def test_independent_sends_are_parallel(self):
+        m = SpatialMachine(64)
+        m.send(np.arange(0, 10), np.arange(10, 20))
+        assert m.depth <= 2
+
+    def test_fan_out_serializes(self):
+        m = SpatialMachine(64)
+        m.send(np.zeros(30, dtype=int), np.arange(1, 31))
+        assert m.depth == 30
+
+    def test_fan_in_serializes_bulk(self):
+        m = SpatialMachine(64)
+        m.send(np.arange(1, 31), np.zeros(30, dtype=int))
+        assert m.depth == 30
+
+    def test_fan_in_serializes_sequential_calls(self):
+        m = SpatialMachine(64)
+        for i in range(1, 31):
+            m.send(i, 0)
+        assert m.depth == 30
+
+    def test_dependency_chains_compose(self):
+        m = SpatialMachine(64)
+        m.send(0, 1)   # 1 busy at time ~1
+        m.send(1, 2)   # depends on receive
+        m.send(2, 3)
+        d3 = m.clock[3]
+        assert d3 >= 3
+
+    def test_clock_per_processor(self):
+        m = SpatialMachine(64)
+        m.send(0, 1)
+        assert m.clock[2] == 0  # uninvolved processors don't advance
+
+
+class TestRegisters:
+    def test_alloc_free_cycle(self):
+        r = RegisterFile(10, budget=2)
+        a = r.alloc("x")
+        assert a.shape == (10,)
+        assert r.live == 1
+        r.free("x")
+        assert r.live == 0
+
+    def test_budget_enforced(self):
+        r = RegisterFile(4, budget=2)
+        r.alloc("a")
+        r.alloc("b")
+        with pytest.raises(MemoryBudgetError):
+            r.alloc("c")
+
+    def test_double_alloc_rejected(self):
+        r = RegisterFile(4)
+        r.alloc("a")
+        with pytest.raises(ValidationError):
+            r.alloc("a")
+
+    def test_free_unknown_rejected(self):
+        r = RegisterFile(4)
+        with pytest.raises(ValidationError):
+            r.free("nope")
+
+    def test_scope_frees_on_exit(self):
+        r = RegisterFile(4, budget=3)
+        with r.scope("x", "y") as (x, y):
+            assert r.live == 2
+            assert "x" in r and "y" in r
+        assert r.live == 0
+
+    def test_scope_single_name_yields_array(self):
+        r = RegisterFile(4)
+        with r.scope("solo") as arr:
+            assert arr.shape == (4,)
+
+    def test_peak_tracked(self):
+        r = RegisterFile(4, budget=8)
+        r.alloc("a")
+        r.alloc("b")
+        r.free("a")
+        r.alloc("c")
+        assert r.peak == 2
+
+    def test_fill_and_dtype(self):
+        r = RegisterFile(3)
+        arr = r.alloc("f", dtype=np.float64, fill=1.5)
+        assert arr.dtype == np.float64
+        assert (arr == 1.5).all()
+
+
+class TestLedgerPhases:
+    def test_phase_attribution(self):
+        m = SpatialMachine(16)
+        with m.phase("warmup"):
+            m.send(0, 1)
+        m.send(1, 2)
+        summary = m.ledger.summary()
+        assert summary["warmup"]["messages"] == 1
+        assert summary["total"]["messages"] == 2
+
+    def test_nested_phases_both_charged(self):
+        m = SpatialMachine(16)
+        with m.phase("outer"):
+            with m.phase("inner"):
+                m.send(0, 5)
+        s = m.ledger.summary()
+        assert s["outer"]["energy"] == s["inner"]["energy"] == m.energy
+
+    def test_phase_depth_span(self):
+        m = SpatialMachine(16)
+        m.send(0, 1)
+        before = m.depth
+        with m.phase("work") as p:
+            m.send(1, 2)
+        assert p.depth == m.depth - before
+
+    def test_reentrant_phase_accumulates(self):
+        m = SpatialMachine(16)
+        for _ in range(3):
+            with m.phase("loop"):
+                m.send(0, 1)
+        assert m.ledger.summary()["loop"]["messages"] == 3
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=256),
+    k=st.integers(min_value=1, max_value=50),
+    seed=st.integers(0, 10_000),
+)
+def test_property_energy_lower_bounds_depth_relationship(n, k, seed):
+    """Energy ≥ number of remote messages; depth ≥ ceil(messages / n)."""
+    rng = np.random.default_rng(seed)
+    m = SpatialMachine(n)
+    src = rng.integers(0, n, size=k)
+    dst = rng.integers(0, n, size=k)
+    m.send(src, dst)
+    remote = int((src != dst).sum())
+    assert m.messages == remote
+    assert m.energy >= remote  # every remote hop covers ≥1 unit of distance
+    if remote:
+        assert m.depth >= 1

@@ -1,0 +1,76 @@
+"""Tests for the Moore curve and running the full stack on it."""
+
+import numpy as np
+import pytest
+
+from repro.curves import get_curve
+from repro.errors import GridSizeError
+from repro.layout import LayoutMetrics, TreeLayout
+from repro.spatial import SpatialTree, treefix_sum
+from repro.trees import bottom_up_treefix, prufer_random_tree
+
+
+class TestMooreCurve:
+    @pytest.mark.parametrize("side", [2, 4, 8, 16])
+    def test_cyclic(self, side):
+        c = get_curve("moore")
+        assert c.is_cyclic(side)
+
+    @pytest.mark.parametrize("side", [2, 4, 8, 16, 32])
+    def test_bijective_and_continuous(self, side):
+        c = get_curve("moore")
+        n = side * side
+        x, y = c.index_to_xy(np.arange(n), side)
+        assert len({(int(a), int(b)) for a, b in zip(x, y)}) == n
+        steps = np.abs(np.diff(x)) + np.abs(np.diff(y))
+        assert (steps == 1).all()
+        assert np.array_equal(c.xy_to_index(x, y, side), np.arange(n))
+
+    def test_rejects_side_one(self):
+        c = get_curve("moore")
+        with pytest.raises(GridSizeError):
+            c.validate_side(1)
+        assert c.min_side(1) == 2
+
+    def test_quadrant_structure(self):
+        """Each quarter of the index range fills exactly one quadrant."""
+        c = get_curve("moore")
+        side = 8
+        s = side // 2
+        x, y = c.index_to_xy(np.arange(side * side), side)
+        for q, (wantx, wanty) in enumerate(
+            [(False, True), (False, False), (True, False), (True, True)]
+        ):
+            lo, hi = q * s * s, (q + 1) * s * s
+            assert ((x[lo:hi] >= s) == wantx).all(), q
+            assert ((y[lo:hi] >= s) == wanty).all(), q
+
+    def test_empirical_alpha_below_class_constant(self):
+        from repro.curves import empirical_alpha
+
+        c = get_curve("moore")
+        for side in (16, 32, 64):
+            est = empirical_alpha(c, side, seed=1)
+            assert est.alpha_hat <= c.alpha, (side, est)
+
+    def test_light_first_layout_linear_energy(self):
+        t = prufer_random_tree(4096, seed=1)
+        m = LayoutMetrics.of(TreeLayout.build(t, order="light_first", curve="moore"))
+        assert m.energy_per_vertex < 8
+
+    def test_full_stack_on_moore(self, rng):
+        t = prufer_random_tree(300, seed=2)
+        st_ = SpatialTree.build(t, curve="moore")
+        vals = rng.integers(0, 50, size=300)
+        got = treefix_sum(st_, vals, seed=3)
+        assert np.array_equal(got, bottom_up_treefix(t, vals))
+
+    def test_wraparound_distance_short(self):
+        """The cyclic property: first and last indices are neighbours, so
+        gap-(n−1) sends cost 1 — unique among the implemented curves."""
+        c = get_curve("moore")
+        side = 16
+        n = side * side
+        assert int(c.pairwise_distance(0, n - 1, side)[0]) == 1
+        h = get_curve("hilbert")
+        assert int(h.pairwise_distance(0, n - 1, side)[0]) > 1

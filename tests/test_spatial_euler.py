@@ -1,0 +1,124 @@
+"""Tests for the public spatial Euler tour API (§IV steps 1–2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.machine import SpatialMachine
+from repro.spatial import (
+    euler_tour_list,
+    spatial_euler_tour_ranks,
+    spatial_subtree_sizes_via_tour,
+)
+from repro.trees import (
+    edge_tour,
+    path_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    star_tree,
+)
+
+
+class TestEulerTourList:
+    def test_element_count(self, zoo_tree):
+        if zoo_tree.n < 2:
+            pytest.skip("needs an edge")
+        tour = euler_tour_list(zoo_tree)
+        assert tour.num_elements == 2 * (zoo_tree.n - 1)
+
+    def test_successors_form_single_chain(self, zoo_tree):
+        if zoo_tree.n < 2:
+            pytest.skip("needs an edge")
+        tour = euler_tour_list(zoo_tree)
+        succ = tour.succ
+        assert int((succ < 0).sum()) == 1  # one tail
+        # walking from the head visits every element exactly once
+        has_pred = np.zeros(len(succ), dtype=bool)
+        has_pred[succ[succ >= 0]] = True
+        head = int(np.flatnonzero(~has_pred)[0])
+        seen = 0
+        cur = head
+        while cur >= 0:
+            seen += 1
+            cur = int(succ[cur])
+        assert seen == len(succ)
+
+    def test_chain_matches_sequential_edge_tour(self):
+        t = random_attachment_tree(60, seed=1)
+        tour = euler_tour_list(t)
+        # walk the chain; each down element visits owner, each up element
+        # leaves the owner — compare endpoint sequence to trees.edge_tour
+        succ = tour.succ
+        has_pred = np.zeros(len(succ), dtype=bool)
+        has_pred[succ[succ >= 0]] = True
+        cur = int(np.flatnonzero(~has_pred)[0])
+        hops = []
+        while cur >= 0:
+            v = int(tour.owner[cur])
+            if cur % 2 == 0:  # down-edge: parent -> v
+                hops.append((int(t.parents[v]), v))
+            else:  # up-edge: v -> parent
+                hops.append((v, int(t.parents[v])))
+            cur = int(succ[cur])
+        expect = [tuple(row) for row in edge_tour(t)]
+        assert hops == expect
+
+    def test_single_vertex_rejected(self):
+        with pytest.raises(ValidationError):
+            euler_tour_list(path_tree(1))
+
+
+class TestSpatialRanksAndSizes:
+    def test_sizes_match_reference(self, zoo_tree):
+        if zoo_tree.n < 2:
+            pytest.skip("needs an edge")
+        m = SpatialMachine(zoo_tree.n)
+        sizes = spatial_subtree_sizes_via_tour(m, zoo_tree, seed=1)
+        assert np.array_equal(sizes, zoo_tree.subtree_sizes())
+
+    def test_arbitrary_placement(self, rng):
+        t = prufer_random_tree(120, seed=2)
+        m = SpatialMachine(120)
+        sizes = spatial_subtree_sizes_via_tour(
+            m, t, positions=rng.permutation(120), seed=3
+        )
+        assert np.array_equal(sizes, t.subtree_sizes())
+
+    def test_ranks_are_permutation(self):
+        t = star_tree(50)
+        m = SpatialMachine(50)
+        idx, tour = spatial_euler_tour_ranks(m, t, seed=4)
+        assert np.array_equal(np.sort(idx), np.arange(tour.num_elements))
+
+    def test_down_edge_precedes_up_edge(self, zoo_tree):
+        if zoo_tree.n < 2:
+            pytest.skip("needs an edge")
+        m = SpatialMachine(zoo_tree.n)
+        idx, tour = spatial_euler_tour_ranks(m, zoo_tree, seed=5)
+        assert (idx[0::2] < idx[1::2]).all()
+
+    def test_bad_positions_rejected(self):
+        t = path_tree(4)
+        m = SpatialMachine(4)
+        with pytest.raises(ValidationError):
+            spatial_euler_tour_ranks(m, t, positions=np.array([0, 0, 1, 2]))
+
+    def test_energy_theta_n_three_halves(self):
+        es = []
+        for n in (256, 2048):
+            t = prufer_random_tree(n, seed=6)
+            m = SpatialMachine(n)
+            spatial_subtree_sizes_via_tour(m, t, seed=7)
+            es.append(m.energy)
+        exponent = np.log(es[1] / es[0]) / np.log(2048 / 256)
+        assert 1.2 <= exponent <= 1.7  # Corollary 2
+
+
+@settings(max_examples=12, deadline=None)
+@given(n=st.integers(min_value=2, max_value=120), seed=st.integers(0, 300))
+def test_property_tour_sizes_always_match(n, seed):
+    t = random_attachment_tree(n, seed=seed)
+    m = SpatialMachine(n)
+    sizes = spatial_subtree_sizes_via_tour(m, t, seed=seed)
+    assert np.array_equal(sizes, t.subtree_sizes())

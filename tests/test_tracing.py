@@ -1,0 +1,104 @@
+"""Tests for the congestion tracer (XY dimension-order routing)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine import (
+    CongestionTracer,
+    SpatialMachine,
+    attach_tracer,
+    broadcast,
+    exclusive_scan,
+    render_heatmap,
+)
+
+
+class TestTracerGeometry:
+    def test_single_horizontal_message(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([0]), np.array([2]), np.array([3]), np.array([2]))
+        # row 2, columns 0..3 each traversed once
+        assert tr.load[2].tolist() == [1, 1, 1, 1]
+        assert tr.load.sum() == 4
+
+    def test_single_vertical_message(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([1]), np.array([0]), np.array([1]), np.array([3]))
+        assert tr.load[:, 1].tolist() == [1, 1, 1, 1]
+        assert tr.load.sum() == 4
+
+    def test_l_shaped_path(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([0]), np.array([0]), np.array([2]), np.array([3]))
+        # horizontal: (0,0)(1,0)(2,0); vertical: (2,1)(2,2)(2,3)
+        assert tr.load[0, :3].tolist() == [1, 1, 1]
+        assert tr.load[1:, 2].tolist() == [1, 1, 1]
+        assert tr.load.sum() == 6  # distance 5 + 1 endpoint
+
+    def test_upward_vertical(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([0]), np.array([3]), np.array([0]), np.array([0]))
+        assert tr.load[:, 0].tolist() == [1, 1, 1, 1]
+
+    def test_self_cell_message(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([1]), np.array([1]), np.array([1]), np.array([1]))
+        assert tr.load[1, 1] == 1
+        assert tr.load.sum() == 1
+
+    def test_traversals_equal_energy_plus_messages(self):
+        """Each message touches exactly distance + 1 cells."""
+        rng = np.random.default_rng(0)
+        m = SpatialMachine(256)
+        tr = attach_tracer(m)
+        src = rng.integers(0, 256, size=200)
+        dst = rng.integers(0, 256, size=200)
+        keep = src != dst
+        m.send(src[keep], dst[keep])
+        assert tr.total_traversals == m.energy + m.messages
+
+    def test_collectives_traced(self):
+        m = SpatialMachine(64)
+        tr = attach_tracer(m)
+        broadcast(m, 1)
+        exclusive_scan(m, np.arange(64))
+        assert tr.total_traversals == m.energy + m.messages
+        assert tr.max_load >= 1
+
+    def test_reset(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([0]), np.array([0]), np.array([3]), np.array([3]))
+        tr.reset()
+        assert tr.load.sum() == 0 and tr.messages == 0
+
+    def test_invalid_side(self):
+        with pytest.raises(ValidationError):
+            CongestionTracer(0)
+
+
+class TestHeatmap:
+    def test_render_empty(self):
+        tr = CongestionTracer(3)
+        out = render_heatmap(tr)
+        assert out == "   \n   \n   "
+
+    def test_render_peaks(self):
+        tr = CongestionTracer(2)
+        tr.load[0, 0] = 9
+        tr.load[1, 1] = 1
+        out = render_heatmap(tr)
+        rows = out.splitlines()
+        assert rows[0][0] == "@"  # hottest cell gets the top glyph
+        assert rows[0][1] == " "
+
+    def test_congestion_localizes_at_reduce_root(self):
+        """A reduce funnels messages toward processor 0's corner: its cell
+        must be among the hottest."""
+        from repro.machine import reduce
+
+        m = SpatialMachine(256)
+        tr = attach_tracer(m)
+        reduce(m, np.ones(256, dtype=np.int64))
+        x0, y0 = m.positions[m.n - 1]  # reduce accumulates at n-1
+        assert tr.load[y0, x0] >= 0.5 * tr.max_load

@@ -1,0 +1,170 @@
+"""Tests for the §III-D TRANSFORM (virtual trees) and the Newick I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ValidationError
+from repro.layout import light_first_order
+from repro.trees import (
+    Tree,
+    parse_newick,
+    path_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    star_tree,
+    to_newick,
+    transform_tree,
+)
+from repro.trees.traversal import position_of
+
+
+class TestTransform:
+    def test_degree_bound_four(self, zoo_tree):
+        vt = transform_tree(zoo_tree)
+        assert vt.virtual_degree().max() <= 4
+
+    def test_virtual_tree_is_spanning(self, zoo_tree):
+        vt = transform_tree(zoo_tree)
+        t_hat = vt.as_tree()
+        assert t_hat.n == zoo_tree.n
+        assert t_hat.root == zoo_tree.root
+        # validates reachability of every vertex
+        Tree(t_hat.parents.copy())
+
+    def test_current_children_are_original_children(self, zoo_tree):
+        vt = transform_tree(zoo_tree)
+        for v in range(zoo_tree.n):
+            kids = set(zoo_tree.children(v).tolist())
+            for c in vt.cur[v]:
+                if c >= 0:
+                    assert int(c) in kids
+
+    def test_appended_children_are_siblings(self, zoo_tree):
+        vt = transform_tree(zoo_tree)
+        parents = zoo_tree.parents
+        for v in range(zoo_tree.n):
+            for a in vt.app[v]:
+                if a >= 0:
+                    assert parents[int(a)] == parents[v]
+
+    def test_every_nonroot_has_exactly_one_virtual_parent(self, zoo_tree):
+        vt = transform_tree(zoo_tree)
+        assert (vt.vparent >= 0).sum() == zoo_tree.n - 1
+        assert vt.vparent[zoo_tree.root] == -1
+
+    def test_star_relay_depth_logarithmic(self):
+        n = 1025
+        vt = transform_tree(star_tree(n))
+        from repro.spatial.virtual_tree import compute_app_depth
+
+        depth = compute_app_depth(vt)
+        assert depth.max() <= 2 * int(np.ceil(np.log2(n))) + 2
+
+    def test_lemma8_light_first_preserved(self, zoo_tree):
+        """Lemma 8: T̂'s virtual children remain sorted by subtree size at
+        the light-first positions, i.e. each vertex's virtual children sit
+        later in light-first order than the vertex itself."""
+        vt = transform_tree(zoo_tree)
+        order = light_first_order(zoo_tree)
+        pos = position_of(order)
+        sizes = zoo_tree.subtree_sizes()
+        for v in range(zoo_tree.n):
+            vkids = vt.virtual_children(v)
+            # children of v in T̂: current children come before appended
+            # ones of the same family in light-first order only within
+            # their sibling runs; the robust Lemma 8 statement we check:
+            # each virtual child list is sorted by (size, position)
+            if len(vkids) > 1:
+                cur = [c for c in vt.cur[v] if c >= 0]
+                app = [a for a in vt.app[v] if a >= 0]
+                for group in (cur, app):
+                    if len(group) == 2:
+                        a, b = group
+                        assert (sizes[a], pos[a]) <= (sizes[b], pos[b])
+
+    def test_path_tree_transform_is_identity_like(self):
+        t = path_tree(6)
+        vt = transform_tree(t)
+        assert (vt.app == -1).all()
+        assert np.array_equal(vt.vparent, t.parents)
+
+    def test_custom_child_key(self):
+        t = star_tree(10)
+        vt = transform_tree(t, child_key=np.arange(10))
+        assert vt.virtual_degree().max() <= 4
+
+
+class TestNewick:
+    def test_roundtrip_zoo(self, zoo_tree):
+        text = to_newick(zoo_tree)
+        parsed, labels = parse_newick(text)
+        assert parsed.n == zoo_tree.n
+        # labels carry the original ids: rebuild the parent map and compare
+        ids = np.array([int(l) for l in labels])
+        back = np.full(zoo_tree.n, -1, dtype=np.int64)
+        for v in range(parsed.n):
+            p = parsed.parents[v]
+            if p >= 0:
+                back[ids[v]] = ids[p]
+        assert np.array_equal(back, zoo_tree.parents)
+
+    def test_parse_simple(self):
+        t, labels = parse_newick("(A,B,(C,D)E)F;")
+        assert t.n == 6
+        assert labels[0] == "F"
+        assert sorted(labels) == ["A", "B", "C", "D", "E", "F"]
+
+    def test_parse_branch_lengths_ignored(self):
+        t, labels = parse_newick("(A:0.1,B:0.2)C:0.0;")
+        assert t.n == 3
+        assert labels[0] == "C"
+
+    def test_parse_single_leaf(self):
+        t, labels = parse_newick("X;")
+        assert t.n == 1 and labels == ["X"]
+
+    def test_parse_rejects_garbage(self):
+        for bad in ["", "(A,B", "A)B;", "A,B;"]:
+            with pytest.raises(ValidationError):
+                parse_newick(bad)
+
+    def test_anonymous_middle_child_is_legal(self):
+        t, labels = parse_newick("(A,,B);")
+        assert t.n == 4
+        assert labels == ["", "A", "", "B"]
+
+    def test_anonymous_vertices(self):
+        t, labels = parse_newick("(,);")
+        assert t.n == 3
+        assert labels == ["", "", ""]
+
+    def test_deep_path_no_recursion_limit(self):
+        deep = path_tree(5000)
+        text = to_newick(deep)
+        parsed, _ = parse_newick(text)
+        assert parsed.n == 5000
+
+    def test_labels_length_checked(self):
+        with pytest.raises(ValidationError):
+            to_newick(path_tree(3), labels=["a"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(min_value=1, max_value=150), seed=st.integers(0, 500))
+def test_property_transform_preserves_descendant_sets(n, seed):
+    """Appended relays never move a vertex outside its original family:
+    the set of T-descendants reachable via T̂ equals the original one at
+    the family-parent level (local broadcast correctness precondition)."""
+    t = random_attachment_tree(n, seed=seed)
+    vt = transform_tree(t)
+    # in T̂, the T-parent of any vertex equals the family it receives from
+    fam = vt.tree.parents
+    for v in range(n):
+        vp = vt.vparent[v]
+        if vp < 0:
+            continue
+        if vt.is_appended[v]:
+            assert fam[int(vp)] == fam[v]
+        else:
+            assert fam[v] == vp

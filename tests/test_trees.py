@@ -1,0 +1,210 @@
+"""Unit tests for the Tree data structure and the generators (paper §II-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TreeStructureError, ValidationError
+from repro.trees import (
+    Tree,
+    birth_death_phylogeny,
+    caterpillar_tree,
+    complete_kary_tree,
+    decision_tree_shape,
+    path_tree,
+    perfect_kary_tree,
+    preferential_attachment_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    random_binary_tree,
+    star_tree,
+)
+
+
+class TestTreeConstruction:
+    def test_single_vertex(self):
+        t = Tree([-1])
+        assert t.n == 1 and t.root == 0
+        assert t.max_degree == 0
+        assert t.height() == 0
+
+    def test_rejects_empty(self):
+        with pytest.raises(TreeStructureError):
+            Tree(np.array([], dtype=np.int64))
+
+    def test_rejects_no_root(self):
+        with pytest.raises(TreeStructureError):
+            Tree([0, 0])
+
+    def test_rejects_two_roots(self):
+        with pytest.raises(TreeStructureError):
+            Tree([-1, -1])
+
+    def test_rejects_out_of_range_parent(self):
+        with pytest.raises(TreeStructureError):
+            Tree([-1, 5])
+
+    def test_rejects_cycle(self):
+        # 1 → 2 → 1 cycle detached from root 0
+        with pytest.raises(TreeStructureError):
+            Tree([-1, 2, 1])
+
+    def test_parents_read_only(self):
+        t = path_tree(3)
+        with pytest.raises(ValueError):
+            t.parents[0] = 2
+
+    def test_from_edges_roundtrip(self):
+        t = random_attachment_tree(50, seed=1)
+        edges = [(int(p), int(c)) for p, c in t.edges()]
+        t2 = Tree.from_edges(50, edges, root=t.root)
+        assert np.array_equal(t2.parents, t.parents)
+
+    def test_from_edges_wrong_count(self):
+        with pytest.raises(TreeStructureError):
+            Tree.from_edges(3, [(0, 1)])
+
+    def test_from_edges_disconnected(self):
+        with pytest.raises(TreeStructureError):
+            Tree.from_edges(4, [(0, 1), (2, 3), (0, 1)])
+
+
+class TestTreeDerived:
+    def test_children_ordered_by_id(self, zoo_tree):
+        offsets, targets = zoo_tree.children_csr()
+        for v in range(zoo_tree.n):
+            kids = targets[offsets[v] : offsets[v + 1]]
+            assert np.array_equal(kids, np.sort(kids))
+            for c in kids:
+                assert zoo_tree.parents[c] == v
+
+    def test_bfs_order_is_permutation_and_level_monotone(self, zoo_tree):
+        order = zoo_tree.bfs_order()
+        assert np.array_equal(np.sort(order), np.arange(zoo_tree.n))
+        depths = zoo_tree.depths()
+        assert (np.diff(depths[order]) >= 0).all()
+
+    def test_depths_consistent_with_parents(self, zoo_tree):
+        depths = zoo_tree.depths()
+        for v in range(zoo_tree.n):
+            p = zoo_tree.parents[v]
+            if p >= 0:
+                assert depths[v] == depths[p] + 1
+            else:
+                assert depths[v] == 0
+
+    def test_subtree_sizes_sum_and_root(self, zoo_tree):
+        s = zoo_tree.subtree_sizes()
+        assert s[zoo_tree.root] == zoo_tree.n
+        assert (s >= 1).all()
+        # each vertex's size = 1 + sum of children sizes
+        offsets, targets = zoo_tree.children_csr()
+        for v in range(zoo_tree.n):
+            kids = targets[offsets[v] : offsets[v + 1]]
+            assert s[v] == 1 + s[kids].sum()
+
+    def test_degree_matches_definition(self, zoo_tree):
+        for v in range(min(zoo_tree.n, 30)):
+            expected = len(zoo_tree.children(v)) + (0 if v == zoo_tree.root else 1)
+            assert zoo_tree.degree(v) == expected
+        assert zoo_tree.max_degree == max(
+            zoo_tree.degree(v) for v in range(zoo_tree.n)
+        )
+
+    def test_leaves(self, zoo_tree):
+        for v in zoo_tree.leaves():
+            assert len(zoo_tree.children(v)) == 0
+
+    def test_is_ancestor(self):
+        t = path_tree(5)
+        assert t.is_ancestor(0, 4)
+        assert t.is_ancestor(2, 2)
+        assert not t.is_ancestor(4, 0)
+
+    def test_relabel(self):
+        t = path_tree(4)
+        perm = np.array([3, 2, 1, 0])
+        t2 = t.relabel(perm)
+        # old 0 (root) becomes 3
+        assert t2.root == 3
+        assert t2.parents[0] == 1  # old 3's parent old 2 → new 1
+        with pytest.raises(ValidationError):
+            t.relabel(np.array([0, 0, 1, 2]))
+
+    def test_edges_shape(self, zoo_tree):
+        e = zoo_tree.edges()
+        assert e.shape == (zoo_tree.n - 1, 2)
+        assert (zoo_tree.parents[e[:, 1]] == e[:, 0]).all()
+
+
+class TestGenerators:
+    def test_path(self):
+        t = path_tree(10)
+        assert t.height() == 9
+        assert t.max_degree == 2
+
+    def test_star(self):
+        t = star_tree(10)
+        assert t.height() == 1
+        assert t.max_degree == 9
+
+    def test_caterpillar_structure(self):
+        t = caterpillar_tree(11)
+        # ~half spine, ~half leaves; height = spine length - 1
+        assert t.height() == 5
+        assert len(t.leaves()) == 6
+        t2 = caterpillar_tree(11, spine_first=False)
+        assert t2.n == 11 and t2.max_degree <= 3
+
+    def test_perfect_kary_sizes(self):
+        assert perfect_kary_tree(3, k=2).n == 15
+        assert perfect_kary_tree(2, k=3).n == 13
+        t = perfect_kary_tree(3, k=2)
+        assert (t.depths()[t.leaves()] == 3).all()
+
+    def test_perfect_kary_k1_is_path(self):
+        assert perfect_kary_tree(4, k=1).height() == 4
+
+    def test_complete_kary_exact_n(self):
+        for n in (1, 2, 7, 20):
+            assert complete_kary_tree(n, k=3).n == n
+
+    def test_random_binary_bounded_degree(self):
+        t = random_binary_tree(300, seed=0)
+        assert t.max_degree <= 3
+
+    def test_random_attachment_reproducible(self):
+        a = random_attachment_tree(100, seed=5)
+        b = random_attachment_tree(100, seed=5)
+        assert np.array_equal(a.parents, b.parents)
+
+    def test_preferential_attachment_skewed(self):
+        t = preferential_attachment_tree(500, seed=2)
+        assert t.max_degree > 8  # heavy tail
+
+    def test_prufer_uniform_valid(self):
+        for seed in range(5):
+            t = prufer_random_tree(60, seed=seed)
+            assert t.n == 60
+        assert prufer_random_tree(1).n == 1
+        assert prufer_random_tree(2).n == 2
+
+    def test_phylogeny_full_binary(self):
+        t = birth_death_phylogeny(50, seed=1)
+        assert t.n == 99
+        counts = t.num_children()
+        assert set(counts.tolist()) <= {0, 2}
+        assert len(t.leaves()) == 50
+
+    def test_decision_tree_exact_n(self):
+        for n in (1, 2, 17, 120):
+            t = decision_tree_shape(n, seed=3)
+            assert t.n == n
+
+    @given(n=st.integers(min_value=1, max_value=300), seed=st.integers(0, 100))
+    @settings(max_examples=30, deadline=None)
+    def test_property_generators_produce_valid_trees(self, n, seed):
+        for gen in (random_attachment_tree, random_binary_tree, decision_tree_shape):
+            t = gen(n, seed=seed)
+            # Tree() would raise on malformed structure; revalidate explicitly
+            Tree(t.parents.copy())

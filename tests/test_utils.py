@@ -1,0 +1,150 @@
+"""Unit tests for repro.utils: exact integer math, validation, RNG plumbing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ValidationError
+from repro.utils import (
+    as_index_array,
+    ceil_log2,
+    ceil_sqrt,
+    check_in_range,
+    check_nonnegative,
+    check_positive,
+    check_same_length,
+    floor_log2,
+    is_power_of_four,
+    is_power_of_two,
+    next_power_of_four,
+    next_power_of_two,
+    resolve_rng,
+    spawn_rngs,
+)
+
+
+class TestPowers:
+    def test_powers_of_two_detection(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1 << 40)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+        assert not is_power_of_two(6)
+
+    def test_powers_of_four_detection(self):
+        assert is_power_of_four(1)
+        assert is_power_of_four(4)
+        assert is_power_of_four(64)
+        assert not is_power_of_four(2)
+        assert not is_power_of_four(8)
+        assert not is_power_of_four(0)
+
+    @given(st.integers(min_value=1, max_value=1 << 50))
+    def test_next_power_of_two_properties(self, n):
+        p = next_power_of_two(n)
+        assert is_power_of_two(p)
+        assert p >= n
+        assert p < 2 * n
+
+    @given(st.integers(min_value=1, max_value=1 << 50))
+    def test_next_power_of_four_properties(self, n):
+        p = next_power_of_four(n)
+        assert is_power_of_four(p)
+        assert p >= n
+        assert p < 4 * n
+
+    def test_next_power_rejects_nonpositive(self):
+        with pytest.raises(ValidationError):
+            next_power_of_two(0)
+
+
+class TestLogs:
+    @given(st.integers(min_value=1, max_value=1 << 60))
+    def test_floor_log2_exact(self, n):
+        k = floor_log2(n)
+        assert 2**k <= n < 2 ** (k + 1)
+
+    @given(st.integers(min_value=1, max_value=1 << 60))
+    def test_ceil_log2_exact(self, n):
+        k = ceil_log2(n)
+        assert 2**k >= n
+        if n > 1:
+            assert 2 ** (k - 1) < n
+
+    def test_log_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            floor_log2(0)
+        with pytest.raises(ValidationError):
+            ceil_log2(0)
+
+
+class TestCeilSqrt:
+    @given(st.integers(min_value=0, max_value=1 << 60))
+    def test_ceil_sqrt_exact(self, n):
+        r = ceil_sqrt(n)
+        assert r * r >= n
+        if r > 0:
+            assert (r - 1) * (r - 1) < n
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            ceil_sqrt(-1)
+
+
+class TestValidation:
+    def test_as_index_array_accepts_lists(self):
+        arr = as_index_array([1, 2, 3])
+        assert arr.dtype == np.int64
+        assert np.array_equal(arr, [1, 2, 3])
+
+    def test_as_index_array_accepts_integral_floats(self):
+        arr = as_index_array(np.array([1.0, 2.0]))
+        assert arr.dtype == np.int64
+
+    def test_as_index_array_rejects_fractions(self):
+        with pytest.raises(ValidationError):
+            as_index_array(np.array([1.5]))
+
+    def test_as_index_array_rejects_2d(self):
+        with pytest.raises(ValidationError):
+            as_index_array(np.zeros((2, 2), dtype=np.int64))
+
+    def test_check_positive(self):
+        assert check_positive(3, name="x") == 3
+        with pytest.raises(ValidationError, match="x"):
+            check_positive(0, name="x")
+
+    def test_check_nonnegative(self):
+        assert check_nonnegative(0, name="y") == 0
+        with pytest.raises(ValidationError, match="y"):
+            check_nonnegative(-1, name="y")
+
+    def test_check_in_range(self):
+        check_in_range(np.array([0, 4]), 0, 5, name="z")
+        with pytest.raises(ValidationError, match="z"):
+            check_in_range(np.array([5]), 0, 5, name="z")
+        # empty arrays always pass
+        check_in_range(np.array([], dtype=np.int64), 0, 1, name="z")
+
+    def test_check_same_length(self):
+        check_same_length(("a", np.zeros(3)), ("b", np.ones(3)))
+        with pytest.raises(ValidationError):
+            check_same_length(("a", np.zeros(3)), ("b", np.ones(2)))
+
+
+class TestRng:
+    def test_resolve_rng_passthrough(self):
+        g = np.random.default_rng(0)
+        assert resolve_rng(g) is g
+
+    def test_resolve_rng_seed_deterministic(self):
+        a = resolve_rng(42).integers(0, 1000, size=10)
+        b = resolve_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_spawn_rngs_independent(self):
+        children = spawn_rngs(7, 3)
+        assert len(children) == 3
+        draws = [c.integers(0, 1 << 30) for c in children]
+        assert len(set(draws)) == 3  # overwhelmingly likely distinct
