@@ -2,8 +2,10 @@
 
 Every experiment file (E1–E9, see DESIGN.md / EXPERIMENTS.md) produces the
 paper-shaped series as an ASCII table. The ``report`` fixture prints the
-table and archives it under ``benchmarks/results/`` so the tables survive
-the pytest-benchmark summary output.
+table and archives it under ``benchmarks/results/`` — both as the legacy
+``<name>.txt`` table and as a machine-readable, schema-versioned
+``BENCH_<name>.json`` report (:mod:`repro.analysis.report` format), so CI
+and the ``repro report`` CLI can consume benchmark output directly.
 
 Benchmarks are also *checks*: each asserts the theorem's scaling corridor
 (fitted exponents / flat normalized ratios), so `pytest benchmarks/
@@ -17,17 +19,36 @@ import pathlib
 
 import pytest
 
+from repro.analysis.report import RunReport
+
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 @pytest.fixture
 def report():
-    """Callable fixture: ``report(name, text)`` prints and archives a table."""
+    """Callable fixture: ``report(name, text, data=None)`` prints and archives.
 
-    def _report(name: str, text: str) -> None:
+    ``data`` may be a :class:`~repro.analysis.report.RunReport`, a
+    :class:`~repro.analysis.ScalingResult`, or a plain list of row dicts;
+    whatever is given lands in ``BENCH_<name>.json`` alongside the table
+    text. With no ``data`` the JSON still records the rendered table, so
+    every benchmark run leaves a machine-readable artifact.
+    """
+
+    def _report(name: str, text: str, data=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
-        print(f"\n{text}\n[saved to {path}]")
+        if isinstance(data, RunReport):
+            bench = data
+        elif hasattr(data, "to_report"):  # ScalingResult
+            bench = data.to_report(meta={"benchmark": name})
+        else:
+            bench = RunReport.table(
+                "benchmark", list(data) if data else [], meta={"benchmark": name}
+            )
+        bench.data["table"] = text
+        json_path = bench.save(RESULTS_DIR / f"BENCH_{name}.json")
+        print(f"\n{text}\n[saved to {path} and {json_path}]")
 
     return _report

@@ -43,7 +43,7 @@ def test_e6_bounded_degree_scaling(benchmark, report):
         return rows, es, ds
 
     rows, es, ds = benchmark.pedantic(run, rounds=1)
-    report("e6_bounded", "E6: treefix on bounded-degree trees (Lemma 11)\n" + format_table(rows))
+    report("e6_bounded", "E6: treefix on bounded-degree trees (Lemma 11)\n" + format_table(rows), data=rows)
     assert 0.9 <= fit_exponent(NS, es) <= 1.25       # ~n log n
     assert fit_exponent(NS, ds) <= 0.4               # poly-log depth
 
@@ -66,7 +66,7 @@ def test_e6_unbounded_degree_scaling(benchmark, report):
         return rows, es, ds
 
     rows, es, ds = benchmark.pedantic(run, rounds=1)
-    report("e6_unbounded", "E6: treefix on unbounded-degree trees (Lemma 12)\n" + format_table(rows))
+    report("e6_unbounded", "E6: treefix on unbounded-degree trees (Lemma 12)\n" + format_table(rows), data=rows)
     assert 0.9 <= fit_exponent(NS, es) <= 1.3
     assert fit_exponent(NS, ds) <= 0.45
 
@@ -87,7 +87,7 @@ def test_e6_top_down_variant(benchmark, report):
         return rows, es
 
     rows, es = benchmark.pedantic(run, rounds=1)
-    report("e6_top_down", "E6: top-down treefix (§V-D)\n" + format_table(rows))
+    report("e6_top_down", "E6: top-down treefix (§V-D)\n" + format_table(rows), data=rows)
     assert 0.9 <= fit_exponent(NS, es) <= 1.3
 
 
@@ -111,6 +111,7 @@ def test_e6_contraction_phase_split(benchmark, report):
         "E6: treefix energy split (n=4096) — contraction "
         f"{split['contract']:,} vs uncontraction {split['expand']:,} "
         f"(total {split['total']:,})",
+        data=[split],
     )
     # Uncontraction replays only the recorded events; contraction also pays
     # for the per-round viability probing (coin broadcasts, rake checks), so
@@ -135,7 +136,7 @@ def test_e6_vs_pram_treefix(benchmark, report):
         return rows
 
     rows = benchmark.pedantic(run, rounds=1)
-    report("e6_vs_pram", "E6: spatial treefix vs PRAM simulation (§I-C)\n" + format_table(rows))
+    report("e6_vs_pram", "E6: spatial treefix vs PRAM simulation (§I-C)\n" + format_table(rows), data=rows)
     ratios = [r["E_ratio"] for r in rows]
     assert ratios[-1] > ratios[0]          # the gap widens like √n/log n
     assert ratios[-1] > 10

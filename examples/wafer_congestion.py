@@ -8,12 +8,24 @@ under a light-first and a random layout, rendering the per-cell traversal
 load as ASCII heatmaps. The light-first layout keeps traffic local
 (uniform, dim map); the random layout floods the whole grid.
 
-Run:  python examples/wafer_congestion.py
+Each run is also captured through the telemetry layer: a
+:class:`~repro.analysis.report.RunReport` (with per-phase costs and the
+congestion figures) is written next to this script as
+``wafer_congestion_<order>.report.json``, and the raw heatmap grid is
+dumped as ``wafer_congestion_<order>.heatmap.json`` — so the example
+doubles as an integration-test fixture for the report schema.
+
+Run:  python examples/wafer_congestion.py [outdir]
 """
+
+import json
+import pathlib
+import sys
 
 import numpy as np
 
 from repro import SpatialTree
+from repro.analysis.report import RunRecorder, RunReport
 from repro.machine import attach_tracer, render_heatmap
 from repro.spatial.treefix import treefix_sum
 from repro.trees import prufer_random_tree
@@ -21,27 +33,45 @@ from repro.trees import prufer_random_tree
 
 def run_with_layout(tree, order):
     st = SpatialTree.build(tree, order=order, seed=0)
+    recorder = st.machine.attach(RunRecorder())
     tracer = attach_tracer(st.machine)
     treefix_sum(st, np.ones(tree.n, dtype=np.int64), seed=1)
-    return st, tracer
+    report = RunReport.from_machine(
+        st.machine, recorder=recorder,
+        meta={"example": "wafer_congestion", "order": order, "tree": "prufer"},
+    )
+    return st, tracer, report
 
 
-def main() -> None:
+def main(outdir=None) -> None:
+    outdir = pathlib.Path(outdir) if outdir else pathlib.Path(__file__).parent
     n = 1024  # 32×32 grid — small enough to eyeball
     tree = prufer_random_tree(n, seed=5)
 
     print(f"treefix sum over a random tree, n={n} "
           f"(grid 32×32, XY dimension-order routing)\n")
+    results = {}
     for order in ("light_first", "random"):
-        st, tracer = run_with_layout(tree, order)
+        st, tracer, report = run_with_layout(tree, order)
+        results[order] = (st, tracer)
         print(f"--- layout: {order} ---")
         print(f"energy {st.machine.energy:,}   messages {st.machine.messages:,}   "
               f"hottest cell carries {tracer.max_load:,} traversals")
         print(render_heatmap(tracer))
+        report_path = report.save(outdir / f"wafer_congestion_{order}.report.json")
+        heatmap_path = outdir / f"wafer_congestion_{order}.heatmap.json"
+        heatmap_path.write_text(json.dumps({
+            "schema": "repro.heatmap/v1",
+            "order": order,
+            "side": tracer.side,
+            "max_load": tracer.max_load,
+            "total_traversals": tracer.total_traversals,
+            "load": tracer.load.tolist(),
+        }, indent=2) + "\n")
+        print(f"[report → {report_path}   heatmap → {heatmap_path}]")
         print()
 
-    st_good, tr_good = run_with_layout(tree, "light_first")
-    st_bad, tr_bad = run_with_layout(tree, "random")
+    (st_good, tr_good), (st_bad, tr_bad) = results["light_first"], results["random"]
     print(f"peak congestion ratio (random / light-first): "
           f"{tr_bad.max_load / tr_good.max_load:.1f}×")
     print(f"energy ratio:                                 "
@@ -49,4 +79,4 @@ def main() -> None:
 
 
 if __name__ == "__main__":
-    main()
+    main(*sys.argv[1:2])

@@ -7,6 +7,17 @@ from repro.analysis.experiments import (
     assert_exponent_between,
     run_scaling,
 )
+from repro.analysis.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    RunRecorder,
+    RunReport,
+    chrome_trace_events,
+    diff_reports,
+    format_diff,
+    format_report,
+    save_chrome_trace,
+)
 from repro.analysis.reporting import (
     fit_exponent,
     format_series,
@@ -26,4 +37,13 @@ __all__ = [
     "format_table",
     "render_curve",
     "render_layout_grid",
+    "SCHEMA",
+    "SCHEMA_VERSION",
+    "RunRecorder",
+    "RunReport",
+    "chrome_trace_events",
+    "diff_reports",
+    "format_diff",
+    "format_report",
+    "save_chrome_trace",
 ]

@@ -70,6 +70,27 @@ class ScalingResult:
             rows.append(row)
         return f"== {self.name} ==\n" + format_table(rows)
 
+    def to_report(self, *, meta: dict | None = None):
+        """The sweep as a schema-versioned :class:`~repro.analysis.report.RunReport`
+        (kind ``"scaling"``) with rows plus the fitted exponents — what the
+        benchmark harness archives next to its ASCII tables."""
+        from repro.analysis.report import RunReport
+
+        report = RunReport.table(
+            "scaling",
+            [m.row() for m in self.measurements],
+            meta={"name": self.name, **(meta or {})},
+        )
+        report.data["exponents"] = {
+            "energy": self.energy_exponent(),
+            "depth": self.depth_exponent(),
+        }
+        return report
+
+    def write_json(self, path, *, meta: dict | None = None):
+        """Serialize :meth:`to_report` to ``path``; returns the path."""
+        return self.to_report(meta=meta).save(path)
+
 
 def run_scaling(
     name: str,

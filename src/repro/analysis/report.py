@@ -1,0 +1,399 @@
+"""Structured run reports and Chrome-trace export for machine runs.
+
+The machine's instrumentation layer (:mod:`repro.machine.instrumentation`)
+gives per-step visibility; this module turns it into artifacts:
+
+* :class:`RunRecorder` — an :class:`~repro.machine.instrumentation.Instrument`
+  that collects a JSON-ready per-step time series and the phase spans
+  (name, nesting, depth-clock interval) of a run.
+* :class:`RunReport` — a schema-versioned, machine-readable summary of a
+  full run: totals, per-phase energy/messages/depth, optional step
+  time-series and congestion figures, plus free-form metadata (tree kind,
+  seed, curve, CLI arguments). Serializes to JSON or JSONL and loads back.
+* :func:`chrome_trace_events` / :func:`save_chrome_trace` — export the
+  phase spans onto the depth clock in the Chrome trace-event format, so a
+  run opens in Perfetto / ``chrome://tracing`` as a flame-style timeline
+  (1 trace "microsecond" = 1 depth round).
+* :func:`diff_reports` / :func:`format_diff` — per-phase energy/depth
+  deltas between two saved reports: the regression-checking workflow.
+
+Report schema (``schema = "repro.report/v1"``): see docs/MODEL.md
+("Observability").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.reporting import format_table
+from repro.errors import ValidationError
+from repro.machine.instrumentation import Instrument, StepEvent
+
+#: current report schema identifier / version; bump on breaking changes
+SCHEMA = "repro.report/v1"
+SCHEMA_VERSION = 1
+
+
+class RunRecorder(Instrument):
+    """Instrument that accumulates the raw material of a :class:`RunReport`.
+
+    Attach before the run::
+
+        recorder = machine.attach(RunRecorder())
+        ...  # run the algorithm
+        report = RunReport.from_machine(machine, recorder=recorder)
+
+    Parameters
+    ----------
+    histograms:
+        Keep each step's per-message distance histogram (lists of length
+        ≤ 2·side). Default on; switch off for very long runs.
+    """
+
+    def __init__(self, *, histograms: bool = True):
+        self.histograms = histograms
+        self.steps: list[dict] = []
+        self.spans: list[dict] = []
+        self._open: list[dict] = []
+        self.machine = None
+
+    def on_attach(self, machine) -> None:
+        self.machine = machine
+
+    def on_step(self, event: StepEvent) -> None:
+        row = {
+            "step": event.step,
+            "phases": list(event.phases),
+            "energy": event.energy,
+            "messages": event.messages,
+            "senders": event.src_count,
+            "receivers": event.dst_count,
+            "depth_before": event.depth_before,
+            "depth_after": event.depth_after,
+            "max_distance": event.max_distance,
+        }
+        if self.histograms:
+            row["distance_histogram"] = [int(c) for c in event.distance_histogram]
+        self.steps.append(row)
+
+    def on_phase_enter(self, name: str, depth: int) -> None:
+        self._open.append(
+            {
+                "name": name,
+                "stack": [s["name"] for s in self._open] + [name],
+                "level": len(self._open),
+                "depth_start": int(depth),
+            }
+        )
+
+    def on_phase_exit(self, name: str, depth: int) -> None:
+        if not self._open:
+            return
+        span = self._open.pop()
+        span["depth_end"] = int(depth)
+        self.spans.append(span)
+
+    def finished_spans(self) -> list[dict]:
+        """All closed phase spans, plus any still-open ones truncated at the
+        current depth (so mid-run exports stay well-formed)."""
+        spans = list(self.spans)
+        depth = self.machine.depth if self.machine is not None else 0
+        for span in self._open:
+            spans.append({**span, "depth_end": int(depth)})
+        return spans
+
+
+@dataclass
+class RunReport:
+    """A schema-versioned dict wrapper with helpers; ``data`` is plain JSON."""
+
+    data: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def from_machine(
+        cls,
+        machine,
+        *,
+        recorder: RunRecorder | None = None,
+        meta: dict | None = None,
+    ) -> "RunReport":
+        """Snapshot ``machine``'s ledger (and optional recorder) as a report.
+
+        Totals are read straight from the :class:`CostLedger` and the depth
+        clock, so they equal the machine's own accounting by construction —
+        even for costs charged outside the event stream (e.g. proxy
+        charges folded in from another machine).
+        """
+        ledger = machine.ledger
+        phases = {
+            name: {"energy": p.energy, "messages": p.messages, "depth": p.depth}
+            for name, p in ledger.phases.items()
+        }
+        data = {
+            "schema": SCHEMA,
+            "schema_version": SCHEMA_VERSION,
+            "kind": "run",
+            "meta": {
+                "n": machine.n,
+                "side": machine.side,
+                "curve": machine.curve.name,
+                "metric": machine.metric,
+                **(meta or {}),
+            },
+            "totals": {
+                "energy": ledger.energy,
+                "messages": ledger.messages,
+                "depth": machine.depth,
+                "steps": machine.steps,
+            },
+            "phases": phases,
+        }
+        if recorder is not None:
+            data["steps"] = recorder.steps
+            data["phase_spans"] = recorder.finished_spans()
+        tracer = getattr(machine, "tracer", None)
+        if tracer is not None:
+            data["congestion"] = {
+                "max_load": tracer.max_load,
+                "total_traversals": tracer.total_traversals,
+            }
+        return cls(data)
+
+    @classmethod
+    def table(cls, kind: str, rows: list[dict], *, meta: dict | None = None) -> "RunReport":
+        """A report around tabular (non-machine) results, e.g. layout metrics."""
+        return cls(
+            {
+                "schema": SCHEMA,
+                "schema_version": SCHEMA_VERSION,
+                "kind": kind,
+                "meta": dict(meta or {}),
+                "rows": rows,
+            }
+        )
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+
+    @property
+    def kind(self) -> str:
+        return self.data.get("kind", "run")
+
+    @property
+    def meta(self) -> dict:
+        return self.data.get("meta", {})
+
+    @property
+    def totals(self) -> dict:
+        return self.data.get("totals", {})
+
+    @property
+    def phases(self) -> dict:
+        return self.data.get("phases", {})
+
+    @property
+    def steps(self) -> list[dict]:
+        return self.data.get("steps", [])
+
+    # ------------------------------------------------------------------ #
+    # (de)serialization
+    # ------------------------------------------------------------------ #
+
+    def save(self, path) -> Path:
+        """Write to ``path``: plain JSON, or JSONL when it ends in ``.jsonl``
+        (header object first, then one line per step — stream-appendable)."""
+        path = Path(path)
+        if path.suffix == ".jsonl":
+            header = {k: v for k, v in self.data.items() if k != "steps"}
+            lines = [json.dumps({"header": header})]
+            lines += [json.dumps({"step": row}) for row in self.steps]
+            path.write_text("\n".join(lines) + "\n")
+        else:
+            path.write_text(json.dumps(self.data, indent=2) + "\n")
+        return path
+
+    @classmethod
+    def load(cls, path) -> "RunReport":
+        """Load a report saved by :meth:`save` (JSON or JSONL)."""
+        path = Path(path)
+        text = path.read_text()
+        if path.suffix == ".jsonl":
+            lines = [json.loads(line) for line in text.splitlines() if line.strip()]
+            if not lines or "header" not in lines[0]:
+                raise ValidationError(f"{path} is not a repro JSONL report")
+            data = lines[0]["header"]
+            data["steps"] = [entry["step"] for entry in lines[1:] if "step" in entry]
+            return cls(data)
+        data = json.loads(text)
+        if not isinstance(data, dict) or "schema" not in data:
+            raise ValidationError(f"{path} is not a repro report (no schema field)")
+        return cls(data)
+
+
+# ---------------------------------------------------------------------- #
+# Chrome trace-event export
+# ---------------------------------------------------------------------- #
+
+
+def chrome_trace_events(recorder: RunRecorder) -> list[dict]:
+    """Map a recorded run onto Chrome trace events (the Perfetto timeline).
+
+    The depth clock plays the role of time: each phase span becomes a
+    complete ("X") slice ``[depth_start, depth_end]`` on one logical
+    thread, so nesting reproduces the algorithm's phase stack as a flame
+    chart; cumulative energy and message counters ("C") ride along per
+    step. Every event carries ``name``/``ph``/``ts`` as the format requires.
+    """
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "repro spatial machine (ts = depth rounds)"},
+        },
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "phase stack"},
+        },
+    ]
+    spans = recorder.finished_spans()
+    # enclosing slices must precede enclosed ones at equal ts: sort (ts, -dur)
+    for span in sorted(
+        spans, key=lambda s: (s["depth_start"], -(s["depth_end"] - s["depth_start"]))
+    ):
+        start = span["depth_start"]
+        dur = max(span["depth_end"] - start, 0)
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "phase",
+                "ph": "X",
+                "ts": start,
+                "dur": dur,
+                "pid": 0,
+                "tid": 0,
+                "args": {"stack": "/".join(span["stack"]), "level": span["level"]},
+            }
+        )
+    energy = messages = 0
+    for row in recorder.steps:
+        energy += row["energy"]
+        messages += row["messages"]
+        events.append(
+            {
+                "name": "cumulative cost",
+                "ph": "C",
+                "ts": row["depth_after"],
+                "pid": 0,
+                "args": {"energy": energy, "messages": messages},
+            }
+        )
+    return events
+
+
+def save_chrome_trace(recorder: RunRecorder, path) -> Path:
+    """Write the run as a Chrome trace-event JSON array, Perfetto-loadable."""
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_events(recorder)) + "\n")
+    return path
+
+
+# ---------------------------------------------------------------------- #
+# pretty-printing and diffing
+# ---------------------------------------------------------------------- #
+
+
+def format_report(report: RunReport) -> str:
+    """Human-readable rendering of a saved report."""
+    lines = [f"report kind={report.kind}  schema={report.data.get('schema', '?')}"]
+    if report.meta:
+        meta = "  ".join(f"{k}={v}" for k, v in sorted(report.meta.items()))
+        lines.append(f"meta: {meta}")
+    if report.kind == "run":
+        t = report.totals
+        lines.append(
+            f"totals: energy {t.get('energy', 0):,}  messages {t.get('messages', 0):,}  "
+            f"depth {t.get('depth', 0):,}  steps {t.get('steps', 0):,}"
+        )
+        if report.phases:
+            rows = [
+                {"phase": name, "energy": p["energy"], "messages": p["messages"],
+                 "depth": p["depth"]}
+                for name, p in report.phases.items()
+            ]
+            lines.append(format_table(rows))
+        if "congestion" in report.data:
+            c = report.data["congestion"]
+            lines.append(
+                f"congestion: max_load {c['max_load']:,}  "
+                f"total_traversals {c['total_traversals']:,}"
+            )
+        if report.steps:
+            lines.append(f"time series: {len(report.steps)} recorded steps")
+    elif "rows" in report.data:
+        lines.append(format_table(report.data["rows"]))
+    return "\n".join(lines)
+
+
+def diff_reports(a: RunReport, b: RunReport) -> dict:
+    """Per-phase and total deltas ``b − a`` between two run reports."""
+    if a.kind != "run" or b.kind != "run":
+        raise ValidationError(
+            f"can only diff 'run' reports, got {a.kind!r} vs {b.kind!r}"
+        )
+    out = {"totals": {}, "phases": {}}
+    for key in ("energy", "messages", "depth"):
+        va, vb = a.totals.get(key, 0), b.totals.get(key, 0)
+        out["totals"][key] = {"a": va, "b": vb, "delta": vb - va}
+    for name in sorted(set(a.phases) | set(b.phases)):
+        pa = a.phases.get(name, {})
+        pb = b.phases.get(name, {})
+        out["phases"][name] = {
+            key: {
+                "a": pa.get(key, 0),
+                "b": pb.get(key, 0),
+                "delta": pb.get(key, 0) - pa.get(key, 0),
+            }
+            for key in ("energy", "messages", "depth")
+        }
+    return out
+
+
+def _delta_str(d: dict) -> str:
+    sign = "+" if d["delta"] >= 0 else ""
+    pct = ""
+    if d["a"]:
+        pct = f" ({100.0 * d['delta'] / d['a']:+.1f}%)"
+    return f"{sign}{d['delta']:,}{pct}"
+
+
+def format_diff(diff: dict) -> str:
+    """Render :func:`diff_reports` output as an aligned delta table."""
+    rows = []
+    for name, entry in [("TOTAL", diff["totals"])] + sorted(diff["phases"].items()):
+        rows.append(
+            {
+                "phase": name,
+                "energy_a": entry["energy"]["a"],
+                "energy_b": entry["energy"]["b"],
+                "Δenergy": _delta_str(entry["energy"]),
+                "depth_a": entry["depth"]["a"],
+                "depth_b": entry["depth"]["b"],
+                "Δdepth": _delta_str(entry["depth"]),
+                "Δmessages": _delta_str(entry["messages"]),
+            }
+        )
+    return format_table(rows)

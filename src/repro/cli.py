@@ -9,14 +9,22 @@ Subcommands:
   cost bill.
 * ``lca``     — run a batch of random LCA queries (§VI) and print the bill.
 * ``curves``  — empirical distance-bound constants (experiment E4).
+* ``report``  — pretty-print a saved run report, or diff two of them.
+
+Every workload subcommand takes ``--report out.json`` (schema-versioned
+run report, JSON or ``.jsonl``) and ``--trace out.trace.json`` (Chrome
+trace-event timeline, loadable in Perfetto / ``chrome://tracing``).
 
 Examples::
 
     python -m repro info
     python -m repro layout --tree prufer --n 4096 --order bfs
-    python -m repro treefix --tree star --n 8192 --mode virtual
+    python -m repro treefix --tree star --n 8192 --mode virtual \
+        --report r.json --trace t.trace.json
     python -m repro lca --tree random --n 2048 --queries 2048
     python -m repro curves --side 32
+    python -m repro report r.json
+    python -m repro report --diff before.json after.json
 """
 
 from __future__ import annotations
@@ -71,6 +79,53 @@ def _add_tree_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--curve", default="hilbert", choices=available_curves())
 
 
+def _add_output_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--report", metavar="PATH", default=None,
+                   help="write a schema-versioned run report (JSON; .jsonl streams steps)")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write a Chrome trace-event timeline (open in Perfetto)")
+
+
+def _attach_telemetry(machine, args):
+    """When --report/--trace was requested, subscribe the recorder (and a
+    congestion tracer for the report's max-load figure) before the run."""
+    from repro.analysis.report import RunRecorder
+    from repro.machine.tracing import attach_tracer
+
+    if not (args.report or args.trace):
+        return None
+    recorder = machine.attach(RunRecorder())
+    if args.report and machine.tracer is None:
+        attach_tracer(machine)
+    return recorder
+
+
+def _write_outputs(args, machine, recorder, meta) -> None:
+    from repro.analysis.report import RunReport, save_chrome_trace
+
+    if recorder is None:
+        return
+    if args.report:
+        path = RunReport.from_machine(machine, recorder=recorder, meta=meta).save(args.report)
+        print(f"[report saved to {path}]")
+    if args.trace:
+        path = save_chrome_trace(recorder, args.trace)
+        print(f"[trace saved to {path}]")
+
+
+def _write_table_outputs(args, kind: str, rows, meta) -> None:
+    """Table-shaped subcommands (no machine run): report carries the rows;
+    a requested trace is still valid Chrome JSON, just metadata-only."""
+    from repro.analysis.report import RunRecorder, RunReport, save_chrome_trace
+
+    if args.report:
+        path = RunReport.table(kind, rows, meta=meta).save(args.report)
+        print(f"[report saved to {path}]")
+    if args.trace:
+        path = save_chrome_trace(RunRecorder(), args.trace)
+        print(f"[trace saved to {path}]")
+
+
 def cmd_info(args) -> int:
     print(f"repro {__version__} — Low-Depth Spatial Tree Algorithms (IPDPS 2024)")
     rows = []
@@ -106,6 +161,11 @@ def cmd_layout(args) -> int:
         layout = TreeLayout.build(tree, order=orders[0], curve=args.curve, seed=args.seed)
         print()
         print(render_layout_grid(layout))
+    _write_table_outputs(
+        args, "layout", rows,
+        meta={"command": "layout", "tree": args.tree, "n": tree.n,
+              "curve": args.curve, "seed": args.seed},
+    )
     return 0
 
 
@@ -114,6 +174,7 @@ def cmd_treefix(args) -> int:
     rng = np.random.default_rng(args.seed)
     values = rng.integers(0, 100, size=tree.n)
     st = SpatialTree.build(tree, curve=args.curve, mode=args.mode)
+    recorder = _attach_telemetry(st.machine, args)
     out = treefix_sum(st, values, seed=args.seed)
     ok = np.array_equal(out, bottom_up_treefix(tree, values))
     snap = st.snapshot()
@@ -121,6 +182,11 @@ def cmd_treefix(args) -> int:
     print(f"verified against sequential reference: {'OK' if ok else 'MISMATCH'}")
     print(f"energy {snap['energy']:,}  (= {snap['energy'] / (tree.n * max(1, np.log2(tree.n))):.2f}"
           f"·n·log2 n)   depth {snap['depth']:,}   messages {snap['messages']:,}")
+    _write_outputs(
+        args, st.machine, recorder,
+        meta={"command": "treefix", "tree": args.tree, "mode": st.mode,
+              "seed": args.seed, "verified": bool(ok)},
+    )
     return 0 if ok else 1
 
 
@@ -131,6 +197,7 @@ def cmd_lca(args) -> int:
     us = rng.permutation(tree.n)[: min(q, tree.n)]
     vs = rng.permutation(tree.n)[: min(q, tree.n)]
     st = SpatialTree.build(tree, curve=args.curve)
+    recorder = _attach_telemetry(st.machine, args)
     answers = lca_batch(st, us, vs, seed=args.seed)
     expect = BinaryLiftingLCA(tree).query_batch(us, vs)
     ok = np.array_equal(answers, expect)
@@ -138,6 +205,11 @@ def cmd_lca(args) -> int:
     print(f"tree={args.tree} n={tree.n} queries={len(us)}")
     print(f"verified against binary lifting: {'OK' if ok else 'MISMATCH'}")
     print(f"energy {snap['energy']:,}   depth {snap['depth']:,}   messages {snap['messages']:,}")
+    _write_outputs(
+        args, st.machine, recorder,
+        meta={"command": "lca", "tree": args.tree, "queries": len(us),
+              "seed": args.seed, "verified": bool(ok)},
+    )
     return 0 if ok else 1
 
 
@@ -150,6 +222,7 @@ def cmd_expr(args) -> int:
 
     tree, ops, leaf_vals = random_expression(args.n, seed=args.seed)
     st = SpatialTree.build(tree, curve=args.curve)
+    recorder = _attach_telemetry(st.machine, args)
     got = evaluate_expression(st, ops, leaf_vals, seed=args.seed)
     expect = evaluate_expression_sequential(tree, ops, leaf_vals)
     ok = all(int(a) == int(b) for a, b in zip(got, expect))
@@ -158,6 +231,10 @@ def cmd_expr(args) -> int:
     print(f"verified against sequential evaluator: {'OK' if ok else 'MISMATCH'}")
     print(f"root value: {int(got[tree.root])}")
     print(f"energy {snap['energy']:,}   depth {snap['depth']:,}")
+    _write_outputs(
+        args, st.machine, recorder,
+        meta={"command": "expr", "seed": args.seed, "verified": bool(ok)},
+    )
     return 0 if ok else 1
 
 
@@ -170,12 +247,18 @@ def cmd_cuts(args) -> int:
     raw = rng.integers(0, tree.n, size=(m + tree.n, 2))
     extra = raw[raw[:, 0] != raw[:, 1]][:m]
     st = SpatialTree.build(tree, curve=args.curve)
+    recorder = _attach_telemetry(st.machine, args)
     cuts = one_respecting_cuts(st, extra, seed=args.seed)
     v, best = cuts.minimum(tree)
     snap = st.snapshot()
     print(f"graph: {tree.n} vertices, {tree.n - 1} tree + {len(extra)} extra edges")
     print(f"lightest 1-respecting cut: {best} (tree edge above vertex {v})")
     print(f"energy {snap['energy']:,}   depth {snap['depth']:,}")
+    _write_outputs(
+        args, st.machine, recorder,
+        meta={"command": "cuts", "tree": args.tree, "seed": args.seed,
+              "extra_edges": len(extra)},
+    )
     return 0
 
 
@@ -191,6 +274,31 @@ def cmd_curves(args) -> int:
              "published": round(c.alpha, 3) if c.alpha else "-"}
         )
     print(format_table(rows))
+    _write_table_outputs(
+        args, "curves", rows,
+        meta={"command": "curves", "side": args.side, "seed": args.seed},
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.analysis.report import RunReport, diff_reports, format_diff, format_report
+
+    if args.diff:
+        if len(args.paths) != 2:
+            raise SystemExit("repro report --diff needs exactly two report files")
+        a = RunReport.load(args.paths[0])
+        b = RunReport.load(args.paths[1])
+        print(f"diff (b − a): a={args.paths[0]}  b={args.paths[1]}")
+        print(format_diff(diff_reports(a, b)))
+        return 0
+    if not args.paths:
+        raise SystemExit("repro report needs at least one report file")
+    for i, path in enumerate(args.paths):
+        if i:
+            print()
+        print(f"== {path} ==")
+        print(format_report(RunReport.load(path)))
     return 0
 
 
@@ -208,33 +316,45 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tree_args(p)
     p.add_argument("--order", default="all", help="layout order or 'all'")
     p.add_argument("--show-grid", action="store_true", help="render small grids")
+    _add_output_args(p)
     p.set_defaults(fn=cmd_layout)
 
     p = sub.add_parser("treefix", help="run the §V treefix sum")
     _add_tree_args(p)
     p.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"])
+    _add_output_args(p)
     p.set_defaults(fn=cmd_treefix)
 
     p = sub.add_parser("lca", help="run a batched LCA (§VI)")
     _add_tree_args(p)
     p.add_argument("--queries", type=int, default=0, help="query count (default n)")
+    _add_output_args(p)
     p.set_defaults(fn=cmd_lca)
 
     p = sub.add_parser("expr", help="evaluate a random {+,×} expression tree")
     p.add_argument("--n", type=int, default=1024)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--curve", default="hilbert", choices=available_curves())
+    _add_output_args(p)
     p.set_defaults(fn=cmd_expr)
 
     p = sub.add_parser("cuts", help="1-respecting cut values (Karger building block)")
     _add_tree_args(p)
     p.add_argument("--extra-edges", type=int, default=0, help="non-tree edge count (default 2n)")
+    _add_output_args(p)
     p.set_defaults(fn=cmd_cuts)
 
     p = sub.add_parser("curves", help="empirical distance-bound constants (E4)")
     p.add_argument("--side", type=int, default=32)
     p.add_argument("--seed", type=int, default=0)
+    _add_output_args(p)
     p.set_defaults(fn=cmd_curves)
+
+    p = sub.add_parser("report", help="pretty-print or diff saved run reports")
+    p.add_argument("paths", nargs="*", help="report file(s) written by --report")
+    p.add_argument("--diff", action="store_true",
+                   help="diff two reports: per-phase energy/depth deltas (b − a)")
+    p.set_defaults(fn=cmd_report)
     return parser
 
 

@@ -12,6 +12,13 @@
 """
 
 from repro.machine.machine import SpatialMachine
+from repro.machine.instrumentation import (
+    Instrument,
+    LedgerInstrument,
+    StepEvent,
+    StepLog,
+    TracerInstrument,
+)
 from repro.machine.ledger import CostLedger, PhaseCost
 from repro.machine.registers import DEFAULT_BUDGET, RegisterFile
 from repro.machine.collectives import (
@@ -30,6 +37,11 @@ __all__ = [
     "SpatialMachine",
     "CostLedger",
     "PhaseCost",
+    "Instrument",
+    "LedgerInstrument",
+    "StepEvent",
+    "StepLog",
+    "TracerInstrument",
     "DEFAULT_BUDGET",
     "RegisterFile",
     "allreduce",

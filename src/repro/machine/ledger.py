@@ -14,6 +14,10 @@ The model's two cost terms are measured exactly:
 
 The ledger also keeps named *phase* sub-totals so experiments can report
 e.g. the contraction vs. uncontraction split of the treefix algorithm.
+Phase entry/exit is exposed both as a context manager (:meth:`CostLedger.phase`)
+and as explicit :meth:`CostLedger.begin_phase` / :meth:`CostLedger.end_phase`
+calls — the latter is what the machine's instrumentation layer
+(:mod:`repro.machine.instrumentation`) drives.
 """
 
 from __future__ import annotations
@@ -45,6 +49,9 @@ class CostLedger:
     messages: int = 0
     phases: dict[str, PhaseCost] = field(default_factory=dict)
     _active: list[str] = field(default_factory=list)
+    # names whose first entry already recorded depth_start; keyed on entry —
+    # not on accumulated cost — so a depth-only phase keeps its original span
+    _entered: set[str] = field(default_factory=set)
 
     def charge(self, energy: int, messages: int) -> None:
         """Record ``messages`` messages with total Manhattan distance ``energy``."""
@@ -55,6 +62,33 @@ class CostLedger:
             phase.energy += int(energy)
             phase.messages += int(messages)
 
+    def begin_phase(self, name: str, depth: int = 0) -> PhaseCost:
+        """Enter phase ``name`` at depth-clock ``depth``; returns its bucket.
+
+        Only the *first ever* entry of a name records ``depth_start``;
+        re-entries accumulate into the same bucket so depth spans cover the
+        union of entries (the clock is monotone, so the last exit's
+        ``depth_end`` closes the union).
+        """
+        phase = self.phases.setdefault(name, PhaseCost())
+        if name not in self._entered:
+            self._entered.add(name)
+            phase.depth_start = int(depth)
+        self._active.append(name)
+        return phase
+
+    def end_phase(self, name: str, depth: int = 0) -> PhaseCost:
+        """Exit the most recent entry of phase ``name`` at clock ``depth``."""
+        if name in self._active:
+            # exits are LIFO in practice; tolerate out-of-order for robustness
+            for i in range(len(self._active) - 1, -1, -1):
+                if self._active[i] == name:
+                    del self._active[i]
+                    break
+        phase = self.phases.setdefault(name, PhaseCost())
+        phase.depth_end = int(depth)
+        return phase
+
     @contextmanager
     def phase(self, name: str, *, current_depth=lambda: 0):
         """Attribute all costs charged inside the block to phase ``name``.
@@ -63,16 +97,11 @@ class CostLedger:
         record how much depth it added. Re-entering a phase name accumulates
         into the same bucket (depth spans then cover the union of entries).
         """
-        phase = self.phases.setdefault(name, PhaseCost())
-        fresh = phase.messages == 0 and phase.energy == 0
-        if fresh:
-            phase.depth_start = current_depth()
-        self._active.append(name)
+        phase = self.begin_phase(name, current_depth())
         try:
             yield phase
         finally:
-            self._active.pop()
-            phase.depth_end = current_depth()
+            self.end_phase(name, current_depth())
 
     def summary(self) -> dict[str, dict[str, int]]:
         """Plain-dict snapshot (used by the experiment harness)."""

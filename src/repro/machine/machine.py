@@ -14,14 +14,29 @@ The simulator is a measurement instrument: it computes the model's cost
 terms exactly while the payload arithmetic runs as ordinary numpy. Python
 never parallelises anything — it doesn't need to, because energy and depth
 are schedule-independent properties of the message DAG.
+
+Observability is uniform: every charged bulk send emits exactly one
+:class:`~repro.machine.instrumentation.StepEvent` to the attached
+:class:`~repro.machine.instrumentation.Instrument` subscribers. The cost
+ledger and the congestion tracer are themselves instruments; reports and
+trace exporters (:mod:`repro.analysis.report`) are just more subscribers.
 """
 
 from __future__ import annotations
+
+import warnings
+from contextlib import contextmanager
 
 import numpy as np
 
 from repro.curves import resolve_curve
 from repro.errors import MachineStateError, ValidationError
+from repro.machine.instrumentation import (
+    Instrument,
+    LedgerInstrument,
+    StepEvent,
+    TracerInstrument,
+)
 from repro.machine.ledger import CostLedger
 from repro.machine.registers import DEFAULT_BUDGET, RegisterFile
 from repro.utils import as_index_array, check_in_range
@@ -81,10 +96,96 @@ class SpatialMachine:
         self._x.setflags(write=False)
         self._y.setflags(write=False)
         self.clock = np.zeros(self.n, dtype=np.int64)
-        self.ledger = CostLedger()
+        self._max_clock = 0
         self.registers = RegisterFile(self.n, budget=budget)
-        #: optional CongestionTracer (see repro.machine.tracing)
-        self.tracer = None
+        # --- instrumentation -------------------------------------------
+        self._instruments: list[Instrument] = []
+        self._phase_stack: list[str] = []
+        self._step_index = 0
+        #: (instrument, hook-name, exception) triples from raising instruments
+        self.instrument_errors: list[tuple[Instrument, str, Exception]] = []
+        self._ledger_instrument = LedgerInstrument()
+        self._tracer_instrument: TracerInstrument | None = None
+        self.attach(self._ledger_instrument)
+
+    # ------------------------------------------------------------------ #
+    # instrumentation
+    # ------------------------------------------------------------------ #
+
+    @property
+    def instruments(self) -> tuple[Instrument, ...]:
+        """Currently attached instruments, in dispatch order."""
+        return tuple(self._instruments)
+
+    def attach(self, instrument: Instrument) -> Instrument:
+        """Subscribe ``instrument`` to this machine's step/phase events.
+
+        Returns the instrument (attach-and-keep idiom:
+        ``log = machine.attach(StepLog())``). Attaching twice is a no-op.
+        """
+        if instrument not in self._instruments:
+            self._instruments.append(instrument)
+            if isinstance(instrument, TracerInstrument):
+                self._tracer_instrument = instrument
+            self._call(instrument, "on_attach", self)
+        return instrument
+
+    def detach(self, instrument: Instrument) -> Instrument:
+        """Unsubscribe ``instrument``; safe mid-run and if never attached."""
+        if instrument in self._instruments:
+            self._instruments.remove(instrument)
+            self._call(instrument, "on_detach", self)
+        if instrument is self._tracer_instrument:
+            self._tracer_instrument = None
+        return instrument
+
+    def _call(self, instrument: Instrument, hook: str, *args) -> None:
+        """Run one instrument hook, isolating failures from the simulation
+        (and from the other instruments — cost accounting must survive a
+        buggy observer)."""
+        try:
+            getattr(instrument, hook)(*args)
+        except Exception as exc:  # noqa: BLE001 - isolation is the point
+            self.instrument_errors.append((instrument, hook, exc))
+            warnings.warn(
+                f"instrument {type(instrument).__name__}.{hook} raised "
+                f"{type(exc).__name__}: {exc}; detached from event stream "
+                "for this call (see machine.instrument_errors)",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+
+    def _emit(self, hook: str, *args) -> None:
+        for instrument in list(self._instruments):
+            self._call(instrument, hook, *args)
+
+    @property
+    def ledger(self) -> CostLedger:
+        """The built-in cost ledger (fed by a :class:`LedgerInstrument`)."""
+        return self._ledger_instrument.ledger
+
+    @ledger.setter
+    def ledger(self, value: CostLedger) -> None:
+        self._ledger_instrument.ledger = value
+
+    @property
+    def tracer(self):
+        """The attached :class:`CongestionTracer`, or ``None``.
+
+        Assigning a tracer wraps it in a
+        :class:`~repro.machine.instrumentation.TracerInstrument` and
+        attaches it; assigning ``None`` detaches. (Kept for backwards
+        compatibility with ``attach_tracer`` — new code can attach any
+        instrument directly.)
+        """
+        return self._tracer_instrument.tracer if self._tracer_instrument else None
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        if self._tracer_instrument is not None:
+            self.detach(self._tracer_instrument)
+        if tracer is not None:
+            self.attach(TracerInstrument(tracer))
 
     # ------------------------------------------------------------------ #
     # geometry
@@ -128,6 +229,10 @@ class SpatialMachine:
         chain (receives serialize too). A vertex talking to Θ(Δ) neighbours
         directly therefore costs Θ(Δ) depth — which is precisely why the
         paper's §III-D virtual trees exist.
+
+        Each call that charges at least one remote message emits exactly one
+        :class:`StepEvent` to every attached instrument (the ledger included)
+        — the single hook point on this hot path.
         """
         src = as_index_array(np.atleast_1d(src), name="src")
         dst = as_index_array(np.atleast_1d(dst), name="dst")
@@ -143,9 +248,7 @@ class SpatialMachine:
         if remote.any():
             rs, rd = src[remote], dst[remote]
             dist = self.manhattan(rs, rd)
-            self.ledger.charge(int(dist.sum()), int(len(rs)))
-            if self.tracer is not None:
-                self.tracer.record(self._x[rs], self._y[rs], self._x[rd], self._y[rd])
+            depth_before = self._max_clock
             # --- 1-port clock model ---
             # Sends serialize: a processor's k-th send in this call departs
             # at clock + k, and its clock advances by its send count.
@@ -176,6 +279,36 @@ class SpatialMachine:
             self.clock[dst_unique] = np.maximum(
                 self.clock[dst_unique] + rlens, group_max
             )
+            # clocks only grow in this method, so the max is maintainable
+            # incrementally from the entries just touched (O(k), not O(n))
+            self._max_clock = max(
+                self._max_clock,
+                int(self.clock[rs].max()),
+                int(self.clock[dst_unique].max()),
+            )
+            if self._instruments:
+                rs.setflags(write=False)
+                rd.setflags(write=False)
+                dist.setflags(write=False)
+                histogram = np.bincount(dist)
+                histogram.setflags(write=False)
+                event = StepEvent(
+                    step=self._step_index,
+                    phases=tuple(self._phase_stack),
+                    src=rs,
+                    dst=rd,
+                    distances=dist,
+                    distance_histogram=histogram,
+                    energy=int(dist.sum()),
+                    messages=int(len(rs)),
+                    src_count=int(len(group_starts)),
+                    dst_count=int(len(dst_unique)),
+                    depth_before=depth_before,
+                    depth_after=self._max_clock,
+                    metric=self.metric,
+                )
+                self._emit("on_step", event)
+            self._step_index += 1
         return values
 
     def gather_from(self, dst, src, values: np.ndarray) -> np.ndarray:
@@ -188,7 +321,7 @@ class SpatialMachine:
     @property
     def depth(self) -> int:
         """Current computation depth: the longest dependent message chain."""
-        return int(self.clock.max()) if self.n else 0
+        return self._max_clock
 
     @property
     def energy(self) -> int:
@@ -200,17 +333,42 @@ class SpatialMachine:
         """Total number of (remote) messages charged so far."""
         return self.ledger.messages
 
+    @property
+    def steps(self) -> int:
+        """Number of charged bulk sends so far (the step-event count)."""
+        return self._step_index
+
+    @contextmanager
     def phase(self, name: str):
-        """Ledger phase context manager with depth bookkeeping wired in."""
-        return self.ledger.phase(name, current_depth=lambda: self.depth)
+        """Phase context manager: notifies instruments and attributes costs.
+
+        Yields the ledger's :class:`PhaseCost` bucket for ``name`` (as the
+        pre-instrumentation API did), so ``with m.phase("x") as p`` keeps
+        working.
+        """
+        self._phase_stack.append(name)
+        self._emit("on_phase_enter", name, self.depth)
+        try:
+            yield self.ledger.phases.get(name)
+        finally:
+            self._phase_stack.pop()
+            self._emit("on_phase_exit", name, self.depth)
+
+    @property
+    def phase_stack(self) -> tuple[str, ...]:
+        """The currently active phase names, outermost first."""
+        return tuple(self._phase_stack)
 
     def snapshot(self) -> dict[str, int]:
         """Current (energy, messages, depth) triple as a dict."""
         return {"energy": self.energy, "messages": self.messages, "depth": self.depth}
 
     def reset_costs(self) -> None:
-        """Zero the ledger and clocks (keeps placement and registers)."""
+        """Zero the ledger, clocks and step counter (keeps placement,
+        registers and attached instruments)."""
         self.clock[:] = 0
+        self._max_clock = 0
+        self._step_index = 0
         self.ledger = CostLedger()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -66,6 +66,93 @@ class TestAlgorithms:
         assert "alpha_hat" in out and "peano" in out
 
 
+class TestTelemetryOutputs:
+    def test_treefix_report_and_trace(self, tmp_path, capsys):
+        import json
+
+        r = tmp_path / "run.json"
+        t = tmp_path / "run.trace.json"
+        assert main(
+            ["treefix", "--tree", "star", "--n", "128", "--mode", "virtual",
+             "--report", str(r), "--trace", str(t)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[report saved to" in out and "[trace saved to" in out
+        rep = json.loads(r.read_text())
+        assert rep["schema"] == "repro.report/v1" and rep["kind"] == "run"
+        assert rep["meta"]["command"] == "treefix" and rep["meta"]["verified"]
+        assert rep["totals"]["energy"] > 0 and rep["phases"]
+        trace = json.loads(t.read_text())
+        assert isinstance(trace, list)
+        assert all({"name", "ph", "ts"} <= set(ev) for ev in trace)
+
+    def test_report_totals_equal_printed_bill(self, tmp_path, capsys):
+        import json
+
+        r = tmp_path / "run.json"
+        assert main(["lca", "--tree", "prufer", "--n", "128", "--queries", "32",
+                     "--report", str(r)]) == 0
+        out = capsys.readouterr().out
+        rep = json.loads(r.read_text())
+        assert f"energy {rep['totals']['energy']:,}" in out
+        assert "congestion" in rep  # --report attaches the tracer
+
+    def test_jsonl_report(self, tmp_path):
+        r = tmp_path / "run.jsonl"
+        assert main(["treefix", "--tree", "path", "--n", "64",
+                     "--report", str(r)]) == 0
+        lines = r.read_text().splitlines()
+        assert len(lines) > 1  # header + steps
+
+    def test_layout_table_report(self, tmp_path):
+        import json
+
+        r = tmp_path / "layout.json"
+        assert main(["layout", "--tree", "star", "--n", "64",
+                     "--report", str(r)]) == 0
+        rep = json.loads(r.read_text())
+        assert rep["kind"] == "layout" and rep["rows"]
+
+    def test_curves_table_report_and_trace(self, tmp_path):
+        import json
+
+        r = tmp_path / "curves.json"
+        t = tmp_path / "curves.trace.json"
+        assert main(["curves", "--side", "8", "--report", str(r),
+                     "--trace", str(t)]) == 0
+        assert json.loads(r.read_text())["kind"] == "curves"
+        assert isinstance(json.loads(t.read_text()), list)
+
+    def test_report_subcommand_pretty_prints(self, tmp_path, capsys):
+        r = tmp_path / "run.json"
+        main(["treefix", "--tree", "binary", "--n", "128", "--report", str(r)])
+        capsys.readouterr()
+        assert main(["report", str(r)]) == 0
+        out = capsys.readouterr().out
+        assert "totals:" in out and "treefix" in out
+
+    def test_report_subcommand_diff(self, tmp_path, capsys):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        main(["treefix", "--tree", "binary", "--n", "64", "--report", str(a)])
+        main(["treefix", "--tree", "binary", "--n", "256", "--report", str(b)])
+        capsys.readouterr()
+        assert main(["report", "--diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "TOTAL" in out and "Δenergy" in out
+        assert "treefix_bottom_up_contract" in out
+
+    def test_report_diff_requires_two_paths(self, tmp_path):
+        r = tmp_path / "a.json"
+        main(["treefix", "--tree", "path", "--n", "32", "--report", str(r)])
+        with pytest.raises(SystemExit):
+            main(["report", "--diff", str(r)])
+
+    def test_report_requires_a_path(self):
+        with pytest.raises(SystemExit):
+            main(["report"])
+
+
 class TestErrors:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,262 @@
+"""Tests for the machine's instrument protocol (observer subscription API)."""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    CostLedger,
+    Instrument,
+    LedgerInstrument,
+    SpatialMachine,
+    StepLog,
+    TracerInstrument,
+    attach_tracer,
+    broadcast,
+)
+from repro.machine.tracing import CongestionTracer
+
+
+class Collector(Instrument):
+    """Records every hook invocation for assertions."""
+
+    def __init__(self):
+        self.events = []
+        self.phases = []
+        self.attached = 0
+        self.detached = 0
+
+    def on_attach(self, machine):
+        self.attached += 1
+
+    def on_detach(self, machine):
+        self.detached += 1
+
+    def on_step(self, event):
+        self.events.append(event)
+
+    def on_phase_enter(self, name, depth):
+        self.phases.append(("enter", name, depth))
+
+    def on_phase_exit(self, name, depth):
+        self.phases.append(("exit", name, depth))
+
+
+class Exploder(Instrument):
+    """An instrument that raises on every step."""
+
+    def on_step(self, event):
+        raise RuntimeError("boom")
+
+
+class TestSubscription:
+    def test_attach_returns_instrument_and_fires_lifecycle(self):
+        m = SpatialMachine(16)
+        c = m.attach(Collector())
+        assert c in m.instruments
+        assert c.attached == 1
+        m.detach(c)
+        assert c not in m.instruments
+        assert c.detached == 1
+
+    def test_attach_twice_is_noop(self):
+        m = SpatialMachine(16)
+        c = Collector()
+        m.attach(c)
+        m.attach(c)
+        assert list(m.instruments).count(c) == 1
+        assert c.attached == 1
+
+    def test_detach_never_attached_is_safe(self):
+        m = SpatialMachine(16)
+        m.detach(Collector())  # must not raise
+
+    def test_ledger_is_a_builtin_instrument(self):
+        m = SpatialMachine(16)
+        assert any(isinstance(i, LedgerInstrument) for i in m.instruments)
+
+    def test_detach_mid_run_stops_event_flow(self):
+        m = SpatialMachine(16)
+        c = m.attach(Collector())
+        m.send(0, 1)
+        assert len(c.events) == 1
+        m.detach(c)
+        m.send(1, 2)
+        assert len(c.events) == 1  # no longer observing
+        # the machine itself keeps accounting
+        assert m.messages == 2
+
+    def test_detached_ledger_stops_charging(self):
+        m = SpatialMachine(16)
+        ledger_inst = next(i for i in m.instruments if isinstance(i, LedgerInstrument))
+        m.send(0, 1)
+        m.detach(ledger_inst)
+        m.send(1, 2)
+        assert m.messages == 1  # second send unobserved by the ledger
+
+
+class TestStepEvents:
+    def test_two_instruments_observe_identical_streams(self):
+        m = SpatialMachine(64)
+        a, b = m.attach(Collector()), m.attach(StepLog())
+        with m.phase("p"):
+            m.send(np.arange(16), np.arange(16, 32))
+        m.send([0, 0, 5], [9, 3, 5])  # includes a free self-message
+        assert len(a.events) == len(b.events) == 2
+        for ea, eb in zip(a.events, b.events):
+            assert ea is eb  # one event object per step, shared by observers
+        assert a.events[0].phases == ("p",)
+        assert a.events[1].phases == ()
+
+    def test_event_fields_consistent(self):
+        m = SpatialMachine(64)
+        log = m.attach(StepLog())
+        m.send([0, 0, 1, 7], [9, 3, 1, 2])  # 1->1 is free
+        (ev,) = log.events
+        assert ev.step == 0
+        assert ev.messages == 3 == len(ev.src) == len(ev.dst) == len(ev.distances)
+        assert ev.energy == int(ev.distances.sum()) == m.energy
+        assert ev.distance_histogram.sum() == ev.messages
+        assert ev.src_count == 2  # senders 0 and 7
+        assert ev.dst_count == 3
+        assert ev.depth_before == 0
+        assert ev.depth_after == m.depth
+        assert ev.metric == "manhattan"
+        assert ev.max_distance == int(ev.distances.max())
+
+    def test_event_arrays_are_readonly(self):
+        m = SpatialMachine(16)
+        log = m.attach(StepLog())
+        m.send([0, 1], [2, 3])
+        (ev,) = log.events
+        with pytest.raises(ValueError):
+            ev.src[0] = 5
+        with pytest.raises(ValueError):
+            ev.distances[0] = 5
+
+    def test_self_only_send_fires_no_event(self):
+        m = SpatialMachine(16)
+        log = m.attach(StepLog())
+        m.send([3, 4], [3, 4])
+        assert len(log.events) == 0
+        assert m.steps == 0
+
+    def test_step_indices_are_sequential(self):
+        m = SpatialMachine(32)
+        log = m.attach(StepLog())
+        for i in range(4):
+            m.send(i, i + 1)
+        assert [e.step for e in log.events] == [0, 1, 2, 3]
+        assert m.steps == 4
+
+    def test_collectives_flow_through_events(self):
+        m = SpatialMachine(64)
+        log = m.attach(StepLog())
+        broadcast(m, 1)
+        assert sum(e.energy for e in log.events) == m.energy
+        assert sum(e.messages for e in log.events) == m.messages
+
+    def test_phase_stack_recorded_on_events(self):
+        m = SpatialMachine(32)
+        log = m.attach(StepLog())
+        with m.phase("outer"):
+            m.send(0, 1)
+            with m.phase("inner"):
+                m.send(1, 2)
+        assert log.events[0].phases == ("outer",)
+        assert log.events[1].phases == ("outer", "inner")
+
+    def test_phase_notifications_paired(self):
+        m = SpatialMachine(32)
+        c = m.attach(Collector())
+        with m.phase("a"):
+            with m.phase("b"):
+                m.send(0, 4)
+        kinds = [(k, n) for k, n, _ in c.phases]
+        assert kinds == [("enter", "a"), ("enter", "b"), ("exit", "b"), ("exit", "a")]
+
+
+class TestFailureIsolation:
+    def test_raising_instrument_does_not_corrupt_ledger(self):
+        m = SpatialMachine(32)
+        m.attach(Exploder())
+        ref = SpatialMachine(32)
+        with pytest.warns(RuntimeWarning):
+            m.send(np.arange(8), np.arange(8, 16))
+        ref.send(np.arange(8), np.arange(8, 16))
+        assert m.snapshot() == ref.snapshot()
+        assert m.instrument_errors
+        inst, hook, exc = m.instrument_errors[0]
+        assert hook == "on_step" and isinstance(exc, RuntimeError)
+
+    def test_raising_instrument_does_not_starve_later_instruments(self):
+        m = SpatialMachine(32)
+        m.attach(Exploder())
+        log = m.attach(StepLog())  # attached after the exploder
+        with pytest.warns(RuntimeWarning):
+            m.send(0, 1)
+        assert len(log.events) == 1
+
+    def test_raising_instrument_keeps_payload_delivery(self):
+        m = SpatialMachine(32)
+        m.attach(Exploder())
+        vals = np.array([7, 8])
+        with pytest.warns(RuntimeWarning):
+            out = m.send([0, 1], [2, 3], vals)
+        assert out is vals
+
+
+class TestTracerCompat:
+    def test_attach_tracer_via_property(self):
+        m = SpatialMachine(64)
+        tr = attach_tracer(m)
+        assert m.tracer is tr
+        m.send(0, 5)
+        assert tr.total_traversals == m.energy + m.messages
+
+    def test_tracer_none_detaches(self):
+        m = SpatialMachine(64)
+        tr = attach_tracer(m)
+        m.send(0, 5)
+        before = tr.total_traversals
+        m.tracer = None
+        assert m.tracer is None
+        assert not any(isinstance(i, TracerInstrument) for i in m.instruments)
+        m.send(5, 9)
+        assert tr.total_traversals == before
+
+    def test_tracer_instrument_direct_attach(self):
+        m = SpatialMachine(64)
+        inst = m.attach(TracerInstrument(CongestionTracer(m.side)))
+        assert m.tracer is inst.tracer
+        m.send(0, 9)
+        assert inst.tracer.messages == 1
+
+    def test_replacing_tracer_detaches_old(self):
+        m = SpatialMachine(64)
+        old = attach_tracer(m)
+        new = attach_tracer(m)
+        assert m.tracer is new
+        m.send(0, 9)
+        assert old.messages == 0 and new.messages == 1
+
+
+class TestLedgerCompat:
+    def test_ledger_property_setter(self):
+        m = SpatialMachine(16)
+        m.send(0, 1)
+        fresh = CostLedger()
+        m.ledger = fresh
+        assert m.energy == 0
+        m.send(1, 2)
+        assert m.ledger is fresh and m.messages == 1
+
+    def test_reset_costs_keeps_instruments(self):
+        m = SpatialMachine(16)
+        log = m.attach(StepLog())
+        m.send(0, 1)
+        m.reset_costs()
+        assert m.snapshot() == {"energy": 0, "messages": 0, "depth": 0}
+        assert m.steps == 0
+        assert log in m.instruments
+        m.send(1, 2)
+        assert log.events[-1].step == 0  # step counter restarted

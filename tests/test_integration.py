@@ -152,12 +152,30 @@ class TestExamplesRun:
         out = capsys.readouterr().out
         assert "treefix sum" in out
 
-    def test_congestion_example(self, capsys):
+    def test_congestion_example(self, capsys, tmp_path):
+        import json
+
         import examples.wafer_congestion as wc
 
-        wc.main()
+        wc.main(tmp_path)
         out = capsys.readouterr().out
         assert "peak congestion ratio" in out
+        # the example doubles as an integration fixture for the report schema
+        for order in ("light_first", "random"):
+            report = json.loads(
+                (tmp_path / f"wafer_congestion_{order}.report.json").read_text()
+            )
+            heatmap = json.loads(
+                (tmp_path / f"wafer_congestion_{order}.heatmap.json").read_text()
+            )
+            assert report["schema"] == "repro.report/v1"
+            assert report["congestion"]["max_load"] == heatmap["max_load"]
+            assert len(heatmap["load"]) == heatmap["side"]
+            assert sum(map(sum, heatmap["load"])) == heatmap["total_traversals"]
+            assert (
+                report["totals"]["energy"] + report["totals"]["messages"]
+                == heatmap["total_traversals"]
+            )
 
     def test_reproduce_all_checklist(self, capsys):
         import examples.reproduce_all as ra

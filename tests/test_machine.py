@@ -215,6 +215,57 @@ class TestLedgerPhases:
                 m.send(0, 1)
         assert m.ledger.summary()["loop"]["messages"] == 3
 
+    def test_reentered_zero_cost_phase_keeps_original_depth_start(self):
+        """Regression: a phase whose first entry charged nothing used to be
+        treated as 'fresh' on re-entry, overwriting depth_start with the
+        later clock and corrupting the depth span (union of entries)."""
+        m = SpatialMachine(16)
+        with m.phase("span"):
+            pass  # first entry: no cost charged
+        m.send(0, 1)
+        m.send(1, 2)  # depth advances to 2 outside the phase
+        with m.phase("span"):
+            m.send(2, 3)
+        p = m.ledger.phases["span"]
+        assert p.depth_start == 0  # from the FIRST entry, not the re-entry
+        assert p.depth_end == m.depth
+        assert p.depth == m.depth
+
+    def test_depth_only_phase_span_survives_reentry(self):
+        """A phase that only wraps depth (its costs land in a sibling ledger
+        phase or none at all) must still report the union span."""
+        m = SpatialMachine(16)
+        with m.phase("outer"):
+            pass
+        with m.phase("unrelated"):
+            m.send(0, 1)
+        before = m.depth
+        with m.phase("outer"):
+            pass
+        p = m.ledger.phases["outer"]
+        assert (p.depth_start, p.depth_end) == (0, before)
+
+    def test_ledger_begin_end_phase_direct_api(self):
+        from repro.machine import CostLedger
+
+        ledger = CostLedger()
+        ledger.begin_phase("a", 0)
+        ledger.charge(10, 2)
+        ledger.end_phase("a", 5)
+        ledger.begin_phase("a", 7)  # re-entry must not reset depth_start
+        ledger.end_phase("a", 9)
+        p = ledger.phases["a"]
+        assert (p.energy, p.messages) == (10, 2)
+        assert (p.depth_start, p.depth_end, p.depth) == (0, 9, 9)
+
+    def test_end_phase_unentered_is_tolerated(self):
+        from repro.machine import CostLedger
+
+        ledger = CostLedger()
+        ledger.end_phase("ghost", 3)
+        assert ledger.phases["ghost"].depth_end == 3
+        assert ledger._active == []
+
 
 @settings(max_examples=30, deadline=None)
 @given(

@@ -1,0 +1,203 @@
+"""Tests for run reports, JSON/JSONL serialization, trace export, diffing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import (
+    SCHEMA,
+    SCHEMA_VERSION,
+    RunRecorder,
+    RunReport,
+    chrome_trace_events,
+    diff_reports,
+    format_diff,
+    format_report,
+    save_chrome_trace,
+)
+from repro.errors import ValidationError
+from repro.machine import SpatialMachine, attach_tracer
+from repro.spatial import SpatialTree, treefix_sum
+from repro.trees import prufer_random_tree
+
+
+def run_instrumented(n=256, seed=3, with_tracer=False):
+    tree = prufer_random_tree(n, seed=seed)
+    st = SpatialTree.build(tree, seed=seed)
+    recorder = st.machine.attach(RunRecorder())
+    if with_tracer:
+        attach_tracer(st.machine)
+    treefix_sum(st, np.ones(n, dtype=np.int64), seed=seed)
+    return st, recorder
+
+
+class TestRunRecorder:
+    def test_steps_sum_to_ledger_totals(self):
+        st, rec = run_instrumented()
+        assert sum(s["energy"] for s in rec.steps) == st.machine.energy
+        assert sum(s["messages"] for s in rec.steps) == st.machine.messages
+        assert len(rec.steps) == st.machine.steps
+
+    def test_spans_nest_and_close(self):
+        st, rec = run_instrumented()
+        assert rec.spans, "treefix must produce phase spans"
+        for span in rec.spans:
+            assert span["depth_end"] >= span["depth_start"]
+            assert span["stack"][-1] == span["name"]
+            assert span["level"] == len(span["stack"]) - 1
+        assert not rec._open
+
+    def test_open_spans_truncated_at_current_depth(self):
+        m = SpatialMachine(16)
+        rec = m.attach(RunRecorder())
+        with m.phase("open"):
+            m.send(0, 1)
+            spans = rec.finished_spans()
+        assert spans[-1]["name"] == "open"
+        assert spans[-1]["depth_end"] == m.depth
+
+    def test_histograms_optional(self):
+        m = SpatialMachine(64)
+        lean = m.attach(RunRecorder(histograms=False))
+        full = m.attach(RunRecorder())
+        m.send(0, 9)
+        assert "distance_histogram" not in lean.steps[0]
+        assert sum(full.steps[0]["distance_histogram"]) == 1
+
+
+class TestRunReport:
+    def test_totals_equal_cost_ledger_exactly(self):
+        st, rec = run_instrumented(with_tracer=True)
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        assert rep.totals["energy"] == st.machine.ledger.energy
+        assert rep.totals["messages"] == st.machine.ledger.messages
+        assert rep.totals["depth"] == st.machine.depth
+        summary = st.machine.ledger.summary()
+        for name, entry in rep.phases.items():
+            assert entry == summary[name]
+
+    def test_schema_version_stamped(self):
+        rep = RunReport.from_machine(SpatialMachine(16))
+        assert rep.data["schema"] == SCHEMA == "repro.report/v1"
+        assert rep.data["schema_version"] == SCHEMA_VERSION
+
+    def test_meta_merging(self):
+        rep = RunReport.from_machine(SpatialMachine(16), meta={"seed": 7, "tree": "star"})
+        assert rep.meta["seed"] == 7 and rep.meta["tree"] == "star"
+        assert rep.meta["n"] == 16 and rep.meta["curve"] == "hilbert"
+
+    def test_congestion_included_when_traced(self):
+        st, rec = run_instrumented(with_tracer=True)
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        c = rep.data["congestion"]
+        assert c["total_traversals"] == st.machine.energy + st.machine.messages
+        assert 1 <= c["max_load"] <= c["total_traversals"]
+
+    def test_json_roundtrip(self, tmp_path):
+        st, rec = run_instrumented()
+        rep = RunReport.from_machine(st.machine, recorder=rec, meta={"seed": 3})
+        path = rep.save(tmp_path / "run.json")
+        assert RunReport.load(path).data == rep.data
+
+    def test_jsonl_roundtrip(self, tmp_path):
+        st, rec = run_instrumented()
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        path = rep.save(tmp_path / "run.jsonl")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(rep.steps)  # header + one line per step
+        assert RunReport.load(path).data == rep.data
+
+    def test_table_report(self, tmp_path):
+        rows = [{"order": "bfs", "energy": 10}, {"order": "dfs", "energy": 12}]
+        rep = RunReport.table("layout", rows, meta={"n": 64})
+        assert rep.kind == "layout"
+        path = rep.save(tmp_path / "t.json")
+        assert RunReport.load(path).data["rows"] == rows
+        assert "bfs" in format_report(rep)
+
+    def test_load_rejects_non_report(self, tmp_path):
+        p = tmp_path / "x.json"
+        p.write_text("[1, 2, 3]")
+        with pytest.raises(ValidationError):
+            RunReport.load(p)
+
+    def test_format_report_mentions_totals_and_phases(self):
+        st, rec = run_instrumented(with_tracer=True)
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        text = format_report(rep)
+        assert "totals:" in text and "congestion:" in text
+        assert "treefix_bottom_up_contract" in text
+
+
+class TestChromeTrace:
+    def test_every_event_has_required_fields(self):
+        _, rec = run_instrumented()
+        events = chrome_trace_events(rec)
+        assert events, "trace must not be empty"
+        for ev in events:
+            assert {"name", "ph", "ts"} <= set(ev)
+            assert ev["ph"] in {"M", "X", "C"}
+
+    def test_phase_slices_map_to_depth_clock(self):
+        st, rec = run_instrumented()
+        slices = [e for e in chrome_trace_events(rec) if e["ph"] == "X"]
+        assert len(slices) == len(rec.spans)
+        max_end = max(e["ts"] + e["dur"] for e in slices)
+        assert max_end <= st.machine.depth
+        assert all(e["dur"] >= 0 and e["ts"] >= 0 for e in slices)
+
+    def test_slices_sorted_enclosing_first(self):
+        _, rec = run_instrumented()
+        slices = [e for e in chrome_trace_events(rec) if e["ph"] == "X"]
+        keys = [(e["ts"], -e["dur"]) for e in slices]
+        assert keys == sorted(keys)
+
+    def test_counters_cumulative(self):
+        st, rec = run_instrumented()
+        counters = [e for e in chrome_trace_events(rec) if e["ph"] == "C"]
+        assert counters[-1]["args"]["energy"] == st.machine.energy
+        vals = [c["args"]["energy"] for c in counters]
+        assert vals == sorted(vals)
+
+    def test_saved_file_is_json_array(self, tmp_path):
+        _, rec = run_instrumented()
+        path = save_chrome_trace(rec, tmp_path / "run.trace.json")
+        data = json.loads(path.read_text())
+        assert isinstance(data, list)
+        assert all({"name", "ph", "ts"} <= set(e) for e in data)
+
+
+class TestDiff:
+    def test_diff_per_phase_deltas(self):
+        st_a, rec_a = run_instrumented(n=128)
+        st_b, rec_b = run_instrumented(n=256)
+        a = RunReport.from_machine(st_a.machine, recorder=rec_a)
+        b = RunReport.from_machine(st_b.machine, recorder=rec_b)
+        d = diff_reports(a, b)
+        assert d["totals"]["energy"]["delta"] == b.totals["energy"] - a.totals["energy"]
+        for name, entry in d["phases"].items():
+            assert entry["energy"]["delta"] == (
+                b.phases.get(name, {}).get("energy", 0)
+                - a.phases.get(name, {}).get("energy", 0)
+            )
+
+    def test_diff_identical_reports_is_zero(self):
+        st, rec = run_instrumented()
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        d = diff_reports(rep, rep)
+        assert all(v["delta"] == 0 for v in d["totals"].values())
+
+    def test_diff_rejects_table_reports(self):
+        run = RunReport.from_machine(SpatialMachine(16))
+        table = RunReport.table("layout", [])
+        with pytest.raises(ValidationError):
+            diff_reports(run, table)
+
+    def test_format_diff_lists_all_phases(self):
+        st, rec = run_instrumented()
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        text = format_diff(diff_reports(rep, rep))
+        assert "TOTAL" in text
+        for name in rep.phases:
+            assert name in text

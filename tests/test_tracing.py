@@ -77,6 +77,81 @@ class TestTracerGeometry:
             CongestionTracer(0)
 
 
+class TestTurnCellExclusion:
+    """Direct unit tests for the XY-routing turn-cell bookkeeping: the cell
+    where a message turns from its horizontal to its vertical leg must be
+    counted exactly once, across every degenerate leg combination."""
+
+    def test_pure_horizontal_rightward(self):
+        tr = CongestionTracer(5)
+        tr.record(np.array([1]), np.array([2]), np.array([4]), np.array([2]))
+        assert tr.load[2, 1:5].tolist() == [1, 1, 1, 1]
+        assert tr.total_traversals == 4  # distance 3 + 1, no vertical leg
+
+    def test_pure_horizontal_leftward(self):
+        tr = CongestionTracer(5)
+        tr.record(np.array([4]), np.array([0]), np.array([1]), np.array([0]))
+        assert tr.load[0, 1:5].tolist() == [1, 1, 1, 1]
+        assert tr.total_traversals == 4
+
+    def test_pure_vertical_downward(self):
+        tr = CongestionTracer(5)
+        tr.record(np.array([3]), np.array([0]), np.array([3]), np.array([4]))
+        assert tr.load[:, 3].tolist() == [1, 1, 1, 1, 1]
+        assert tr.total_traversals == 5
+
+    def test_pure_vertical_upward(self):
+        tr = CongestionTracer(5)
+        tr.record(np.array([3]), np.array([4]), np.array([3]), np.array([1]))
+        assert tr.load[1:5, 3].tolist() == [1, 1, 1, 1]
+        assert tr.load[0, 3] == 0
+        assert tr.total_traversals == 4
+
+    def test_src_equals_dst_counts_endpoint_once(self):
+        tr = CongestionTracer(5)
+        tr.record(np.array([2]), np.array([3]), np.array([2]), np.array([3]))
+        assert tr.load[3, 2] == 1
+        assert tr.total_traversals == 1
+
+    def test_l_path_turn_cell_counted_once_upward(self):
+        # horizontal leg to (3, 3), then vertical leg upward to (3, 0):
+        # the turn cell (3, 3) belongs to the horizontal leg only
+        tr = CongestionTracer(5)
+        tr.record(np.array([0]), np.array([3]), np.array([3]), np.array([0]))
+        assert tr.load[3, 0:4].tolist() == [1, 1, 1, 1]
+        assert tr.load[0:3, 3].tolist() == [1, 1, 1]
+        assert tr.load.max() == 1  # nothing double-counted
+        assert tr.total_traversals == 7  # distance 6 + 1
+
+    def test_two_messages_sharing_turn_cell(self):
+        tr = CongestionTracer(5)
+        tr.record(
+            np.array([0, 4]), np.array([1, 1]), np.array([2, 2]), np.array([3, 3])
+        )
+        # both turn at (2, 1) then run down the same column
+        assert tr.load[1, 2] == 2
+        assert tr.load[2, 2] == 2 and tr.load[3, 2] == 2
+        assert tr.total_traversals == 10  # distances 4 + 4, +1 endpoint each
+
+    def test_mixed_batch_matches_energy_invariant(self):
+        rng = np.random.default_rng(7)
+        m = SpatialMachine(225, curve="zorder")
+        tr = attach_tracer(m)
+        src = rng.integers(0, 225, size=300)
+        dst = rng.integers(0, 225, size=300)
+        m.send(src, dst)  # includes accidental self-messages: free, untraced
+        assert tr.total_traversals == m.energy + m.messages
+
+    def test_reset_then_reuse(self):
+        tr = CongestionTracer(4)
+        tr.record(np.array([0]), np.array([0]), np.array([3]), np.array([3]))
+        tr.reset()
+        assert tr.load.sum() == 0 and tr.messages == 0
+        tr.record(np.array([0]), np.array([2]), np.array([3]), np.array([2]))
+        assert tr.load[2].tolist() == [1, 1, 1, 1]
+        assert tr.messages == 1
+
+
 class TestHeatmap:
     def test_render_empty(self):
         tr = CongestionTracer(3)
