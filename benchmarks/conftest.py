@@ -19,6 +19,7 @@ import pathlib
 
 import pytest
 
+from repro.analysis.bench import normalize_bench
 from repro.analysis.report import RunReport
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -33,9 +34,16 @@ def report():
     whatever is given lands in ``BENCH_<name>.json`` alongside the table
     text. With no ``data`` the JSON still records the rendered table, so
     every benchmark run leaves a machine-readable artifact.
+
+    Artifacts are written in the normalized benchmark shape
+    (:func:`repro.analysis.bench.normalize_bench`): populated ``rows``
+    (parsed back out of the table when no data rows were passed) plus a
+    ``row_key``, so ``repro bench compare`` can gate any of them. Pass
+    ``metric_kinds={"col": "energy"}`` when a cost column's name is not
+    self-describing, so the regression gate covers it.
     """
 
-    def _report(name: str, text: str, data=None) -> None:
+    def _report(name: str, text: str, data=None, metric_kinds=None) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
@@ -48,6 +56,7 @@ def report():
                 "benchmark", list(data) if data else [], meta={"benchmark": name}
             )
         bench.data["table"] = text
+        bench.data = normalize_bench(bench.data, name=name, metric_kinds=metric_kinds)
         json_path = bench.save(RESULTS_DIR / f"BENCH_{name}.json")
         print(f"\n{text}\n[saved to {path} and {json_path}]")
 

@@ -65,7 +65,8 @@ def test_e3_linear_collectives(benchmark, report):
             )
         assert 0.9 <= exp <= 1.1, (name, exp)  # §II-A: O(n) energy
         assert all(s["depth"] <= 4 * np.log2(n) for n, s in zip(NS, snaps)), name
-    report("e3_linear", "E3: §II-A linear-energy collectives\n" + format_table(rows))
+    report("e3_linear", "E3: §II-A linear-energy collectives\n" + format_table(rows),
+           data=rows)
 
 
 def test_e3_permutation_and_sort(benchmark, report):
@@ -88,4 +89,5 @@ def test_e3_permutation_and_sort(benchmark, report):
     assert all(
         s["depth"] <= 4 * np.log2(n) ** 2 for n, s in zip(NS, results["sort"])
     )
-    report("e3_heavy", "E3: §II-A permutation & sorting (Θ(n^{3/2}) energy)\n" + format_table(rows))
+    report("e3_heavy", "E3: §II-A permutation & sorting (Θ(n^{3/2}) energy)\n" + format_table(rows),
+           data=rows)

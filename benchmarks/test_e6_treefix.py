@@ -112,6 +112,7 @@ def test_e6_contraction_phase_split(benchmark, report):
         f"{split['contract']:,} vs uncontraction {split['expand']:,} "
         f"(total {split['total']:,})",
         data=[split],
+        metric_kinds={"contract": "energy", "expand": "energy", "total": "energy"},
     )
     # Uncontraction replays only the recorded events; contraction also pays
     # for the per-round viability probing (coin broadcasts, rake checks), so

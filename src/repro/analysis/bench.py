@@ -1,0 +1,376 @@
+"""Benchmark report normalization and the perf regression gate.
+
+``benchmarks/results/BENCH_*.json`` artifacts historically varied in
+shape (rows populated or only an ASCII table, ad-hoc column sets). This
+module pins one normalized form and builds the comparison workflow on it:
+
+* :func:`normalize_bench` — coerce any historical BENCH document to the
+  single shape: report envelope (``repro.report/v1``), ``kind:
+  "benchmark"``, populated ``rows`` (parsed out of the archived ASCII
+  ``table`` when a legacy file carried none), and a ``row_key`` naming
+  the label columns that identify a row (e.g. ``["op", "n"]``).
+* :func:`load_bench` — load + normalize a BENCH file (run reports pass
+  through untouched; ``compare_reports`` handles both kinds).
+* :func:`compare_reports` — row-by-row / phase-by-phase deltas between a
+  baseline and a new report, with *regression gating*: metric columns
+  classified as energy-like or depth-like (:func:`metric_kind`) must not
+  grow past the configured tolerance. Rows or phases present on only one
+  side are reported as added/removed, never crashed on.
+* :func:`format_comparison` — the aligned ASCII rendering the
+  ``repro bench compare`` CLI prints; the CLI exits nonzero iff
+  ``comparison.ok`` is false. This is the CI perf gate.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.report import SCHEMA, SCHEMA_VERSION, RunReport, diff_reports
+from repro.analysis.reporting import format_table
+from repro.errors import ValidationError
+
+#: report kinds that carry benchmark-style ``rows``
+ROW_KINDS = ("benchmark", "scaling")
+
+
+def parse_percent(text) -> float:
+    """``"10%"`` → 0.10; ``"0.1"`` → 0.10. Fractions and percents both work."""
+    if isinstance(text, (int, float)):
+        return float(text)
+    s = str(text).strip()
+    try:
+        if s.endswith("%"):
+            return float(s[:-1]) / 100.0
+        return float(s)
+    except ValueError:
+        raise ValidationError(f"cannot parse {text!r} as a percentage") from None
+
+
+def metric_kind(column: str) -> str | None:
+    """Classify a row column for gating: ``"energy"``, ``"depth"`` or None.
+
+    Matches the naming conventions used across the benchmark suite:
+    ``energy``, ``energy/n``, ``E/(n·log2n)``, ``spatial_E`` are
+    energy-like; ``depth``, ``D/log2n``, ``spatial_D`` depth-like. Ratio
+    columns (``E_ratio``) are informational only — a ratio against a
+    baseline implementation is not a cost of ours.
+    """
+    name = str(column)
+    low = name.lower()
+    if "ratio" in low:
+        return None
+    if "energy" in low or name == "E" or name.startswith("E/") or name.endswith("_E"):
+        return "energy"
+    if "depth" in low or name == "D" or name.startswith("D/") or name.endswith("_D"):
+        return "depth"
+    return None
+
+
+def _coerce_cell(token: str):
+    for cast in (int, float):
+        try:
+            return cast(token)
+        except ValueError:
+            continue
+    return token
+
+
+def parse_ascii_table(text: str) -> list[dict]:
+    """Recover row dicts from a ``format_table`` rendering.
+
+    Finds the dashed separator line, takes the line above as the header
+    and everything below as rows; columns split on whitespace (the
+    repo's column names never contain spaces). Returns ``[]`` when the
+    text holds no such table (e.g. a one-line summary sentence).
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    sep_idx = next(
+        (
+            i
+            for i, line in enumerate(lines)
+            if i > 0 and set(line.strip()) <= set("- ") and "-" in line
+        ),
+        None,
+    )
+    if sep_idx is None:
+        return []
+    header = lines[sep_idx - 1].split()
+    rows = []
+    for line in lines[sep_idx + 1 :]:
+        cells = line.split()
+        if len(cells) != len(header):
+            break  # trailing prose after the table
+        rows.append({col: _coerce_cell(tok) for col, tok in zip(header, cells)})
+    return rows
+
+
+def derive_row_key(rows: list[dict]) -> list[str]:
+    """Label columns that identify a row: the string-valued ones plus ``n``."""
+    if not rows:
+        return []
+    first = rows[0]
+    return [
+        col
+        for col, val in first.items()
+        if isinstance(val, str) or col == "n"
+    ]
+
+
+def normalize_bench(
+    data: dict, *, name: str | None = None, metric_kinds: dict | None = None
+) -> dict:
+    """Coerce a BENCH document (any historical shape) to the current one.
+
+    ``metric_kinds`` optionally maps column names to ``"energy"`` /
+    ``"depth"`` for columns whose names don't follow the conventions
+    :func:`metric_kind` recognizes (e.g. a phase-split benchmark whose
+    energy columns are called ``contract``/``expand``/``total``); the
+    mapping is stored on the document and honoured by
+    :func:`compare_reports` ahead of name-based classification.
+    """
+    out = dict(data)
+    out.setdefault("schema", SCHEMA)
+    out.setdefault("schema_version", SCHEMA_VERSION)
+    if out.get("kind") not in ROW_KINDS:
+        out["kind"] = "benchmark"
+    meta = dict(out.get("meta", {}))
+    if name is not None:
+        meta.setdefault("benchmark", name)
+    out["meta"] = meta
+    rows = list(out.get("rows") or [])
+    if not rows and out.get("table"):
+        rows = parse_ascii_table(out["table"])
+    out["rows"] = rows
+    out["row_key"] = out.get("row_key") or derive_row_key(rows)
+    if metric_kinds:
+        out["metric_kinds"] = {**out.get("metric_kinds", {}), **metric_kinds}
+    return out
+
+
+def load_bench(path) -> RunReport:
+    """Load any BENCH/run report; benchmark-shaped documents normalize."""
+    report = RunReport.load(path)
+    if report.kind != "run":
+        stem = Path(path).stem
+        name = stem[len("BENCH_"):] if stem.startswith("BENCH_") else stem
+        report.data = normalize_bench(report.data, name=name)
+    return report
+
+
+# ---------------------------------------------------------------------- #
+# comparison
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class Regression:
+    """One gated metric that grew past its tolerance."""
+
+    row: str
+    column: str
+    kind: str
+    baseline: float
+    new: float
+    increase: float  # fractional, e.g. 0.21 for +21%
+
+    def describe(self) -> str:
+        return (
+            f"{self.row} · {self.column}: {self.baseline:g} → {self.new:g} "
+            f"(+{100 * self.increase:.1f}%, {self.kind} tolerance exceeded)"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """Outcome of :func:`compare_reports`; ``ok`` gates the CLI exit code."""
+
+    kind: str
+    entries: list[dict] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    regressions: list[Regression] = field(default_factory=list)
+    tolerances: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _run_rows(report: RunReport) -> tuple[list[dict], list[str]]:
+    """A run report as benchmark-style rows: TOTAL plus one row per phase."""
+    rows = [
+        {
+            "phase": "TOTAL",
+            "energy": report.totals.get("energy", 0),
+            "messages": report.totals.get("messages", 0),
+            "depth": report.totals.get("depth", 0),
+        }
+    ]
+    for name, phase in report.phases.items():
+        rows.append(
+            {
+                "phase": name,
+                "energy": phase.get("energy", 0),
+                "messages": phase.get("messages", 0),
+                "depth": phase.get("depth", 0),
+            }
+        )
+    return rows, ["phase"]
+
+
+def _row_label(row: dict, key: list[str], index: int) -> str:
+    if not key:
+        return f"row[{index}]"
+    return " ".join(f"{k}={row.get(k)}" for k in key)
+
+
+def compare_reports(
+    baseline: RunReport,
+    new: RunReport,
+    *,
+    max_energy_regress: float | str | None = "10%",
+    max_depth_regress: float | str | None = None,
+) -> BenchComparison:
+    """Diff two reports and gate energy/depth-like metrics.
+
+    Works on benchmark/scaling reports (row-matched by ``row_key``, by
+    position when the key is empty) and on run reports (phase-matched via
+    :func:`~repro.analysis.report.diff_reports`). A ``None`` tolerance
+    disables that gate; improvements and un-gated columns always pass.
+    """
+    if (baseline.kind == "run") != (new.kind == "run"):
+        raise ValidationError(
+            f"cannot compare report kinds {baseline.kind!r} vs {new.kind!r}"
+        )
+    tolerances = {
+        "energy": None if max_energy_regress is None else parse_percent(max_energy_regress),
+        "depth": None if max_depth_regress is None else parse_percent(max_depth_regress),
+    }
+    if baseline.kind == "run":
+        a_rows, key = _run_rows(baseline)
+        b_rows, _ = _run_rows(new)
+        # diff_reports is the canonical phase differ; run it for its
+        # added/removed bookkeeping (and to keep the two paths consistent)
+        diff = diff_reports(baseline, new)
+        cmp = BenchComparison(kind="run", tolerances=tolerances)
+        cmp.added = [n for n, e in diff["phases"].items() if e.get("status") == "added"]
+        cmp.removed = [
+            n for n, e in diff["phases"].items() if e.get("status") == "removed"
+        ]
+        kind_overrides = {}
+    else:
+        a_data = normalize_bench(baseline.data)
+        b_data = normalize_bench(new.data)
+        a_rows, key = a_data["rows"], a_data["row_key"]
+        b_rows = b_data["rows"]
+        kind_overrides = {
+            **a_data.get("metric_kinds", {}),
+            **b_data.get("metric_kinds", {}),
+        }
+        cmp = BenchComparison(kind="benchmark", tolerances=tolerances)
+
+    def index_of(rows):
+        if key:
+            return {tuple(row.get(k) for k in key): row for row in rows}
+        return {(i,): row for i, row in enumerate(rows)}
+
+    a_index, b_index = index_of(a_rows), index_of(b_rows)
+    if baseline.kind != "run":
+        cmp.added = [
+            _row_label(b_index[k], key, i)
+            for i, k in enumerate(b_index)
+            if k not in a_index
+        ]
+        cmp.removed = [
+            _row_label(a_index[k], key, i)
+            for i, k in enumerate(a_index)
+            if k not in b_index
+        ]
+    for i, (rkey, a_row) in enumerate(a_index.items()):
+        b_row = b_index.get(rkey)
+        if b_row is None:
+            continue
+        label = _row_label(a_row, key, i)
+        entry = {"row": label}
+        for column in a_row:
+            va, vb = a_row.get(column), b_row.get(column)
+            if column in key or not isinstance(va, (int, float)) \
+                    or not isinstance(vb, (int, float)):
+                continue
+            kind = kind_overrides.get(column) or metric_kind(column)
+            entry[column] = {"a": va, "b": vb, "delta": vb - va, "kind": kind}
+            limit = tolerances.get(kind) if kind else None
+            if limit is not None and vb > va:
+                increase = (vb - va) / va if va else float("inf")
+                if increase > limit:
+                    cmp.regressions.append(
+                        Regression(
+                            row=label, column=column, kind=kind,
+                            baseline=float(va), new=float(vb), increase=increase,
+                        )
+                    )
+        cmp.entries.append(entry)
+    return cmp
+
+
+def format_comparison(cmp: BenchComparison) -> str:
+    """Aligned rendering: per-row deltas, added/removed, verdict line."""
+    lines: list[str] = []
+    table_rows = []
+    for entry in cmp.entries:
+        row = {"row": entry["row"]}
+        for column, d in entry.items():
+            if column == "row":
+                continue
+            sign = "+" if d["delta"] >= 0 else ""
+            pct = f" ({100 * d['delta'] / d['a']:+.1f}%)" if d["a"] else ""
+            row[column] = f"{d['a']:g} → {d['b']:g} [{sign}{d['delta']:g}{pct}]"
+        table_rows.append(row)
+    if table_rows:
+        lines.append(format_table(table_rows))
+    else:
+        lines.append("(no comparable rows)")
+    for label in cmp.added:
+        lines.append(f"+ added:   {label} (only in new report)")
+    for label in cmp.removed:
+        lines.append(f"- removed: {label} (only in baseline)")
+    if cmp.regressions:
+        lines.append("")
+        lines.append(f"REGRESSIONS ({len(cmp.regressions)}):")
+        for reg in cmp.regressions:
+            lines.append(f"  ✗ {reg.describe()}")
+    else:
+        gates = ", ".join(
+            f"{kind} ≤ +{100 * limit:g}%"
+            for kind, limit in cmp.tolerances.items()
+            if limit is not None
+        )
+        lines.append(f"OK — no regressions ({gates or 'no gates configured'})")
+    return "\n".join(lines)
+
+
+def migrate_bench_files(paths: list) -> list[Path]:
+    """Normalize BENCH files on disk in place; returns the rewritten paths.
+
+    Used once to migrate the checked-in artifacts and available for any
+    future schema bump (``repro bench migrate``).
+    """
+    rewritten = []
+    for path in paths:
+        report = load_bench(path)
+        if report.kind == "run":
+            continue
+        report.save(path)
+        rewritten.append(Path(path))
+    return rewritten
+
+
+_BENCH_RE = re.compile(r"^BENCH_.+\.json$")
+
+
+def find_bench_files(directory) -> list[Path]:
+    """All ``BENCH_*.json`` artifacts under ``directory``, sorted."""
+    directory = Path(directory)
+    return sorted(p for p in directory.glob("BENCH_*.json") if _BENCH_RE.match(p.name))

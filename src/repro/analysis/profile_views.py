@@ -1,0 +1,172 @@
+"""Renderers that turn spatial profiles into shareable artifacts.
+
+The :class:`~repro.machine.profiler.SpatialProfiler` measures; this module
+presents. Three output shapes, each consumable by standard tooling:
+
+* **heatmap JSON** (:func:`profile_heatmaps` / :func:`save_heatmap_json`)
+  — schema-versioned document with every per-cell counter as a
+  ``side × side`` matrix plus the per-link window timeline; feeds any
+  plotting front-end (the wafer example's format, generalized).
+* **folded stacks** (:func:`folded_stacks`) — ``outer;inner <weight>``
+  lines, the flamegraph.pl / speedscope / inferno input format, with the
+  phase stack as the stack and energy / messages / depth as the weight.
+* **hotspot table** (:func:`hotspot_table`) — top-k cells by any counter,
+  as the repo's aligned ASCII table.
+
+:func:`write_profile_bundle` emits the whole set (plus Prometheus/JSON
+metrics via :mod:`repro.analysis.metrics`) into one directory — the
+``repro profile`` CLI is a thin wrapper around it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.metrics import (
+    MetricsRegistry,
+    publish_machine,
+    publish_profiler,
+    publish_tracer,
+)
+from repro.analysis.reporting import format_table
+from repro.errors import ValidationError
+
+#: heatmap document schema identifier; bump on breaking changes
+PROFILE_SCHEMA = "repro.profile/v1"
+
+#: step-row weights understood by :func:`folded_stacks`
+FOLDED_WEIGHTS = ("energy", "messages", "depth")
+
+
+def profile_heatmaps(profiler, *, meta: dict | None = None) -> dict:
+    """The profiler's state as one JSON-ready heatmap document."""
+    windows = profiler.link_windows()
+    doc = {
+        "schema": PROFILE_SCHEMA,
+        "side": profiler.side,
+        "window": profiler.window,
+        "meta": dict(meta or {}),
+        "totals": {
+            "steps": profiler.steps,
+            "energy": profiler.energy,
+            "messages": profiler.messages,
+        },
+        "cells": {
+            name: profiler.cell_grid(name).tolist() for name in profiler.cells
+        },
+        "links": {
+            "total": {
+                "h": profiler.link_h.tolist(),
+                "v": profiler.link_v.tolist(),
+            },
+            "windows": [
+                {
+                    **w.summary(),
+                    **(
+                        {"h": w.h.tolist(), "v": w.v.tolist()}
+                        if w.h is not None
+                        else {}
+                    ),
+                }
+                for w in windows
+            ],
+        },
+        "distance_histogram": [int(c) for c in profiler.distance_histogram],
+    }
+    return doc
+
+
+def save_heatmap_json(profiler, path, *, meta: dict | None = None) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(profile_heatmaps(profiler, meta=meta)) + "\n")
+    return path
+
+
+def folded_stacks(steps: list[dict], *, weight: str = "energy") -> str:
+    """Collapse recorded steps into flamegraph-ready folded-stack lines.
+
+    ``steps`` is :attr:`RunRecorder.steps` (dict rows); each row's phase
+    stack becomes a ``;``-joined frame path and its weight accumulates —
+    ``weight="depth"`` uses the step's ``depth_after − depth_before``.
+    Steps outside any phase fold under the synthetic root ``(unphased)``.
+    """
+    if weight not in FOLDED_WEIGHTS:
+        raise ValidationError(
+            f"folded-stack weight must be one of {FOLDED_WEIGHTS}, got {weight!r}"
+        )
+    totals: dict[str, int] = {}
+    for row in steps:
+        stack = ";".join(row.get("phases") or ["(unphased)"])
+        if weight == "depth":
+            w = row["depth_after"] - row["depth_before"]
+        else:
+            w = row[weight]
+        totals[stack] = totals.get(stack, 0) + int(w)
+    return "\n".join(f"{stack} {w}" for stack, w in totals.items() if w > 0)
+
+
+def save_folded(steps: list[dict], path, *, weight: str = "energy") -> Path:
+    path = Path(path)
+    text = folded_stacks(steps, weight=weight)
+    path.write_text(text + "\n" if text else "")
+    return path
+
+
+def hotspot_table(profiler, *, metric: str = "energy_sent", k: int = 10) -> str:
+    """Top-``k`` cells by ``metric`` as an aligned ASCII table."""
+    rows = profiler.hotspots(metric=metric, k=k)
+    if not rows:
+        return "(no traffic recorded)"
+    return format_table(rows)
+
+
+def write_profile_bundle(
+    outdir,
+    *,
+    profiler,
+    recorder=None,
+    machine=None,
+    meta: dict | None = None,
+    top: int = 10,
+) -> dict[str, Path]:
+    """Write the full profile artifact set into ``outdir``.
+
+    Emits ``heatmap.json``, ``metrics.prom`` + ``metrics.json``,
+    ``hotspots.json``, and — when a recorder is given —
+    ``flame_energy.folded`` / ``flame_depth.folded`` plus a full
+    ``report.json``. Returns ``{artifact name: path}``.
+    """
+    outdir = Path(outdir)
+    outdir.mkdir(parents=True, exist_ok=True)
+    paths: dict[str, Path] = {}
+    paths["heatmap"] = save_heatmap_json(profiler, outdir / "heatmap.json", meta=meta)
+    registry = MetricsRegistry()
+    if machine is not None:
+        publish_machine(registry, machine)
+        tracer = getattr(machine, "tracer", None)
+        if tracer is not None:
+            publish_tracer(registry, tracer)
+    publish_profiler(registry, profiler)
+    paths["metrics_prom"] = registry.save_prometheus(outdir / "metrics.prom")
+    paths["metrics_json"] = registry.save_json(outdir / "metrics.json")
+    hotspots = {
+        metric: profiler.hotspots(metric=metric, k=top) for metric in profiler.cells
+    }
+    hotspot_path = outdir / "hotspots.json"
+    hotspot_path.write_text(json.dumps(hotspots, indent=2) + "\n")
+    paths["hotspots"] = hotspot_path
+    if recorder is not None:
+        paths["flame_energy"] = save_folded(
+            recorder.steps, outdir / "flame_energy.folded", weight="energy"
+        )
+        paths["flame_depth"] = save_folded(
+            recorder.steps, outdir / "flame_depth.folded", weight="depth"
+        )
+        if machine is not None:
+            from repro.analysis.report import RunReport
+
+            paths["report"] = RunReport.from_machine(
+                machine, recorder=recorder, meta=meta
+            ).save(outdir / "report.json")
+    return paths

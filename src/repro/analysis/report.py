@@ -349,7 +349,13 @@ def format_report(report: RunReport) -> str:
 
 
 def diff_reports(a: RunReport, b: RunReport) -> dict:
-    """Per-phase and total deltas ``b − a`` between two run reports."""
+    """Per-phase and total deltas ``b − a`` between two run reports.
+
+    A phase present in only one report is never an error: its entry
+    carries an explicit ``status`` — ``"added"`` (only in ``b``),
+    ``"removed"`` (only in ``a``) or ``"common"`` — with the missing
+    side's figures read as 0, so renames and new phases diff cleanly.
+    """
     if a.kind != "run" or b.kind != "run":
         raise ValidationError(
             f"can only diff 'run' reports, got {a.kind!r} vs {b.kind!r}"
@@ -359,8 +365,15 @@ def diff_reports(a: RunReport, b: RunReport) -> dict:
         va, vb = a.totals.get(key, 0), b.totals.get(key, 0)
         out["totals"][key] = {"a": va, "b": vb, "delta": vb - va}
     for name in sorted(set(a.phases) | set(b.phases)):
-        pa = a.phases.get(name, {})
-        pb = b.phases.get(name, {})
+        pa = a.phases.get(name)
+        pb = b.phases.get(name)
+        if pa is None:
+            status = "added"
+        elif pb is None:
+            status = "removed"
+        else:
+            status = "common"
+        pa, pb = pa or {}, pb or {}
         out["phases"][name] = {
             key: {
                 "a": pa.get(key, 0),
@@ -369,6 +382,7 @@ def diff_reports(a: RunReport, b: RunReport) -> dict:
             }
             for key in ("energy", "messages", "depth")
         }
+        out["phases"][name]["status"] = status
     return out
 
 
@@ -380,12 +394,21 @@ def _delta_str(d: dict) -> str:
     return f"{sign}{d['delta']:,}{pct}"
 
 
+#: phase-status rendering in :func:`format_diff` (common phases show blank)
+_STATUS_MARKERS = {"added": "+", "removed": "-"}
+
+
 def format_diff(diff: dict) -> str:
-    """Render :func:`diff_reports` output as an aligned delta table."""
+    """Render :func:`diff_reports` output as an aligned delta table.
+
+    Phases present in only one report are flagged ``+`` (added in b) or
+    ``-`` (removed from a) in the leading column.
+    """
     rows = []
     for name, entry in [("TOTAL", diff["totals"])] + sorted(diff["phases"].items()):
         rows.append(
             {
+                "±": _STATUS_MARKERS.get(entry.get("status", ""), ""),
                 "phase": name,
                 "energy_a": entry["energy"]["a"],
                 "energy_b": entry["energy"]["b"],

@@ -9,11 +9,18 @@ Subcommands:
   cost bill.
 * ``lca``     — run a batch of random LCA queries (§VI) and print the bill.
 * ``curves``  — empirical distance-bound constants (experiment E4).
+* ``profile`` — run a workload under the spatial profiler: per-cell
+  heatmap JSON, link-congestion timeline, folded stacks, Prometheus text.
+* ``bench``   — benchmark artifact workflows: ``bench compare`` is the
+  perf regression gate (nonzero exit on energy/depth regression),
+  ``bench migrate`` normalizes legacy ``BENCH_*.json`` shapes.
 * ``report``  — pretty-print a saved run report, or diff two of them.
 
 Every workload subcommand takes ``--report out.json`` (schema-versioned
-run report, JSON or ``.jsonl``) and ``--trace out.trace.json`` (Chrome
-trace-event timeline, loadable in Perfetto / ``chrome://tracing``).
+run report, JSON or ``.jsonl``), ``--trace out.trace.json`` (Chrome
+trace-event timeline, loadable in Perfetto / ``chrome://tracing``), and
+``--no-step-histograms`` (drop per-step distance histograms — memory
+relief on long runs).
 
 Examples::
 
@@ -23,6 +30,8 @@ Examples::
         --report r.json --trace t.trace.json
     python -m repro lca --tree random --n 2048 --queries 2048
     python -m repro curves --side 32
+    python -m repro profile treefix --n 4096 --out prof/
+    python -m repro bench compare baseline.json new.json --max-energy-regress 10%
     python -m repro report r.json
     python -m repro report --diff before.json after.json
 """
@@ -84,6 +93,9 @@ def _add_output_args(p: argparse.ArgumentParser) -> None:
                    help="write a schema-versioned run report (JSON; .jsonl streams steps)")
     p.add_argument("--trace", metavar="PATH", default=None,
                    help="write a Chrome trace-event timeline (open in Perfetto)")
+    p.add_argument("--no-step-histograms", action="store_true",
+                   help="drop per-step distance histograms from the report "
+                        "(memory relief on long runs)")
 
 
 def _attach_telemetry(machine, args):
@@ -94,7 +106,9 @@ def _attach_telemetry(machine, args):
 
     if not (args.report or args.trace):
         return None
-    recorder = machine.attach(RunRecorder())
+    recorder = machine.attach(
+        RunRecorder(histograms=not getattr(args, "no_step_histograms", False))
+    )
     if args.report and machine.tracer is None:
         attach_tracer(machine)
     return recorder
@@ -281,6 +295,130 @@ def cmd_curves(args) -> int:
     return 0
 
 
+# --------------------------------------------------------------------- #
+# spatial profiling
+# --------------------------------------------------------------------- #
+
+
+def _workload_treefix(args):
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rng = np.random.default_rng(args.seed)
+    values = rng.integers(0, 100, size=tree.n)
+    st = SpatialTree.build(tree, curve=args.curve, mode=args.mode)
+    meta = {"workload": "treefix", "tree": args.tree, "mode": st.mode,
+            "seed": args.seed}
+    return st.machine, (lambda: treefix_sum(st, values, seed=args.seed)), meta
+
+
+def _workload_lca(args):
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rng = np.random.default_rng(args.seed)
+    q = args.queries or tree.n
+    us = rng.permutation(tree.n)[: min(q, tree.n)]
+    vs = rng.permutation(tree.n)[: min(q, tree.n)]
+    st = SpatialTree.build(tree, curve=args.curve)
+    meta = {"workload": "lca", "tree": args.tree, "queries": len(us),
+            "seed": args.seed}
+    return st.machine, (lambda: lca_batch(st, us, vs, seed=args.seed)), meta
+
+
+def _workload_expr(args):
+    from repro.spatial.expression import evaluate_expression, random_expression
+
+    tree, ops, leaf_vals = random_expression(args.n, seed=args.seed)
+    st = SpatialTree.build(tree, curve=args.curve)
+    meta = {"workload": "expr", "seed": args.seed}
+    return st.machine, (lambda: evaluate_expression(st, ops, leaf_vals, seed=args.seed)), meta
+
+
+def _workload_cuts(args):
+    from repro.spatial.graph import one_respecting_cuts
+
+    tree = _make_tree(args.tree, args.n, args.seed)
+    rng = np.random.default_rng(args.seed)
+    m = args.extra_edges or 2 * tree.n
+    raw = rng.integers(0, tree.n, size=(m + tree.n, 2))
+    extra = raw[raw[:, 0] != raw[:, 1]][:m]
+    st = SpatialTree.build(tree, curve=args.curve)
+    meta = {"workload": "cuts", "tree": args.tree, "extra_edges": len(extra),
+            "seed": args.seed}
+    return st.machine, (lambda: one_respecting_cuts(st, extra, seed=args.seed)), meta
+
+
+#: machine workloads the spatial profiler can drive
+PROFILE_WORKLOADS = {
+    "treefix": _workload_treefix,
+    "lca": _workload_lca,
+    "expr": _workload_expr,
+    "cuts": _workload_cuts,
+}
+
+
+def cmd_profile(args) -> int:
+    from repro.analysis.profile_views import hotspot_table, write_profile_bundle
+    from repro.analysis.report import RunRecorder
+    from repro.machine.profiler import SpatialProfiler
+    from repro.machine.tracing import attach_tracer
+
+    machine, run, meta = PROFILE_WORKLOADS[args.workload](args)
+    meta = {"command": "profile", **meta}
+    profiler = machine.attach(
+        SpatialProfiler(window=args.window, max_windows=args.max_windows)
+    )
+    recorder = machine.attach(RunRecorder(histograms=not args.no_step_histograms))
+    if machine.tracer is None:
+        attach_tracer(machine)
+    run()
+    paths = write_profile_bundle(
+        args.out, profiler=profiler, recorder=recorder, machine=machine,
+        meta=meta, top=args.top,
+    )
+    snap = machine.snapshot()
+    windows = profiler.link_windows()
+    print(f"profiled {args.workload}: n={machine.n} side={machine.side} "
+          f"curve={machine.curve.name}")
+    print(f"energy {snap['energy']:,}   depth {snap['depth']:,}   "
+          f"messages {snap['messages']:,}   steps {machine.steps:,}")
+    print(f"link timeline: {len(windows)} windows of {profiler.window} depth rounds, "
+          f"peak link load {profiler.max_link_load():,}")
+    print(f"\ntop-{args.top} cells by energy sent:")
+    print(hotspot_table(profiler, metric="energy_sent", k=args.top))
+    print()
+    for name, path in sorted(paths.items()):
+        print(f"[{name} saved to {path}]")
+    return 0
+
+
+def cmd_bench(args) -> int:
+    from repro.analysis.bench import (
+        compare_reports,
+        find_bench_files,
+        format_comparison,
+        load_bench,
+        migrate_bench_files,
+    )
+
+    if args.bench_command == "compare":
+        baseline = load_bench(args.baseline)
+        new = load_bench(args.new)
+        cmp = compare_reports(
+            baseline, new,
+            max_energy_regress=args.max_energy_regress,
+            max_depth_regress=args.max_depth_regress,
+        )
+        print(f"bench compare: baseline={args.baseline}  new={args.new}")
+        print(format_comparison(cmp))
+        return 0 if cmp.ok else 1
+    if args.bench_command == "migrate":
+        paths = find_bench_files(args.directory)
+        if not paths:
+            raise SystemExit(f"no BENCH_*.json artifacts under {args.directory}")
+        for path in migrate_bench_files(paths):
+            print(f"[normalized {path}]")
+        return 0
+    raise SystemExit(f"unknown bench subcommand {args.bench_command!r}")
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import RunReport, diff_reports, format_diff, format_report
 
@@ -349,6 +487,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     _add_output_args(p)
     p.set_defaults(fn=cmd_curves)
+
+    p = sub.add_parser(
+        "profile",
+        help="run a workload under the spatial profiler; emit heatmaps, "
+             "folded stacks, and Prometheus metrics",
+    )
+    p.add_argument("workload", choices=sorted(PROFILE_WORKLOADS))
+    _add_tree_args(p)
+    p.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"],
+                   help="treefix execution mode (ignored by other workloads)")
+    p.add_argument("--queries", type=int, default=0, help="lca query count (default n)")
+    p.add_argument("--extra-edges", type=int, default=0,
+                   help="cuts non-tree edge count (default 2n)")
+    p.add_argument("--out", metavar="DIR", required=True,
+                   help="directory for the profile artifact bundle")
+    p.add_argument("--window", type=int, default=64,
+                   help="depth rounds per link-congestion window (default 64)")
+    p.add_argument("--max-windows", type=int, default=None,
+                   help="retain link matrices for only the last K windows "
+                        "(bounded memory; default: keep all)")
+    p.add_argument("--top", type=int, default=10, help="hotspot table size")
+    p.add_argument("--no-step-histograms", action="store_true",
+                   help="drop per-step distance histograms from report.json")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("bench", help="benchmark artifact workflows (perf gate)")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    pc = bench_sub.add_parser(
+        "compare",
+        help="diff two BENCH_/run reports; exit 1 on energy/depth regression",
+    )
+    pc.add_argument("baseline", help="baseline report (BENCH_*.json or run report)")
+    pc.add_argument("new", help="new report to gate against the baseline")
+    pc.add_argument("--max-energy-regress", default="10%", metavar="PCT",
+                    help="fail if an energy-like metric grows more than this "
+                         "(default 10%%; e.g. 5%% or 0.05)")
+    pc.add_argument("--max-depth-regress", default=None, metavar="PCT",
+                    help="optionally gate depth-like metrics the same way")
+    pc.set_defaults(fn=cmd_bench)
+    pm = bench_sub.add_parser(
+        "migrate", help="normalize BENCH_*.json artifacts in place"
+    )
+    pm.add_argument("directory", nargs="?", default="benchmarks/results")
+    pm.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser("report", help="pretty-print or diff saved run reports")
     p.add_argument("paths", nargs="*", help="report file(s) written by --report")

@@ -1,0 +1,339 @@
+"""Spatially resolved profiling for the spatial machine.
+
+The model's cost terms live in *space* — energy is Manhattan distance on
+the grid — so aggregate counters (ledger totals, a global step series)
+cannot answer "which cells pay for this phase" or "which grid links
+saturate when". :class:`SpatialProfiler` is an
+:class:`~repro.machine.instrumentation.Instrument` that resolves both:
+
+* **per-cell counters** — energy sent/received, messages sent/received,
+  queue occupancy (extra serialization rounds forced by the 1-port rule),
+  and XY turn-cell occupancy, each a ``side × side`` grid;
+* **per-link traffic** — how many messages cross each horizontal and
+  vertical grid edge under XY (dimension-order) routing, bucketed into
+  *depth-clock windows* so congestion becomes a timeline, not one number;
+* a **total distance histogram** — messages per exact distance, summed
+  over the run.
+
+Every update is O(messages-in-event) numpy work (``np.add.at`` on the
+event's endpoint arrays; link legs go through per-window difference
+arrays, cumsum'd once when a window closes) — there is no per-message
+Python loop and no O(n) or O(side²) work on the per-event hot path.
+
+Long runs stay bounded: ``max_windows=k`` retains full link matrices for
+only the ``k`` most recent closed windows; older windows collapse to
+scalar summaries (their traffic stays in the running totals), so memory
+is O(side² · k) regardless of run length.
+
+The profiler is pure measurement: export/rendering lives in
+:mod:`repro.analysis.profile_views`, and Prometheus/JSON metric
+exposition in :mod:`repro.analysis.metrics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.machine.instrumentation import Instrument, StepEvent
+
+#: per-cell counter names, in a stable export order
+CELL_METRICS = (
+    "energy_sent",
+    "energy_received",
+    "messages_sent",
+    "messages_received",
+    "queue_occupancy",
+    "turn_occupancy",
+)
+
+
+@dataclass
+class LinkWindow:
+    """Link traffic of one depth-clock window ``[index·w, (index+1)·w)``.
+
+    ``h``/``v`` are the per-link traversal matrices (``h[y, x]`` = messages
+    crossing the horizontal edge between ``(x, y)`` and ``(x+1, y)``;
+    ``v[y, x]`` the vertical edge between ``(x, y)`` and ``(x, y+1)``).
+    They are ``None`` once the window is evicted under bounded-memory
+    mode; the scalar summary always survives.
+    """
+
+    index: int
+    depth_start: int
+    depth_end: int
+    steps: int
+    energy: int
+    messages: int
+    link_traffic: int
+    max_link_load: int
+    h: np.ndarray | None
+    v: np.ndarray | None
+
+    def summary(self) -> dict:
+        """JSON-ready scalar view (matrices handled by the view layer)."""
+        return {
+            "window": self.index,
+            "depth_start": self.depth_start,
+            "depth_end": self.depth_end,
+            "steps": self.steps,
+            "energy": self.energy,
+            "messages": self.messages,
+            "link_traffic": self.link_traffic,
+            "max_link_load": self.max_link_load,
+            "retained": self.h is not None,
+        }
+
+
+class SpatialProfiler(Instrument):
+    """Accumulates per-cell and per-link profiles of a machine run.
+
+    Parameters
+    ----------
+    window:
+        Width of one depth-clock window (in depth rounds) for the link
+        timeline. Events land in window ``depth_before // window``.
+    max_windows:
+        Bounded-memory mode: retain full link matrices for at most this
+        many closed windows (older ones keep scalars only). ``None``
+        retains everything.
+    links:
+        Set ``False`` to skip link accounting entirely (cell counters and
+        the distance histogram are always kept).
+    """
+
+    def __init__(self, *, window: int = 64, max_windows: int | None = None,
+                 links: bool = True):
+        if window < 1:
+            raise ValidationError(f"window must be >= 1 depth round, got {window}")
+        if max_windows is not None and max_windows < 1:
+            raise ValidationError(f"max_windows must be >= 1, got {max_windows}")
+        self.window = int(window)
+        self.max_windows = max_windows
+        self.links = links
+        self.machine = None
+        self.side = 0
+        self.steps = 0
+        self.energy = 0
+        self.messages = 0
+        self.distance_histogram = np.zeros(0, dtype=np.int64)
+        self.windows: list[LinkWindow] = []
+        # pre-attach placeholders so the read API stays total
+        self.cells = {name: np.zeros(0, dtype=np.int64) for name in CELL_METRICS}
+        self.link_h = np.zeros((0, 0), dtype=np.int64)
+        self.link_v = np.zeros((0, 0), dtype=np.int64)
+        self._win: int | None = None
+        self._win_steps = 0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    def on_attach(self, machine) -> None:
+        if self.machine is not None and self.machine is not machine:
+            raise ValidationError(
+                "SpatialProfiler observes one machine at a time; "
+                "detach it before attaching elsewhere"
+            )
+        if self.machine is None:
+            self.machine = machine
+            self.side = machine.side
+            side = self.side
+            # flat cell index of each processor (row-major, like tracer.load)
+            self._cell = machine._y.astype(np.int64) * side + machine._x
+            self._px = machine._x
+            self._py = machine._y
+            self.cells = {
+                name: np.zeros(side * side, dtype=np.int64) for name in CELL_METRICS
+            }
+            # total link traffic (independent of window retention)
+            self.link_h = np.zeros((side, max(side - 1, 0)), dtype=np.int64)
+            self.link_v = np.zeros((max(side - 1, 0), side), dtype=np.int64)
+            self._win: int | None = None
+            self._row_diff = np.zeros((side, side), dtype=np.int64)
+            self._col_diff = np.zeros((side, side), dtype=np.int64)
+            self._win_steps = 0
+            self._win_energy = 0
+            self._win_messages = 0
+            self._win_depth_lo = 0
+            self._win_depth_hi = 0
+
+    def on_detach(self, machine) -> None:
+        self.flush()
+
+    # ------------------------------------------------------------------ #
+    # hot path
+    # ------------------------------------------------------------------ #
+
+    def on_step(self, event: StepEvent) -> None:
+        cs = self._cell[event.src]
+        cd = self._cell[event.dst]
+        cells = self.cells
+        np.add.at(cells["energy_sent"], cs, event.distances)
+        np.add.at(cells["energy_received"], cd, event.distances)
+        np.add.at(cells["messages_sent"], cs, 1)
+        np.add.at(cells["messages_received"], cd, 1)
+        # 1-port queueing: k sends (receives) in one bulk step serialize
+        # into k - 1 extra rounds at that cell
+        uc, counts = np.unique(cs, return_counts=True)
+        np.add.at(cells["queue_occupancy"], uc, counts - 1)
+        ud, counts = np.unique(cd, return_counts=True)
+        np.add.at(cells["queue_occupancy"], ud, counts - 1)
+        xs, ys = self._px[event.src], self._py[event.src]
+        xd, yd = self._px[event.dst], self._py[event.dst]
+        turns = (xs != xd) & (ys != yd)
+        if turns.any():
+            np.add.at(cells["turn_occupancy"], ys[turns] * self.side + xd[turns], 1)
+        hist = event.distance_histogram
+        if len(hist) > len(self.distance_histogram):
+            grown = np.zeros(len(hist), dtype=np.int64)
+            grown[: len(self.distance_histogram)] = self.distance_histogram
+            self.distance_histogram = grown
+        self.distance_histogram[: len(hist)] += hist
+        self.steps += 1
+        self.energy += event.energy
+        self.messages += event.messages
+        if self.links:
+            self._record_links(event, xs, ys, xd, yd)
+
+    def _record_links(self, event, xs, ys, xd, yd) -> None:
+        w = event.depth_before // self.window
+        if self._win is None:
+            self._win = w
+            self._win_depth_lo = event.depth_before
+        elif w != self._win:
+            self._close_window()
+            self._win = w
+            self._win_depth_lo = event.depth_before
+        # XY routing: horizontal leg in row ys crosses the edges between
+        # columns [min(xs,xd), max(xs,xd)); vertical leg in column xd
+        # crosses the edges between rows [min(ys,yd), max(ys,yd)).
+        # Difference-array form: +1 at the low edge, -1 one past the high
+        # (a zero-length leg adds +1/-1 at the same slot — a no-op).
+        x_lo = np.minimum(xs, xd)
+        x_hi = np.maximum(xs, xd)
+        np.add.at(self._row_diff, (ys, x_lo), 1)
+        np.add.at(self._row_diff, (ys, x_hi), -1)
+        y_lo = np.minimum(ys, yd)
+        y_hi = np.maximum(ys, yd)
+        np.add.at(self._col_diff, (y_lo, xd), 1)
+        np.add.at(self._col_diff, (y_hi, xd), -1)
+        self._win_steps += 1
+        self._win_energy += event.energy
+        self._win_messages += event.messages
+        self._win_depth_hi = event.depth_after
+
+    # ------------------------------------------------------------------ #
+    # window management
+    # ------------------------------------------------------------------ #
+
+    def _materialize(self) -> tuple[np.ndarray, np.ndarray]:
+        """Cumsum the pending difference arrays into link matrices."""
+        h = np.cumsum(self._row_diff, axis=1)[:, : self.side - 1]
+        v = np.cumsum(self._col_diff, axis=0)[: self.side - 1, :]
+        return h, v
+
+    def _close_window(self) -> None:
+        h, v = self._materialize()
+        self.link_h += h
+        self.link_v += v
+        peak = int(max(h.max(initial=0), v.max(initial=0)))
+        self.windows.append(
+            LinkWindow(
+                index=int(self._win),
+                depth_start=int(self._win_depth_lo),
+                depth_end=int(self._win_depth_hi),
+                steps=self._win_steps,
+                energy=self._win_energy,
+                messages=self._win_messages,
+                link_traffic=int(h.sum() + v.sum()),
+                max_link_load=peak,
+                h=h,
+                v=v,
+            )
+        )
+        if self.max_windows is not None:
+            for win in self.windows[: -self.max_windows]:
+                win.h = None
+                win.v = None
+        self._row_diff[:] = 0
+        self._col_diff[:] = 0
+        self._win_steps = 0
+        self._win_energy = 0
+        self._win_messages = 0
+
+    def flush(self) -> None:
+        """Close the in-progress link window (idempotent; safe mid-run —
+        later events simply open the next record)."""
+        if self._win is not None and self._win_steps:
+            self._close_window()
+        self._win = None
+
+    # ------------------------------------------------------------------ #
+    # read API
+    # ------------------------------------------------------------------ #
+
+    def cell_grid(self, metric: str) -> np.ndarray:
+        """One per-cell counter as a ``(side, side)`` grid (``[y, x]``)."""
+        if metric not in self.cells:
+            raise ValidationError(
+                f"unknown cell metric {metric!r}; choose from {CELL_METRICS}"
+            )
+        return self.cells[metric].reshape(self.side, self.side)
+
+    def link_windows(self) -> list[LinkWindow]:
+        """All closed windows plus the in-progress one (flushes it)."""
+        self.flush()
+        return list(self.windows)
+
+    def max_link_load(self) -> int:
+        """Peak per-window link load seen so far (the congestion figure
+        with time resolution; compare the tracer's whole-run max)."""
+        self.flush()
+        return max((w.max_link_load for w in self.windows), default=0)
+
+    def hotspots(self, *, metric: str = "energy_sent", k: int = 10) -> list[dict]:
+        """Top-``k`` cells by ``metric``: grid coordinates, value, share."""
+        flat = self.cells.get(metric)
+        if flat is None:
+            raise ValidationError(
+                f"unknown cell metric {metric!r}; choose from {CELL_METRICS}"
+            )
+        total = int(flat.sum())
+        k = min(int(k), len(flat))
+        order = np.argsort(flat, kind="stable")[::-1][:k]
+        rows = []
+        for rank, cell in enumerate(order, start=1):
+            value = int(flat[cell])
+            if value == 0:
+                break
+            rows.append(
+                {
+                    "rank": rank,
+                    "x": int(cell % self.side),
+                    "y": int(cell // self.side),
+                    metric: value,
+                    "share": round(value / total, 4) if total else 0.0,
+                }
+            )
+        return rows
+
+    def reset(self) -> None:
+        """Zero every counter and drop all windows (keeps the attachment)."""
+        for arr in self.cells.values():
+            arr[:] = 0
+        self.link_h[:] = 0
+        self.link_v[:] = 0
+        self.distance_histogram = np.zeros(0, dtype=np.int64)
+        self.windows.clear()
+        self._row_diff[:] = 0
+        self._col_diff[:] = 0
+        self._win = None
+        self._win_steps = 0
+        self._win_energy = 0
+        self._win_messages = 0
+        self.steps = 0
+        self.energy = 0
+        self.messages = 0

@@ -123,6 +123,23 @@ class TestTelemetryOutputs:
         assert json.loads(r.read_text())["kind"] == "curves"
         assert isinstance(json.loads(t.read_text()), list)
 
+    def test_no_step_histograms_drops_histograms(self, tmp_path):
+        import json
+
+        full = tmp_path / "full.json"
+        lean = tmp_path / "lean.json"
+        assert main(["treefix", "--tree", "binary", "--n", "128",
+                     "--report", str(full)]) == 0
+        assert main(["treefix", "--tree", "binary", "--n", "128",
+                     "--report", str(lean), "--no-step-histograms"]) == 0
+        full_steps = json.loads(full.read_text())["steps"]
+        lean_steps = json.loads(lean.read_text())["steps"]
+        assert any("distance_histogram" in s for s in full_steps)
+        assert all("distance_histogram" not in s for s in lean_steps)
+        # totals are unaffected by the slimmer steps
+        assert (json.loads(full.read_text())["totals"]
+                == json.loads(lean.read_text())["totals"])
+
     def test_report_subcommand_pretty_prints(self, tmp_path, capsys):
         r = tmp_path / "run.json"
         main(["treefix", "--tree", "binary", "--n", "128", "--report", str(r)])
@@ -151,6 +168,52 @@ class TestTelemetryOutputs:
     def test_report_requires_a_path(self):
         with pytest.raises(SystemExit):
             main(["report"])
+
+
+class TestProfile:
+    def test_profile_treefix_writes_bundle(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "prof"
+        assert main(["profile", "treefix", "--tree", "binary", "--n", "256",
+                     "--out", str(out), "--window", "16"]) == 0
+        text = capsys.readouterr().out
+        assert "cells by energy sent" in text and "link timeline" in text
+
+        heat = json.loads((out / "heatmap.json").read_text())
+        assert heat["schema"] == "repro.profile/v1"
+        assert heat["meta"]["workload"] == "treefix"
+        assert heat["totals"]["energy"] > 0
+        side = heat["side"]
+        assert len(heat["cells"]["energy_sent"]) == side
+
+        prom = (out / "metrics.prom").read_text()
+        assert "# TYPE repro_energy_total counter" in prom
+        assert f"repro_energy_total {heat['totals']['energy']}" in prom
+
+        folded = (out / "flame_energy.folded").read_text().splitlines()
+        assert folded and all(line.rsplit(" ", 1)[1].isdigit() for line in folded)
+        assert json.loads((out / "report.json").read_text())["kind"] == "run"
+        assert json.loads((out / "hotspots.json").read_text())
+
+    def test_profile_lca_runs(self, tmp_path):
+        out = tmp_path / "prof"
+        assert main(["profile", "lca", "--tree", "prufer", "--n", "128",
+                     "--queries", "16", "--out", str(out)]) == 0
+        assert (out / "heatmap.json").exists()
+
+    def test_profile_no_step_histograms(self, tmp_path):
+        import json
+
+        out = tmp_path / "prof"
+        assert main(["profile", "expr", "--n", "128", "--out", str(out),
+                     "--no-step-histograms"]) == 0
+        steps = json.loads((out / "report.json").read_text())["steps"]
+        assert steps and all("distance_histogram" not in s for s in steps)
+
+    def test_profile_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "fourier", "--out", "x"])
 
 
 class TestErrors:

@@ -8,10 +8,14 @@ from repro.machine import (
     Instrument,
     LedgerInstrument,
     SpatialMachine,
+    SpatialProfiler,
     StepLog,
     TracerInstrument,
+    allreduce,
     attach_tracer,
     broadcast,
+    exclusive_scan,
+    reduce,
 )
 from repro.machine.tracing import CongestionTracer
 
@@ -175,6 +179,105 @@ class TestStepEvents:
         assert kinds == [("enter", "a"), ("enter", "b"), ("exit", "b"), ("exit", "a")]
 
 
+class TestOpenPhaseLifecycle:
+    """Attach/detach while a phase is open: late subscribers see a
+    consistent (if partial) view and never corrupt anyone else's."""
+
+    def test_attach_mid_phase_sees_remaining_events_only(self):
+        m = SpatialMachine(32)
+        c = Collector()
+        with m.phase("p"):
+            m.send(0, 1)
+            m.attach(c)
+            m.send(1, 2)
+        assert len(c.events) == 1
+        assert c.events[0].phases == ("p",)
+        # the exit of a phase entered before attachment is still delivered
+        assert ("exit", "p") in [(k, n) for k, n, _ in c.phases]
+        assert ("enter", "p") not in [(k, n) for k, n, _ in c.phases]
+
+    def test_detach_mid_phase_stops_event_flow_cleanly(self):
+        m = SpatialMachine(32)
+        c = m.attach(Collector())
+        with m.phase("p"):
+            m.send(0, 1)
+            m.detach(c)
+            m.send(1, 2)
+        assert len(c.events) == 1
+        assert ("exit", "p") not in [(k, n) for k, n, _ in c.phases]
+        # machine-side accounting is unaffected
+        assert m.ledger.phases["p"].messages == 2
+
+    def test_recorder_attached_mid_phase_exports_wellformed_spans(self):
+        from repro.analysis.report import RunRecorder, chrome_trace_events
+
+        m = SpatialMachine(32)
+        with m.phase("outer"):
+            m.send(0, 1)
+            rec = m.attach(RunRecorder())
+            with m.phase("inner"):
+                m.send(1, 2)
+        # the unmatched outer exit is dropped, the inner span is complete
+        assert [s["name"] for s in rec.finished_spans()] == ["inner"]
+        chrome_trace_events(rec)  # must not raise
+
+    def test_profiler_detached_mid_phase_flushes(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=1024))
+        with m.phase("p"):
+            m.send(np.arange(8), np.arange(8, 16))
+            m.detach(prof)
+        assert len(prof.windows) == 1
+        assert sum(w.energy for w in prof.windows) == prof.energy
+
+
+class TestCollectivesUnderProfiler:
+    """Collectives must emit StepEvents that a profiler can account exactly."""
+
+    @pytest.mark.parametrize(
+        "run",
+        [
+            lambda m: broadcast(m, 3),
+            lambda m: reduce(m, np.arange(m.n)),
+            lambda m: allreduce(m, np.arange(m.n)),
+            lambda m: exclusive_scan(m, np.arange(m.n)),
+        ],
+        ids=["broadcast", "reduce", "allreduce", "exclusive_scan"],
+    )
+    def test_events_account_for_all_charges(self, run):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=8))
+        log = m.attach(StepLog())
+        run(m)
+        prof.flush()
+        assert m.energy > 0 and m.steps == len(log.events)
+        assert sum(e.energy for e in log.events) == m.energy
+        assert sum(e.messages for e in log.events) == m.messages
+        assert prof.energy == m.energy
+        assert int(prof.cells["energy_sent"].sum()) == m.energy
+        assert int(prof.cells["energy_received"].sum()) == m.energy
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == m.energy
+        assert sum(w.energy for w in prof.windows) == m.energy
+
+    def test_collective_depth_covered_by_windows(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=4))
+        allreduce(m, np.arange(m.n))
+        windows = prof.link_windows()
+        assert windows[0].depth_start == 0
+        assert windows[-1].depth_end >= m.depth - 4  # last window spans the tail
+        assert all(b.index > a.index for a, b in zip(windows, windows[1:]))
+
+    def test_profiler_and_tracer_agree_on_collective(self):
+        m = SpatialMachine(64)
+        tracer = attach_tracer(m)
+        prof = m.attach(SpatialProfiler())
+        reduce(m, np.arange(m.n))
+        prof.flush()
+        assert tracer.total_traversals == m.energy + m.messages
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == m.energy
+
+
 class TestFailureIsolation:
     def test_raising_instrument_does_not_corrupt_ledger(self):
         m = SpatialMachine(32)
@@ -195,6 +298,33 @@ class TestFailureIsolation:
         with pytest.warns(RuntimeWarning):
             m.send(0, 1)
         assert len(log.events) == 1
+
+    def test_raising_instrument_preserves_profiler_counts(self):
+        # a profiler attached alongside a faulty instrument stays exact
+        m = SpatialMachine(32)
+        prof = m.attach(SpatialProfiler(window=8))
+        m.attach(Exploder())
+        with pytest.warns(RuntimeWarning):
+            m.send(np.arange(8), np.arange(8, 16))
+        prof.flush()
+        assert prof.energy == m.energy
+        assert int(prof.cells["energy_sent"].sum()) == m.energy
+        assert sum(w.energy for w in prof.windows) == m.energy
+
+    def test_raising_phase_hook_is_isolated(self):
+        class PhaseExploder(Instrument):
+            def on_phase_enter(self, name, depth):
+                raise RuntimeError("phase boom")
+
+        m = SpatialMachine(32)
+        m.attach(PhaseExploder())
+        c = m.attach(Collector())
+        with pytest.warns(RuntimeWarning):
+            with m.phase("p"):
+                m.send(0, 1)
+        assert [(k, n) for k, n, _ in c.phases] == [("enter", "p"), ("exit", "p")]
+        assert m.ledger.phases["p"].energy == m.energy
+        assert any(hook == "on_phase_enter" for _, hook, _ in m.instrument_errors)
 
     def test_raising_instrument_keeps_payload_delivery(self):
         m = SpatialMachine(32)

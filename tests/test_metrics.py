@@ -1,0 +1,178 @@
+"""Tests for the metrics registry: families, labels, exposition formats."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    publish_machine,
+    publish_profiler,
+    publish_tracer,
+)
+from repro.errors import ValidationError
+from repro.machine import SpatialMachine, SpatialProfiler, attach_tracer
+
+
+class TestFamilies:
+    def test_counter_inc(self):
+        reg = MetricsRegistry()
+        c = reg.counter("repro_things_total", "things")
+        c.inc()
+        c.inc(4)
+        assert "repro_things_total 5" in reg.render_prometheus()
+
+    def test_counter_rejects_decrease_and_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total")
+        with pytest.raises(ValidationError):
+            c.inc(-1)
+        with pytest.raises(ValidationError):
+            c.set(3)
+
+    def test_gauge_set(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth_now")
+        g.set(42)
+        g.set(17)
+        assert "depth_now 17" in reg.render_prometheus()
+
+    def test_labels_materialize_children(self):
+        reg = MetricsRegistry()
+        c = reg.counter("phase_energy", "per phase", ("phase",))
+        c.labels(phase="contract").inc(10)
+        c.labels(phase="expand").inc(3)
+        c.labels(phase="contract").inc(5)
+        text = reg.render_prometheus()
+        assert 'phase_energy{phase="contract"} 15' in text
+        assert 'phase_energy{phase="expand"} 3' in text
+
+    def test_wrong_labels_rejected(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x_total", labelnames=("a",))
+        with pytest.raises(ValidationError):
+            c.labels(b=1)
+        with pytest.raises(ValidationError):
+            c.inc()  # labelled family has no default child
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValidationError):
+            reg.counter("0bad")
+        with pytest.raises(ValidationError):
+            reg.counter("ok_total", labelnames=("bad-label",))
+
+    def test_redeclare_returns_same_family(self):
+        reg = MetricsRegistry()
+        a = reg.counter("c_total", labelnames=("x",))
+        b = reg.counter("c_total", labelnames=("x",))
+        assert a is b
+        with pytest.raises(ValidationError):
+            reg.gauge("c_total")  # type conflict
+        with pytest.raises(ValidationError):
+            reg.counter("c_total", labelnames=("y",))  # label conflict
+
+    def test_label_value_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", labelnames=("p",)).labels(p='a"b\\c\nd').inc()
+        line = [ln for ln in reg.render_prometheus().splitlines() if ln.startswith("c_total{")][0]
+        assert '\\"' in line and "\\\\" in line and "\\n" in line
+
+
+class TestHistogram:
+    def test_buckets_cumulative_and_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("dist", buckets=[1, 4, 16])
+        for value, count in [(1, 3), (3, 2), (10, 1), (100, 4)]:
+            h.observe(value, count)
+        text = reg.render_prometheus()
+        assert 'dist_bucket{le="1"} 3' in text
+        assert 'dist_bucket{le="4"} 5' in text
+        assert 'dist_bucket{le="16"} 6' in text
+        assert 'dist_bucket{le="+Inf"} 10' in text
+        assert "dist_count 10" in text
+        assert "dist_sum 419" in text  # 3·1 + 2·3 + 1·10 + 4·100
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValidationError):
+            Histogram("h", "", buckets=[4, 1])
+
+    def test_json_export(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(2)
+        reg.gauge("g", labelnames=("k",)).labels(k="v").set(7)
+        h = reg.histogram("h", buckets=[1, math.inf])
+        h.observe(0.5)
+        doc = json.loads(json.dumps(reg.to_json()))  # must be JSON-clean
+        assert doc["c_total"]["type"] == "counter"
+        assert doc["c_total"]["samples"][0]["value"] == 2
+        assert doc["g"]["samples"][0]["labels"] == {"k": "v"}
+        hist = doc["h"]["samples"][0]
+        assert hist["count"] == 1 and hist["buckets"][-1]["le"] == "+Inf"
+
+    def test_save_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("c_total").inc(1)
+        prom = reg.save_prometheus(tmp_path / "m.prom")
+        js = reg.save_json(tmp_path / "m.json")
+        assert "c_total 1" in prom.read_text()
+        assert json.loads(js.read_text())["c_total"]["samples"][0]["value"] == 1
+
+    def test_family_class_aliases(self):
+        assert Counter("a", "").type == "counter"
+        assert Gauge("b", "").type == "gauge"
+        assert Histogram("c", "").type == "histogram"
+
+
+class TestPublishers:
+    def _run(self):
+        m = SpatialMachine(64)
+        attach_tracer(m)
+        prof = m.attach(SpatialProfiler(window=8))
+        rng = np.random.default_rng(0)
+        with m.phase("warm"):
+            for _ in range(4):
+                m.send(rng.integers(0, 64, 10), rng.integers(0, 64, 10))
+        return m, prof
+
+    def test_publish_machine(self):
+        m, _ = self._run()
+        reg = MetricsRegistry()
+        publish_machine(reg, m)
+        text = reg.render_prometheus()
+        assert f"repro_energy_total {m.energy}" in text
+        assert f"repro_depth {m.depth}" in text
+        assert 'repro_phase_energy_total{phase="warm"}' in text
+
+    def test_publish_tracer(self):
+        m, _ = self._run()
+        reg = MetricsRegistry()
+        publish_tracer(reg, m.tracer)
+        text = reg.render_prometheus()
+        assert f"repro_congestion_traversals_total {m.energy + m.messages}" in text
+
+    def test_publish_profiler(self):
+        m, prof = self._run()
+        reg = MetricsRegistry()
+        publish_profiler(reg, prof)
+        text = reg.render_prometheus()
+        assert f'repro_cell_metric_total{{metric="energy_sent"}} {m.energy}' in text
+        assert "repro_link_traffic_total" in text
+        assert "repro_message_distance_bucket" in text
+        # the distance histogram carries every message
+        assert f"repro_message_distance_count {m.messages}" in text
+
+    def test_all_publishers_share_one_registry(self):
+        m, prof = self._run()
+        reg = MetricsRegistry()
+        publish_machine(reg, m)
+        publish_tracer(reg, m.tracer)
+        publish_profiler(reg, prof)
+        names = [f.name for f in reg.families]
+        assert len(names) == len(set(names))
+        assert reg.render_prometheus().count("# TYPE") == len(names)

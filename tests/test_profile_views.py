@@ -1,0 +1,131 @@
+"""Tests for profile renderers: heatmap JSON, folded stacks, bundles."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.profile_views import (
+    PROFILE_SCHEMA,
+    folded_stacks,
+    hotspot_table,
+    profile_heatmaps,
+    save_folded,
+    write_profile_bundle,
+)
+from repro.analysis.report import RunRecorder
+from repro.errors import ValidationError
+from repro.machine import SpatialMachine, SpatialProfiler, attach_tracer
+
+
+def profiled_run(n=64, window=8, seed=0, **kwargs):
+    m = SpatialMachine(n)
+    attach_tracer(m)
+    prof = m.attach(SpatialProfiler(window=window, **kwargs))
+    rec = m.attach(RunRecorder())
+    rng = np.random.default_rng(seed)
+    with m.phase("outer"):
+        m.send(rng.integers(0, n, 16), rng.integers(0, n, 16))
+        with m.phase("inner"):
+            m.send(rng.integers(0, n, 16), rng.integers(0, n, 16))
+    m.send(rng.integers(0, n, 8), rng.integers(0, n, 8))  # unphased
+    return m, prof, rec
+
+
+class TestHeatmapJson:
+    def test_document_shape(self):
+        m, prof, _ = profiled_run()
+        doc = profile_heatmaps(prof, meta={"workload": "test"})
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["side"] == m.side
+        assert doc["meta"]["workload"] == "test"
+        for grid in doc["cells"].values():
+            assert len(grid) == m.side and len(grid[0]) == m.side
+        assert doc["totals"]["energy"] == m.energy
+        assert sum(sum(row) for row in doc["cells"]["energy_sent"]) == m.energy
+
+    def test_link_windows_serialized(self):
+        _, prof, _ = profiled_run()
+        doc = profile_heatmaps(prof)
+        windows = doc["links"]["windows"]
+        assert windows
+        for w in windows:
+            assert {"window", "depth_start", "depth_end", "energy",
+                    "max_link_load", "retained"} <= set(w)
+            if w["retained"]:
+                assert "h" in w and "v" in w
+
+    def test_evicted_windows_have_no_matrices(self):
+        _, prof, _ = profiled_run(window=2, max_windows=1)
+        doc = profile_heatmaps(prof)
+        windows = doc["links"]["windows"]
+        assert any(not w["retained"] for w in windows)
+        for w in windows:
+            assert w["retained"] == ("h" in w)
+
+    def test_json_serializable(self):
+        _, prof, _ = profiled_run()
+        json.dumps(profile_heatmaps(prof))  # must not raise
+
+
+class TestFoldedStacks:
+    def test_energy_weights_sum_to_total(self):
+        m, _, rec = profiled_run()
+        text = folded_stacks(rec.steps, weight="energy")
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines())
+        assert total == m.energy
+
+    def test_stack_paths_follow_phase_nesting(self):
+        _, _, rec = profiled_run()
+        lines = folded_stacks(rec.steps).splitlines()
+        stacks = {line.rsplit(" ", 1)[0] for line in lines}
+        assert "outer" in stacks
+        assert "outer;inner" in stacks
+        assert "(unphased)" in stacks
+
+    def test_depth_weight(self):
+        m, _, rec = profiled_run()
+        text = folded_stacks(rec.steps, weight="depth")
+        total = sum(int(line.rsplit(" ", 1)[1]) for line in text.splitlines())
+        assert 0 < total <= m.depth
+
+    def test_unknown_weight_rejected(self):
+        with pytest.raises(ValidationError):
+            folded_stacks([], weight="joules")
+
+    def test_save_folded_empty_run(self, tmp_path):
+        path = save_folded([], tmp_path / "empty.folded")
+        assert path.read_text() == ""
+
+
+class TestBundle:
+    def test_bundle_writes_all_artifacts(self, tmp_path):
+        m, prof, rec = profiled_run()
+        paths = write_profile_bundle(
+            tmp_path / "prof", profiler=prof, recorder=rec, machine=m,
+            meta={"workload": "synthetic"},
+        )
+        expected = {"heatmap", "metrics_prom", "metrics_json", "hotspots",
+                    "flame_energy", "flame_depth", "report"}
+        assert expected <= set(paths)
+        for path in paths.values():
+            assert path.exists()
+        prom = paths["metrics_prom"].read_text()
+        assert f"repro_energy_total {m.energy}" in prom
+        report = json.loads(paths["report"].read_text())
+        assert report["kind"] == "run" and report["meta"]["workload"] == "synthetic"
+
+    def test_bundle_without_recorder(self, tmp_path):
+        m, prof, _ = profiled_run()
+        paths = write_profile_bundle(tmp_path / "p", profiler=prof, machine=m)
+        assert "flame_energy" not in paths and "report" not in paths
+        assert paths["heatmap"].exists()
+
+    def test_hotspot_table_renders(self):
+        _, prof, _ = profiled_run()
+        text = hotspot_table(prof, metric="energy_sent", k=3)
+        assert "energy_sent" in text and "share" in text
+
+    def test_hotspot_table_empty(self):
+        prof = SpatialMachine(16).attach(SpatialProfiler())
+        assert "no traffic" in hotspot_table(prof)

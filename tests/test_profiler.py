@@ -1,0 +1,223 @@
+"""Tests for the spatial profiler: per-cell counters, link windows, memory bounds."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ValidationError
+from repro.machine import SpatialMachine, SpatialProfiler, attach_tracer, broadcast
+from repro.machine.profiler import CELL_METRICS
+from repro.spatial import SpatialTree, treefix_sum
+from repro.trees import prufer_random_tree
+
+
+def run_random_traffic(m, *, rounds=5, k=12, seed=0):
+    rng = np.random.default_rng(seed)
+    for _ in range(rounds):
+        src = rng.integers(0, m.n, size=k)
+        dst = rng.integers(0, m.n, size=k)
+        m.send(src, dst)
+
+
+class TestCellCounters:
+    def test_energy_conservation(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler())
+        run_random_traffic(m)
+        assert int(prof.cells["energy_sent"].sum()) == m.energy
+        assert int(prof.cells["energy_received"].sum()) == m.energy
+        assert int(prof.cells["messages_sent"].sum()) == m.messages
+        assert int(prof.cells["messages_received"].sum()) == m.messages
+
+    def test_energy_lands_at_the_right_cells(self):
+        m = SpatialMachine(16)
+        prof = m.attach(SpatialProfiler())
+        m.send(0, 5)
+        d = int(m.manhattan(np.array([0]), np.array([5]))[0])
+        x, y = m.positions[0]
+        assert prof.cell_grid("energy_sent")[y, x] == d
+        x, y = m.positions[5]
+        assert prof.cell_grid("energy_received")[y, x] == d
+
+    def test_queue_occupancy_counts_serialization(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler())
+        # processor 0 sends 3 messages in one bulk step: 2 extra rounds
+        # queued at its cell; each receiver gets 1 message: no queueing.
+        m.send([0, 0, 0], [1, 2, 3])
+        x, y = m.positions[0]
+        assert prof.cell_grid("queue_occupancy")[y, x] == 2
+        assert int(prof.cells["queue_occupancy"].sum()) == 2
+
+    def test_turn_occupancy_matches_xy_turns(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler())
+        run_random_traffic(m, rounds=3)
+        xs, ys = m._x, m._y
+        # recompute expected turn count per cell from first principles
+        expect = np.zeros((m.side, m.side), dtype=np.int64)
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            src = rng.integers(0, m.n, size=12)
+            dst = rng.integers(0, m.n, size=12)
+            for s, d in zip(src, dst):
+                if s != d and xs[s] != xs[d] and ys[s] != ys[d]:
+                    expect[ys[s], xs[d]] += 1
+        assert np.array_equal(prof.cell_grid("turn_occupancy"), expect)
+
+    def test_self_messages_profile_nothing(self):
+        m = SpatialMachine(16)
+        prof = m.attach(SpatialProfiler())
+        m.send([3, 4], [3, 4])
+        assert all(int(prof.cells[name].sum()) == 0 for name in CELL_METRICS)
+        assert prof.steps == 0
+
+    def test_distance_histogram_accumulates(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler())
+        run_random_traffic(m)
+        hist = prof.distance_histogram
+        assert int(hist.sum()) == m.messages
+        assert int((np.arange(len(hist)) * hist).sum()) == m.energy
+
+    def test_unknown_metric_rejected(self):
+        prof = SpatialProfiler()
+        with pytest.raises(ValidationError):
+            prof.cell_grid("nope")
+        with pytest.raises(ValidationError):
+            prof.hotspots(metric="nope")
+
+
+class TestLinkWindows:
+    def test_link_traffic_consistent_with_tracer(self):
+        # total link traversals == energy: each message crosses exactly
+        # `distance` grid edges under XY routing.
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=16))
+        run_random_traffic(m)
+        prof.flush()
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == m.energy
+        assert sum(w.link_traffic for w in prof.windows) == m.energy
+
+    def test_windows_partition_the_run(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=8))
+        run_random_traffic(m, rounds=10)
+        windows = prof.link_windows()
+        assert len(windows) >= 2  # depth grew past one window
+        assert sum(w.energy for w in windows) == m.energy
+        assert sum(w.messages for w in windows) == m.messages
+        assert [w.index for w in windows] == sorted(w.index for w in windows)
+        for w in windows:
+            assert w.depth_start // 8 == w.index
+
+    def test_bounded_memory_evicts_matrices_keeps_scalars(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=4, max_windows=2))
+        run_random_traffic(m, rounds=12)
+        windows = prof.link_windows()
+        assert len(windows) > 2
+        retained = [w for w in windows if w.h is not None]
+        assert 0 < len(retained) <= 2
+        assert retained == windows[-len(retained):]
+        for w in windows:
+            assert w.max_link_load >= 0 and w.link_traffic >= 0  # scalars survive
+        # totals unaffected by eviction
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == m.energy
+
+    def test_links_disabled(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(links=False))
+        run_random_traffic(m)
+        assert prof.link_windows() == []
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == 0
+        assert int(prof.cells["energy_sent"].sum()) == m.energy
+
+    def test_flush_mid_run_is_safe(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=8))
+        run_random_traffic(m, rounds=3, seed=1)
+        prof.flush()
+        run_random_traffic(m, rounds=3, seed=2)
+        prof.flush()
+        assert sum(w.energy for w in prof.windows) == m.energy
+
+    def test_max_link_load_positive_under_traffic(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=32))
+        run_random_traffic(m)
+        assert prof.max_link_load() > 0
+
+
+class TestLifecycle:
+    def test_detach_flushes_pending_window(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=1024))
+        run_random_traffic(m)
+        assert prof.windows == []  # still pending
+        m.detach(prof)
+        assert len(prof.windows) == 1
+
+    def test_profiler_rejects_second_machine(self):
+        m1, m2 = SpatialMachine(16), SpatialMachine(16)
+        prof = m1.attach(SpatialProfiler())
+        with pytest.warns(RuntimeWarning):
+            m2.attach(prof)  # isolated by the machine's failure handling
+        assert m2.instrument_errors
+
+    def test_reset(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler(window=8))
+        run_random_traffic(m)
+        prof.reset()
+        assert prof.steps == 0 and prof.energy == 0
+        assert int(prof.cells["energy_sent"].sum()) == 0
+        assert prof.windows == []
+        run_random_traffic(m)  # still attached and counting
+        assert prof.steps > 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValidationError):
+            SpatialProfiler(window=0)
+        with pytest.raises(ValidationError):
+            SpatialProfiler(max_windows=0)
+
+
+class TestWorkloads:
+    def test_collectives_under_profiler(self):
+        m = SpatialMachine(256)
+        prof = m.attach(SpatialProfiler(window=4))
+        broadcast(m, 7)
+        prof.flush()
+        assert int(prof.cells["energy_sent"].sum()) == m.energy
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == m.energy
+
+    def test_treefix_under_profiler(self):
+        tree = prufer_random_tree(128, seed=3)
+        st = SpatialTree.build(tree)
+        e0 = st.machine.energy  # layout-creation charges predate the profiler
+        prof = st.machine.attach(SpatialProfiler(window=32))
+        values = np.arange(tree.n)
+        treefix_sum(st, values, seed=3)
+        assert prof.energy == st.machine.energy - e0
+        assert int(prof.cells["energy_sent"].sum()) == prof.energy
+        assert prof.hotspots(k=5)
+
+    def test_hotspots_ranked_and_bounded(self):
+        m = SpatialMachine(64)
+        prof = m.attach(SpatialProfiler())
+        run_random_traffic(m)
+        rows = prof.hotspots(metric="energy_sent", k=5)
+        assert len(rows) <= 5
+        values = [r["energy_sent"] for r in rows]
+        assert values == sorted(values, reverse=True)
+        assert all(0 <= r["x"] < m.side and 0 <= r["y"] < m.side for r in rows)
+
+    def test_tracer_and_profiler_coexist(self):
+        m = SpatialMachine(64)
+        tracer = attach_tracer(m)
+        prof = m.attach(SpatialProfiler())
+        run_random_traffic(m)
+        prof.flush()
+        # tracer counts cells (distance+1 per message), profiler links (distance)
+        assert tracer.total_traversals == m.energy + m.messages
+        assert int(prof.link_h.sum() + prof.link_v.sum()) == m.energy

@@ -201,3 +201,50 @@ class TestDiff:
         assert "TOTAL" in text
         for name in rep.phases:
             assert name in text
+
+    def _phase_report(self, phases):
+        return RunReport(
+            {
+                "schema": SCHEMA,
+                "schema_version": SCHEMA_VERSION,
+                "kind": "run",
+                "meta": {},
+                "totals": {"energy": 1, "messages": 1, "depth": 1},
+                "phases": phases,
+            }
+        )
+
+    def test_diff_marks_added_and_removed_phases(self):
+        span = {"energy": 5, "messages": 2, "depth": 3}
+        a = self._phase_report({"old": span, "both": span})
+        b = self._phase_report({"new": span, "both": span})
+        d = diff_reports(a, b)
+        assert d["phases"]["old"]["status"] == "removed"
+        assert d["phases"]["new"]["status"] == "added"
+        assert d["phases"]["both"]["status"] == "common"
+        # a removed phase diffs against zero, not a KeyError
+        assert d["phases"]["old"]["energy"]["delta"] == -5
+        assert d["phases"]["new"]["energy"]["delta"] == 5
+
+    def test_format_diff_shows_phase_markers(self):
+        span = {"energy": 5, "messages": 2, "depth": 3}
+        a = self._phase_report({"old": span, "both": span})
+        b = self._phase_report({"new": span, "both": span})
+        lines = format_diff(diff_reports(a, b)).splitlines()
+        by_phase = {}
+        for line in lines:
+            for name in ("old", "new", "both"):
+                if f" {name} " in f" {line} ":
+                    by_phase[name] = line
+        assert by_phase["new"].lstrip().startswith("+")
+        assert by_phase["old"].lstrip().startswith("-")
+        assert not by_phase["both"].lstrip().startswith(("+", "-"))
+
+    def test_format_diff_tolerates_legacy_diffs_without_status(self):
+        # diffs produced before the status field existed must still render
+        st, rec = run_instrumented()
+        rep = RunReport.from_machine(st.machine, recorder=rec)
+        d = diff_reports(rep, rep)
+        for entry in d["phases"].values():
+            entry.pop("status", None)
+        assert "TOTAL" in format_diff(d)
