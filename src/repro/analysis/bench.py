@@ -72,7 +72,7 @@ def _coerce_cell(token: str):
     for cast in (int, float):
         try:
             return cast(token)
-        except ValueError:
+        except ValueError:  # repro: noqa[REPRO009] - probing casts in turn
             continue
     return token
 

@@ -8,8 +8,8 @@ plumbing so each benchmark file states only the experiment's content.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
 
 import numpy as np
 

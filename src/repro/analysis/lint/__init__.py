@@ -1,0 +1,39 @@
+"""Model-discipline lint (``repro lint``): AST rules over ``src/repro``.
+
+Public surface:
+
+* :func:`lint_paths` / :func:`lint_source` — run every registered rule.
+* :func:`active_rules` — the ``REPROxxx`` catalog (docs/ANALYSIS.md).
+* :func:`format_findings` — ``path:line:col: CODE message`` rendering.
+* :class:`LintRule` / :func:`rule` — extend the catalog.
+
+Suppression: ``# repro: noqa`` (whole line) or ``# repro: noqa[REPRO004]``.
+"""
+
+from repro.analysis.lint.core import (
+    REGISTRY,
+    FileContext,
+    LintFinding,
+    LintRule,
+    active_rules,
+    format_findings,
+    lint_paths,
+    lint_source,
+    package_relpath,
+    rule,
+)
+from repro.analysis.lint.rules import rule_catalog
+
+__all__ = [
+    "REGISTRY",
+    "FileContext",
+    "LintFinding",
+    "LintRule",
+    "active_rules",
+    "format_findings",
+    "lint_paths",
+    "lint_source",
+    "package_relpath",
+    "rule",
+    "rule_catalog",
+]

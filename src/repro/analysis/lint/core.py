@@ -1,0 +1,250 @@
+"""AST lint framework enforcing spatial-model discipline (``repro lint``).
+
+The runtime sanitizers (:mod:`repro.machine.sanitizer`) check model
+invariants while a workload runs; this package checks the *source* — the
+disciplines that keep the simulator's cost accounting meaningful can all
+be phrased as small AST rules over ``src/repro``:
+
+* every rule is a :class:`LintRule` subclass with a stable ``REPROxxx``
+  code, registered via the :func:`rule` decorator;
+* findings are :class:`LintFinding` records (path, line, col, code,
+  message), suppressible per line with ``# repro: noqa`` (all rules) or
+  ``# repro: noqa[REPRO001,REPRO004]`` (specific codes);
+* :func:`lint_paths` walks files/directories and returns sorted findings;
+  :func:`lint_source` lints a string against a virtual path (the fixture
+  hook the rule tests use).
+
+Rules scope themselves by *package-relative* path (the part after the
+``repro`` package root), so ``src/repro/machine/registers.py`` and a
+fixture labelled ``repro/machine/registers.py`` are treated alike.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ValidationError
+
+#: matches ``# repro: noqa`` and ``# repro: noqa[CODE,CODE]``
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[([A-Za-z0-9_,\s]+)\])?")
+
+_CODE_RE = re.compile(r"^REPRO\d{3}$")
+
+
+@dataclass(frozen=True, order=True)
+class LintFinding:
+    """One lint violation, anchored to a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class FileContext:
+    """Parsed source plus helpers handed to every rule's ``check``."""
+
+    def __init__(self, source: str, path: str):
+        self.source = source
+        self.path = str(path)
+        self.rel = package_relpath(self.path)
+        self.tree = ast.parse(source, filename=self.path)
+
+    def finding(self, node: ast.AST, code: str, message: str) -> LintFinding:
+        return LintFinding(
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+    def walk(self) -> Iterator[ast.AST]:
+        return ast.walk(self.tree)
+
+
+class LintRule:
+    """Base class for model-discipline rules.
+
+    Subclasses set :attr:`code` (``REPROxxx``), :attr:`name` (kebab-case
+    slug), :attr:`description`, and implement :meth:`check`. Path scoping
+    goes through :meth:`applies_to`, which receives the package-relative
+    path (e.g. ``"machine/registers.py"``).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies_to(self, rel: str) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[LintFinding]:
+        raise NotImplementedError
+
+
+#: rule registry, keyed by code, in registration order
+REGISTRY: dict[str, LintRule] = {}
+
+
+def rule(cls: type[LintRule]) -> type[LintRule]:
+    """Class decorator: validate and register a rule."""
+    if not _CODE_RE.match(cls.code):
+        raise ValidationError(f"rule code must match REPROxxx, got {cls.code!r}")
+    if cls.code in REGISTRY:
+        raise ValidationError(f"duplicate rule code {cls.code}")
+    if not cls.name or not cls.description:
+        raise ValidationError(f"rule {cls.code} needs a name and a description")
+    REGISTRY[cls.code] = cls()
+    return cls
+
+
+def active_rules() -> list[LintRule]:
+    """All registered rules, in code order."""
+    _ensure_rules_loaded()
+    return [REGISTRY[code] for code in sorted(REGISTRY)]
+
+
+def package_relpath(path: str) -> str:
+    """Path relative to the ``repro`` package root, if on the path.
+
+    ``src/repro/spatial/x.py`` → ``spatial/x.py``; paths without a
+    ``repro`` component are returned unchanged (minus leading ``./``).
+    """
+    parts = Path(path).as_posix().split("/")
+    for i in range(len(parts) - 1, -1, -1):
+        if parts[i] == "repro":
+            return "/".join(parts[i + 1 :])
+    return "/".join(p for p in parts if p not in (".", ""))
+
+
+def suppressions(source: str) -> dict[int, set[str] | None]:
+    """Per-line noqa map: line → None (all rules) or a set of codes."""
+    out: dict[int, set[str] | None] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA_RE.search(line)
+        if not m:
+            continue
+        if m.group(1) is None:
+            out[lineno] = None
+        else:
+            codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
+            existing = out.get(lineno)
+            if existing is None and lineno in out:
+                continue  # blanket noqa already wins
+            out[lineno] = codes | (existing or set())
+    return out
+
+
+def lint_source(source: str, path: str = "<string>") -> list[LintFinding]:
+    """Lint a source string as if it lived at ``path``; returns findings."""
+    _ensure_rules_loaded()
+    try:
+        ctx = FileContext(source, path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                path=str(path),
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="REPRO000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    noqa = suppressions(source)
+    findings = []
+    for r in active_rules():
+        if not r.applies_to(ctx.rel):
+            continue
+        for finding in r.check(ctx):
+            allowed = noqa.get(finding.line, ...)
+            if allowed is None:
+                continue  # blanket suppression
+            if allowed is not ... and finding.code in allowed:
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        p = Path(raw)
+        if not p.exists():
+            raise ValidationError(f"lint path does not exist: {p}")
+        if p.is_dir():
+            yield from sorted(p.rglob("*.py"))
+        elif p.suffix == ".py":
+            yield p
+
+
+def lint_paths(paths: Iterable[str]) -> list[LintFinding]:
+    """Lint every ``.py`` file under ``paths``; returns sorted findings."""
+    findings: list[LintFinding] = []
+    for file in iter_python_files(paths):
+        findings.extend(lint_source(file.read_text(), str(file)))
+    return sorted(findings)
+
+
+def format_findings(findings: Iterable[LintFinding]) -> str:
+    """One ``path:line:col: CODE message`` line per finding."""
+    lines = [str(f) for f in findings]
+    return "\n".join(lines) if lines else "no findings"
+
+
+def _ensure_rules_loaded() -> None:
+    # rule definitions self-register on import; keep the import here so
+    # `core` stays importable from `rules` without a cycle
+    from repro.analysis.lint import rules  # noqa: F401
+
+
+# --------------------------------------------------------------------- #
+# shared AST helpers for rules
+# --------------------------------------------------------------------- #
+
+
+def attribute_chain(node: ast.AST) -> list[str]:
+    """Dotted name parts of an attribute/name chain, outermost last.
+
+    ``np.random.default_rng`` → ``["np", "random", "default_rng"]``;
+    returns ``[]`` when the chain roots in a call/subscript.
+    """
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    if parts:
+        return ["?"] + parts[::-1]
+    return []
+
+
+def call_name(node: ast.Call) -> str:
+    """Final attribute/function name of a call, or ``""``."""
+    func = node.func
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    if isinstance(func, ast.Name):
+        return func.id
+    return ""
+
+
+def contains_name_n(node: ast.AST) -> bool:
+    """True when the subtree mentions a bare ``n`` or a ``.n`` attribute —
+    the per-processor count idiom (``tree.n``, ``machine.n``, ``st.n``)."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "n":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "n":
+            return True
+    return False

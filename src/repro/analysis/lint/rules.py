@@ -1,0 +1,365 @@
+"""The ``REPROxxx`` model-discipline rule catalog (see docs/ANALYSIS.md).
+
+Each rule encodes one discipline that keeps the spatial-computer cost
+model honest. They are deliberately narrow: a rule that cries wolf gets
+suppressed wholesale and protects nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.lint.core import (
+    FileContext,
+    LintFinding,
+    LintRule,
+    attribute_chain,
+    call_name,
+    contains_name_n,
+    rule,
+)
+
+#: receiver names treated as a RegisterFile in REPRO002's heuristic
+REGISTER_RECEIVERS = frozenset({"regs", "registers", "register_file", "rf"})
+
+#: legacy global-state numpy RNG entry points (np.random.<fn>)
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "rand", "randn", "randint", "random", "seed", "shuffle",
+        "permutation", "choice", "normal", "uniform", "random_sample",
+        "standard_normal", "binomial", "poisson", "bytes",
+    }
+)
+
+
+def _in(rel: str, *packages: str) -> bool:
+    return any(rel.startswith(p + "/") for p in packages)
+
+
+@rule
+class RawRegisterAccess(LintRule):
+    code = "REPRO001"
+    name = "raw-register-access"
+    description = (
+        "Raw `_regs` access outside machine/registers.py bypasses the "
+        "register file's budget enforcement; use alloc/free/scope/items()."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel != "machine/registers.py"
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Attribute) and node.attr == "_regs":
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "raw `_regs` access bypasses the register budget; go "
+                    "through RegisterFile (alloc/free/scope/items)",
+                )
+
+
+@rule
+class UnscopedRegisterAlloc(LintRule):
+    code = "REPRO002"
+    name = "unscoped-register-alloc"
+    description = (
+        "Register temporaries must be bracketed: a module that calls "
+        "RegisterFile.alloc must also free (or use `with regs.scope(...)`), "
+        "else peak-memory accounting silently drifts."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return not _in(rel, "machine")
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        allocs: list[ast.Call] = []
+        frees = scopes = 0
+        for node in ctx.walk():
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            chain = attribute_chain(node.func)
+            reg_receiver = any(part in REGISTER_RECEIVERS for part in chain[:-1])
+            if name == "alloc" and reg_receiver:
+                allocs.append(node)
+            elif name == "free" and reg_receiver:
+                frees += 1
+            elif name == "scope" and reg_receiver:
+                scopes += 1
+        if allocs and not frees and not scopes:
+            for node in allocs:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "register alloc() with no free()/scope() in this module — "
+                    "bracket temporaries in `with regs.scope(...)` so the "
+                    "budget reflects peak use",
+                )
+
+
+@rule
+class PythonLoopOverProcessors(LintRule):
+    code = "REPRO003"
+    name = "python-loop-sends"
+    description = (
+        "A Python-level `for i in range(..n..)` issuing `.send(...)` per "
+        "iteration serializes a bulk step into n tiny ones; hot paths in "
+        "spatial/ and machine/ must use vectorized bulk sends."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return _in(rel, "spatial", "machine")
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.For):
+                continue
+            it = node.iter
+            if not (isinstance(it, ast.Call) and call_name(it) == "range"):
+                continue
+            if not contains_name_n(it):
+                continue
+            for sub in ast.walk(node):
+                if (
+                    isinstance(sub, ast.Call)
+                    and isinstance(sub.func, ast.Attribute)
+                    and sub.func.attr == "send"
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "per-processor Python loop issues .send() each "
+                        "iteration — replace with one vectorized bulk send",
+                    )
+                    break
+
+
+@rule
+class UnseededRandomness(LintRule):
+    code = "REPRO004"
+    name = "unseeded-rng"
+    description = (
+        "Randomness outside utils/rng must be seedable: no legacy "
+        "np.random.* global-state calls, no zero-argument default_rng(), "
+        "no stdlib `random` module."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel != "utils/rng.py"
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            "stdlib `random` is global-state and unseeded "
+                            "here; use repro.utils.rng.resolve_rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "stdlib `random` is global-state and unseeded here; "
+                        "use repro.utils.rng.resolve_rng",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attribute_chain(node.func)
+                if (
+                    len(chain) >= 3
+                    and chain[-2] == "random"
+                    and chain[-1] in LEGACY_NP_RANDOM
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        f"legacy global-state np.random.{chain[-1]}() is "
+                        "unseeded/shared; draw from a resolved Generator",
+                    )
+                elif (
+                    call_name(node) == "default_rng"
+                    and not node.args
+                    and not node.keywords
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "default_rng() with no seed gives fresh entropy; "
+                        "thread a seed (or resolve_rng(None) in utils/rng)",
+                    )
+
+
+@rule
+class LedgerMutation(LintRule):
+    code = "REPRO005"
+    name = "ledger-mutation"
+    description = (
+        "Cost accounting is the machine's job: outside machine/, code must "
+        "not call ledger.charge() or assign ledger totals — use "
+        "SpatialMachine.charge_external for proxy bills."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return not _in(rel, "machine")
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if isinstance(node, ast.Call) and call_name(node) == "charge":
+                chain = attribute_chain(node.func)
+                if "ledger" in chain:
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "direct ledger.charge() outside the machine corrupts "
+                        "cost attribution; use machine.charge_external(...)",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if not isinstance(base, ast.Attribute):
+                        continue  # plain locals named `ledger` are reads, not stores
+                    chain = attribute_chain(base)
+                    if (
+                        "ledger" in chain[:-1] and chain[-1] in ("energy", "messages")
+                    ) or chain[-1] == "ledger":
+                        yield ctx.finding(
+                            node,
+                            self.code,
+                            "assigning ledger state outside the machine "
+                            "bypasses cost accounting",
+                        )
+
+
+@rule
+class ClockMutation(LintRule):
+    code = "REPRO006"
+    name = "clock-mutation"
+    description = (
+        "The per-processor depth clock is advanced only by the machine's "
+        "accounting (and its own collectives); external writes forge depth."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return not _in(rel, "machine")
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                base = target
+                if isinstance(base, ast.Subscript):
+                    base = base.value
+                if isinstance(base, ast.Attribute) and base.attr == "clock":
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "writing machine.clock outside the machine package "
+                        "forges depth accounting",
+                    )
+
+
+@rule
+class PrintInLibrary(LintRule):
+    code = "REPRO007"
+    name = "print-in-library"
+    description = (
+        "Library code must not print: rendering belongs to the CLI and the "
+        "formatters in analysis/ that *return* strings."
+    )
+
+    def applies_to(self, rel: str) -> bool:
+        return rel not in ("cli.py", "__main__.py")
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "print() in library code; return a string (analysis "
+                    "formatters) or print from the CLI layer",
+                )
+
+
+@rule
+class WritableModelArrays(LintRule):
+    code = "REPRO008"
+    name = "writable-model-arrays"
+    description = (
+        "Model arrays are frozen with setflags(write=False) at creation; "
+        "re-enabling writes (setflags(write=True)) would let an observer "
+        "mutate placement, event endpoints, or cached topology."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if not (isinstance(node, ast.Call) and call_name(node) == "setflags"):
+                continue
+            for kw in node.keywords:
+                if (
+                    kw.arg == "write"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    yield ctx.finding(
+                        node,
+                        self.code,
+                        "setflags(write=True) unfreezes a model array; make "
+                        "a copy instead of mutating shared state",
+                    )
+
+
+@rule
+class SilentExceptionSwallow(LintRule):
+    code = "REPRO009"
+    name = "silent-exception-swallow"
+    description = (
+        "An except block whose body is only pass/continue/... hides model "
+        "violations (budget errors, validation errors); handle or re-raise."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[LintFinding]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if all(_is_noop_stmt(stmt) for stmt in node.body):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "exception silently swallowed (body is only "
+                    "pass/continue); handle it or let it propagate",
+                )
+
+
+def _is_noop_stmt(stmt: ast.stmt) -> bool:
+    if isinstance(stmt, (ast.Pass, ast.Continue)):
+        return True
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+        return True  # docstring or bare `...`
+    return False
+
+
+def rule_catalog() -> list[dict[str, str]]:
+    """Machine-readable rule inventory (code, name, description)."""
+    from repro.analysis.lint.core import active_rules
+
+    return [
+        {"code": r.code, "name": r.name, "description": r.description}
+        for r in active_rules()
+    ]

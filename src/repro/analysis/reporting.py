@@ -8,7 +8,7 @@ renderings of layouts (used to regenerate the paper's figures as text).
 
 from __future__ import annotations
 
-from typing import Iterable, Mapping, Sequence
+from collections.abc import Iterable, Mapping, Sequence
 
 import numpy as np
 

@@ -11,6 +11,10 @@ Subcommands:
 * ``curves``  — empirical distance-bound constants (experiment E4).
 * ``profile`` — run a workload under the spatial profiler: per-cell
   heatmap JSON, link-congestion timeline, folded stacks, Prometheus text.
+* ``sanitize`` — run a workload under the write-race, determinism, and
+  ghost-state sanitizers; nonzero exit on findings (docs/ANALYSIS.md).
+* ``lint``    — model-discipline AST lint (``REPROxxx`` rules) over
+  source paths; nonzero exit on findings.
 * ``bench``   — benchmark artifact workflows: ``bench compare`` is the
   perf regression gate (nonzero exit on energy/depth regression),
   ``bench migrate`` normalizes legacy ``BENCH_*.json`` shapes.
@@ -31,6 +35,8 @@ Examples::
     python -m repro lca --tree random --n 2048 --queries 2048
     python -m repro curves --side 32
     python -m repro profile treefix --n 4096 --out prof/
+    python -m repro sanitize treefix --n 1024 --policy crew --fuzz
+    python -m repro lint src/
     python -m repro bench compare baseline.json new.json --max-energy-regress 10%
     python -m repro report r.json
     python -m repro report --diff before.json after.json
@@ -46,6 +52,7 @@ import numpy as np
 from repro import __version__
 from repro.analysis import format_table, render_layout_grid
 from repro.curves import available_curves, empirical_alpha, get_curve
+from repro.errors import ReproError
 from repro.layout import LayoutMetrics, TreeLayout, available_orders
 from repro.spatial import SpatialTree, lca_batch, treefix_sum
 from repro.trees import (
@@ -300,38 +307,38 @@ def cmd_curves(args) -> int:
 # --------------------------------------------------------------------- #
 
 
-def _workload_treefix(args):
+def _workload_treefix(args, **machine_kwargs):
     tree = _make_tree(args.tree, args.n, args.seed)
     rng = np.random.default_rng(args.seed)
     values = rng.integers(0, 100, size=tree.n)
-    st = SpatialTree.build(tree, curve=args.curve, mode=args.mode)
+    st = SpatialTree.build(tree, curve=args.curve, mode=args.mode, **machine_kwargs)
     meta = {"workload": "treefix", "tree": args.tree, "mode": st.mode,
             "seed": args.seed}
-    return st.machine, (lambda: treefix_sum(st, values, seed=args.seed)), meta
+    return st, (lambda: treefix_sum(st, values, seed=args.seed)), meta
 
 
-def _workload_lca(args):
+def _workload_lca(args, **machine_kwargs):
     tree = _make_tree(args.tree, args.n, args.seed)
     rng = np.random.default_rng(args.seed)
     q = args.queries or tree.n
     us = rng.permutation(tree.n)[: min(q, tree.n)]
     vs = rng.permutation(tree.n)[: min(q, tree.n)]
-    st = SpatialTree.build(tree, curve=args.curve)
+    st = SpatialTree.build(tree, curve=args.curve, **machine_kwargs)
     meta = {"workload": "lca", "tree": args.tree, "queries": len(us),
             "seed": args.seed}
-    return st.machine, (lambda: lca_batch(st, us, vs, seed=args.seed)), meta
+    return st, (lambda: lca_batch(st, us, vs, seed=args.seed)), meta
 
 
-def _workload_expr(args):
+def _workload_expr(args, **machine_kwargs):
     from repro.spatial.expression import evaluate_expression, random_expression
 
     tree, ops, leaf_vals = random_expression(args.n, seed=args.seed)
-    st = SpatialTree.build(tree, curve=args.curve)
+    st = SpatialTree.build(tree, curve=args.curve, **machine_kwargs)
     meta = {"workload": "expr", "seed": args.seed}
-    return st.machine, (lambda: evaluate_expression(st, ops, leaf_vals, seed=args.seed)), meta
+    return st, (lambda: evaluate_expression(st, ops, leaf_vals, seed=args.seed)), meta
 
 
-def _workload_cuts(args):
+def _workload_cuts(args, **machine_kwargs):
     from repro.spatial.graph import one_respecting_cuts
 
     tree = _make_tree(args.tree, args.n, args.seed)
@@ -339,18 +346,26 @@ def _workload_cuts(args):
     m = args.extra_edges or 2 * tree.n
     raw = rng.integers(0, tree.n, size=(m + tree.n, 2))
     extra = raw[raw[:, 0] != raw[:, 1]][:m]
-    st = SpatialTree.build(tree, curve=args.curve)
+    st = SpatialTree.build(tree, curve=args.curve, **machine_kwargs)
     meta = {"workload": "cuts", "tree": args.tree, "extra_edges": len(extra),
             "seed": args.seed}
-    return st.machine, (lambda: one_respecting_cuts(st, extra, seed=args.seed)), meta
+    return st, (lambda: one_respecting_cuts(st, extra, seed=args.seed)), meta
 
 
-#: machine workloads the spatial profiler can drive
+#: spatial-tree workloads the profiler and the sanitizers can drive; each
+#: factory returns ``(spatial_tree, run_callable, meta)`` and forwards
+#: ``machine_kwargs`` (e.g. ``permute_delivery=``) to the fresh machine
 PROFILE_WORKLOADS = {
     "treefix": _workload_treefix,
     "lca": _workload_lca,
     "expr": _workload_expr,
     "cuts": _workload_cuts,
+}
+
+#: per-workload result extractors for delivery-order fuzzing (results must
+#: be arrays / tuples of arrays to diff)
+_FUZZ_RESULTS = {
+    "cuts": lambda cuts: (cuts.cut, cuts.crossing),
 }
 
 
@@ -360,7 +375,8 @@ def cmd_profile(args) -> int:
     from repro.machine.profiler import SpatialProfiler
     from repro.machine.tracing import attach_tracer
 
-    machine, run, meta = PROFILE_WORKLOADS[args.workload](args)
+    st, run, meta = PROFILE_WORKLOADS[args.workload](args)
+    machine = st.machine
     meta = {"command": "profile", **meta}
     profiler = machine.attach(
         SpatialProfiler(window=args.window, max_windows=args.max_windows)
@@ -387,6 +403,80 @@ def cmd_profile(args) -> int:
     for name, path in sorted(paths.items()):
         print(f"[{name} saved to {path}]")
     return 0
+
+
+def cmd_sanitize(args) -> int:
+    from repro.machine.sanitizer import (
+        DeterminismSanitizer,
+        GhostStateSanitizer,
+        WriteRaceSanitizer,
+        check_determinism,
+        format_findings,
+        sanitize_findings_report,
+        save_findings_report,
+    )
+
+    st, run, meta = PROFILE_WORKLOADS[args.workload](args)
+    machine = st.machine
+    meta = {"command": "sanitize", **meta}
+    recorder = _attach_telemetry(machine, args)
+    sanitizers = [
+        machine.attach(WriteRaceSanitizer(policy=args.policy)),
+        machine.attach(DeterminismSanitizer(trials=args.trials, seed=args.seed)),
+        machine.attach(GhostStateSanitizer({"workload": st})),
+    ]
+    run()
+    for s in sanitizers:
+        s.finish(machine)
+
+    extra = []
+    if args.fuzz:
+        extract = _FUZZ_RESULTS.get(args.workload)
+
+        def build(permute):
+            _, run_i, _ = PROFILE_WORKLOADS[args.workload](
+                args, permute_delivery=permute
+            )
+            return run_i
+
+        def run_one(run_i):
+            res = run_i()
+            return extract(res) if extract else res
+
+        extra = check_determinism(
+            build, run_one, trials=args.fuzz_trials, seed=args.seed
+        )
+
+    report = sanitize_findings_report(
+        sanitizers, extra_findings=extra, meta=meta, policy=args.policy
+    )
+    snap = machine.snapshot()
+    print(f"sanitized {args.workload}: n={machine.n} policy={args.policy} "
+          f"fuzz={'on' if args.fuzz else 'off'}")
+    print(f"energy {snap['energy']:,}   depth {snap['depth']:,}   "
+          f"messages {snap['messages']:,}   steps {machine.steps:,}")
+    findings = [f for s in sanitizers for f in s.findings] + list(extra)
+    print(format_findings(findings))
+    if args.out:
+        path = save_findings_report(report, args.out)
+        print(f"[findings report saved to {path}]")
+    _write_outputs(args, machine, recorder, meta)
+    return 0 if report["clean"] else 1
+
+
+def cmd_lint(args) -> int:
+    from repro.analysis.lint import format_findings, lint_paths, rule_catalog
+
+    if args.list_rules:
+        rows = [
+            {"code": r["code"], "name": r["name"], "description": r["description"]}
+            for r in rule_catalog()
+        ]
+        print(format_table(rows))
+        return 0
+    findings = lint_paths(args.paths or ["src"])
+    print(format_findings(findings))
+    return 1 if findings else 0
 
 
 def cmd_bench(args) -> int:
@@ -512,6 +602,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="drop per-step distance histograms from report.json")
     p.set_defaults(fn=cmd_profile)
 
+    p = sub.add_parser(
+        "sanitize",
+        help="run a workload under the write-race, determinism, and "
+             "ghost-state sanitizers; emit a findings report",
+    )
+    p.add_argument("workload", choices=sorted(PROFILE_WORKLOADS))
+    _add_tree_args(p)
+    p.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"],
+                   help="treefix execution mode (ignored by other workloads)")
+    p.add_argument("--queries", type=int, default=0, help="lca query count (default n)")
+    p.add_argument("--extra-edges", type=int, default=0,
+                   help="cuts non-tree edge count (default 2n)")
+    p.add_argument("--policy", default="crew", choices=["erew", "crew", "crcw"],
+                   help="write-race policy: exclusive, concurrent-read, or "
+                        "common concurrent-write (default crew)")
+    p.add_argument("--trials", type=int, default=2,
+                   help="per-step clock-replay permutation trials (default 2)")
+    p.add_argument("--fuzz", action="store_true",
+                   help="also re-run the whole workload under permuted "
+                        "delivery orders and diff the final results")
+    p.add_argument("--fuzz-trials", type=int, default=2,
+                   help="delivery-order fuzz re-runs (default 2)")
+    p.add_argument("--out", metavar="PATH", default=None,
+                   help="write the schema-versioned findings report (JSON)")
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_sanitize)
+
+    p = sub.add_parser(
+        "lint",
+        help="model-discipline AST lint (REPROxxx rules) over source paths",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to lint (default: src)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("bench", help="benchmark artifact workflows (perf gate)")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
     pc = bench_sub.add_parser(
@@ -542,7 +669,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # model/validation failures are expected outcomes, not crashes:
+        # one clean line on stderr, distinct exit code
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

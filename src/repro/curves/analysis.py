@@ -9,6 +9,8 @@ Z-order and row-major have no such constant.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
+
 from dataclasses import dataclass
 
 import numpy as np
@@ -41,7 +43,7 @@ def empirical_alpha(
     *,
     max_gap: int | None = None,
     starts_per_gap: int = 64,
-    seed=None,
+    seed: int | np.random.Generator | None = None,
 ) -> DistanceBoundEstimate:
     """Estimate the distance-bound constant of ``curve`` on a ``side²`` grid.
 
@@ -99,10 +101,10 @@ def empirical_alpha(
 def distance_profile(
     curve: "str | SpaceFillingCurve",
     side: int,
-    gaps,
+    gaps: Sequence[int],
     *,
     starts_per_gap: int = 256,
-    seed=None,
+    seed: int | np.random.Generator | None = None,
 ) -> np.ndarray:
     """Maximum observed ``dist(i, i+j)`` for each gap ``j`` in ``gaps``."""
     c = resolve_curve(curve)

@@ -24,7 +24,7 @@ growing downward, matching the paper's figures.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Iterable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -83,14 +83,14 @@ class SpaceFillingCurve(ABC):
     # transforms
     # ------------------------------------------------------------------ #
 
-    def index_to_xy(self, d, side: int) -> tuple[np.ndarray, np.ndarray]:
+    def index_to_xy(self, d: np.ndarray, side: int) -> tuple[np.ndarray, np.ndarray]:
         """Map curve indices ``d`` to ``(x, y)`` grid coordinates."""
         side = self.validate_side(side)
         d = as_index_array(np.atleast_1d(d), name="d")
         check_in_range(d, 0, side * side, name="d")
         return self._index_to_xy(d, side)
 
-    def xy_to_index(self, x, y, side: int) -> np.ndarray:
+    def xy_to_index(self, x: np.ndarray, y: np.ndarray, side: int) -> np.ndarray:
         """Map grid coordinates to curve indices (inverse of :meth:`index_to_xy`)."""
         side = self.validate_side(side)
         x = as_index_array(np.atleast_1d(x), name="x")
@@ -124,7 +124,7 @@ class SpaceFillingCurve(ABC):
         x, y = self.index_to_xy(np.arange(n, dtype=np.int64), side)
         return np.stack([x, y], axis=1)
 
-    def pairwise_distance(self, i, j, side: int) -> np.ndarray:
+    def pairwise_distance(self, i: np.ndarray, j: np.ndarray, side: int) -> np.ndarray:
         """Manhattan distance between the ``i``-th and ``j``-th curve cells."""
         xi, yi = self.index_to_xy(i, side)
         xj, yj = self.index_to_xy(j, side)

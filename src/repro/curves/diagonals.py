@@ -25,7 +25,7 @@ from repro.errors import ValidationError
 from repro.utils import as_index_array, ceil_sqrt
 
 
-def alignment_level(m) -> np.ndarray:
+def alignment_level(m: np.ndarray) -> np.ndarray:
     """Largest ``k`` such that ``4^k`` divides ``m`` (for ``m >= 1``).
 
     This is the recursion level of the block boundary at index ``m``.
@@ -43,7 +43,7 @@ def alignment_level(m) -> np.ndarray:
     return level
 
 
-def longest_diagonal_boundary(i, j) -> np.ndarray:
+def longest_diagonal_boundary(i: np.ndarray, j: np.ndarray) -> np.ndarray:
     """The most-aligned index ``m`` in ``(i, j]`` for each pair ``i < j``.
 
     The step from ``m-1`` to ``m`` is the longest diagonal crossed when
@@ -72,7 +72,7 @@ def longest_diagonal_boundary(i, j) -> np.ndarray:
     return np.where(active, (j // step) * step, 0)
 
 
-def diagonal_manhattan(m, side: int) -> np.ndarray:
+def diagonal_manhattan(m: np.ndarray, side: int) -> np.ndarray:
     """Manhattan length of the diagonal at boundary ``m`` on a Z-order grid.
 
     This is the grid distance between the curve positions of ``m - 1`` and
@@ -88,13 +88,13 @@ def diagonal_manhattan(m, side: int) -> np.ndarray:
     return out
 
 
-def e_d(i, j, side: int) -> np.ndarray:
+def e_d(i: np.ndarray, j: np.ndarray, side: int) -> np.ndarray:
     """Diagonal energy ``E_d(i, j)``: length of the longest diagonal crossed."""
     m = longest_diagonal_boundary(i, j)
     return diagonal_manhattan(m, side)
 
 
-def e_b(i, j) -> np.ndarray:
+def e_b(i: np.ndarray, j: np.ndarray) -> np.ndarray:
     """Aligned-curve energy bound ``E_b(i, j) <= 8 * sqrt(|j - i|)`` (Lemma 4)."""
     i = as_index_array(np.atleast_1d(i), name="i")
     j = as_index_array(np.atleast_1d(j), name="j")
@@ -102,7 +102,7 @@ def e_b(i, j) -> np.ndarray:
     return 8 * np.array([ceil_sqrt(int(g)) for g in gap], dtype=np.int64)
 
 
-def diagonal_usage_counts(i, j) -> dict[int, int]:
+def diagonal_usage_counts(i: np.ndarray, j: np.ndarray) -> dict[int, int]:
     """Histogram: boundary index ``m`` → how many pairs have it as their
     longest diagonal.
 
@@ -116,7 +116,7 @@ def diagonal_usage_counts(i, j) -> dict[int, int]:
     return {int(b): int(c) for b, c in zip(boundaries, counts)}
 
 
-def verify_decomposition(i, j, side: int) -> np.ndarray:
+def verify_decomposition(i: np.ndarray, j: np.ndarray, side: int) -> np.ndarray:
     """Return the slack ``E_b(i,j) + E_d(i,j) - dist(i,j)`` (Lemma 3 says >= 0)."""
     z = get_curve("zorder")
     actual = z.pairwise_distance(i, j, side)

@@ -40,7 +40,7 @@ class MooreCurve(SpaceFillingCurve):
     #: conservative empirical bound (no published exact constant)
     alpha = 4.0
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._hilbert = HilbertCurve()
 
     def validate_side(self, side: int) -> int:

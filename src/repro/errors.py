@@ -37,6 +37,15 @@ class MachineStateError(ReproError):
     endpoints in a bulk send, or an operation on a finalized ledger)."""
 
 
+class SanitizerError(ReproError):
+    """A runtime sanitizer detected a model-discipline violation in strict mode.
+
+    Raised by the sanitizers in :mod:`repro.machine.sanitizer` (write races,
+    delivery-order dependence, ghost per-processor state) when running with
+    ``strict=True``; in non-strict mode findings are collected instead.
+    """
+
+
 class ConvergenceError(ReproError):
     """A Las Vegas algorithm failed to converge within its iteration safety cap.
 

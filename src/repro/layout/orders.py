@@ -14,7 +14,7 @@ binary trees and DFS on caterpillars.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -32,10 +32,24 @@ from repro.machine.collectives import (
 )
 from repro.machine.routing import bitonic_sort, permute, scatter
 from repro.machine.pram import PRAMSimulator
+from repro.machine.sanitizer import (
+    DeterminismSanitizer,
+    Finding,
+    GhostStateSanitizer,
+    SanitizerInstrument,
+    WriteRaceSanitizer,
+    check_determinism,
+)
 from repro.machine.tracing import CongestionTracer, attach_tracer, render_heatmap
 
 __all__ = [
     "SpatialMachine",
+    "SanitizerInstrument",
+    "WriteRaceSanitizer",
+    "DeterminismSanitizer",
+    "GhostStateSanitizer",
+    "Finding",
+    "check_determinism",
     "CostLedger",
     "PhaseCost",
     "Instrument",

@@ -19,7 +19,7 @@ surrogate right edge, which only shortens messages.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
@@ -29,7 +29,7 @@ from repro.machine.machine import SpatialMachine
 Op = Callable[[np.ndarray, np.ndarray], np.ndarray]
 
 
-def _check_values(machine: SpatialMachine, values) -> np.ndarray:
+def _check_values(machine: SpatialMachine, values: np.ndarray) -> np.ndarray:
     values = np.asarray(values)
     if values.shape != (machine.n,):
         raise ValidationError(
@@ -55,7 +55,7 @@ def _upsweep(machine: SpatialMachine, acc: np.ndarray, op: Op) -> None:
         half = b
 
 
-def reduce(machine: SpatialMachine, values, *, op: Op = np.add, root: int = 0):
+def reduce(machine: SpatialMachine, values: np.ndarray, *, op: Op = np.add, root: int = 0) -> np.generic:
     """Reduce ``values`` with ``op``; the scalar result ends at ``root``.
 
     O(n) energy, O(log n) depth (§II-A). Returns the reduced scalar.
@@ -68,7 +68,7 @@ def reduce(machine: SpatialMachine, values, *, op: Op = np.add, root: int = 0):
     return total
 
 
-def broadcast(machine: SpatialMachine, value, *, root: int = 0) -> np.ndarray:
+def broadcast(machine: SpatialMachine, value: int | np.generic, *, root: int = 0) -> np.ndarray:
     """Broadcast a scalar from ``root`` to every processor.
 
     O(n) energy, O(log n) depth (§II-A). Returns the length-``n`` array of
@@ -100,7 +100,7 @@ def broadcast(machine: SpatialMachine, value, *, root: int = 0) -> np.ndarray:
     return out
 
 
-def allreduce(machine: SpatialMachine, values, *, op: Op = np.add) -> np.ndarray:
+def allreduce(machine: SpatialMachine, values: np.ndarray, *, op: Op = np.add) -> np.ndarray:
     """Reduce then broadcast: every processor ends with the total.
 
     O(n) energy, O(log n) depth (§II-A: "an all-reduce ... has the same
@@ -110,7 +110,7 @@ def allreduce(machine: SpatialMachine, values, *, op: Op = np.add) -> np.ndarray
     return broadcast(machine, total, root=0)
 
 
-def exclusive_scan(machine: SpatialMachine, values, *, op: Op = np.add, identity=0) -> np.ndarray:
+def exclusive_scan(machine: SpatialMachine, values: np.ndarray, *, op: Op = np.add, identity: int = 0) -> np.ndarray:
     """Exclusive parallel prefix: ``out[i] = values[0] ⊕ ... ⊕ values[i-1]``.
 
     Blelloch two-sweep scan over the curve-order doubling tree:
@@ -146,7 +146,7 @@ def exclusive_scan(machine: SpatialMachine, values, *, op: Op = np.add, identity
     return acc
 
 
-def inclusive_scan(machine: SpatialMachine, values, *, op: Op = np.add, identity=0) -> np.ndarray:
+def inclusive_scan(machine: SpatialMachine, values: np.ndarray, *, op: Op = np.add, identity: int = 0) -> np.ndarray:
     """Inclusive parallel prefix: ``out[i] = values[0] ⊕ ... ⊕ values[i]``."""
     values = np.asarray(values)
     ex = exclusive_scan(machine, values, op=op, identity=identity)

@@ -26,8 +26,14 @@ instrument inside its own ``try``. Exceptions are collected on
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.ledger import CostLedger
+    from repro.machine.machine import SpatialMachine
+    from repro.machine.tracing import CongestionTracer
 
 
 @dataclass(frozen=True)
@@ -60,6 +66,13 @@ class StepEvent:
         The machine's depth clock around this step.
     metric:
         The machine's distance metric (``"manhattan"`` or ``"chebyshev"``).
+    payload:
+        The per-message payload of the remote messages (aligned with
+        ``src``/``dst``), or ``None`` for valueless (pure-accounting)
+        sends. Read-only view; consumed by the write-race sanitizer.
+    combiner:
+        Combiner tag declared by the call site for multi-delivery reduce
+        steps (e.g. ``"sum"``), or ``None``. Accounting-neutral metadata.
     """
 
     step: int
@@ -75,6 +88,8 @@ class StepEvent:
     depth_before: int
     depth_after: int
     metric: str
+    payload: np.ndarray | None = None
+    combiner: str | None = None
 
     @property
     def max_distance(self) -> int:
@@ -95,10 +110,10 @@ class Instrument:
       boundary.
     """
 
-    def on_attach(self, machine) -> None:  # pragma: no cover - trivial
+    def on_attach(self, machine: SpatialMachine) -> None:  # pragma: no cover - trivial
         pass
 
-    def on_detach(self, machine) -> None:  # pragma: no cover - trivial
+    def on_detach(self, machine: SpatialMachine) -> None:  # pragma: no cover - trivial
         pass
 
     def on_step(self, event: StepEvent) -> None:  # pragma: no cover - trivial
@@ -118,7 +133,7 @@ class LedgerInstrument(Instrument):
     is a view onto ``self.ledger``.
     """
 
-    def __init__(self, ledger=None):
+    def __init__(self, ledger: CostLedger | None = None) -> None:
         from repro.machine.ledger import CostLedger
 
         self.ledger = ledger if ledger is not None else CostLedger()
@@ -141,14 +156,14 @@ class TracerInstrument(Instrument):
     :func:`~repro.machine.tracing.attach_tracer` both route through this.
     """
 
-    def __init__(self, tracer):
+    def __init__(self, tracer: CongestionTracer) -> None:
         self.tracer = tracer
-        self._machine = None
+        self._machine: SpatialMachine | None = None
 
-    def on_attach(self, machine) -> None:
+    def on_attach(self, machine: SpatialMachine) -> None:
         self._machine = machine
 
-    def on_detach(self, machine) -> None:
+    def on_detach(self, machine: SpatialMachine) -> None:
         self._machine = None
 
     def on_step(self, event: StepEvent) -> None:

@@ -22,6 +22,7 @@ calls — the latter is what the machine's instrumentation layer
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
@@ -90,7 +91,7 @@ class CostLedger:
         return phase
 
     @contextmanager
-    def phase(self, name: str, *, current_depth=lambda: 0):
+    def phase(self, name: str, *, current_depth: Callable[[], int] = lambda: 0) -> Iterator[None]:
         """Attribute all costs charged inside the block to phase ``name``.
 
         ``current_depth`` is a callable the machine supplies so the phase can

@@ -25,7 +25,10 @@ trace exporters (:mod:`repro.analysis.report`) are just more subscribers.
 from __future__ import annotations
 
 import warnings
+from collections.abc import Iterator
 from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -37,9 +40,66 @@ from repro.machine.instrumentation import (
     StepEvent,
     TracerInstrument,
 )
-from repro.machine.ledger import CostLedger
+from repro.machine.ledger import CostLedger, PhaseCost
 from repro.machine.registers import DEFAULT_BUDGET, RegisterFile
 from repro.utils import as_index_array, check_in_range
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.curves.base import SpaceFillingCurve
+    from repro.machine.tracing import CongestionTracer
+
+
+@dataclass(frozen=True)
+class ClockAdvance:
+    """Result of one bulk-step clock update (see :func:`advance_clocks`)."""
+
+    src_count: int
+    dst_count: int
+    max_clock: int
+
+
+def advance_clocks(clock: np.ndarray, src: np.ndarray, dst: np.ndarray) -> ClockAdvance:
+    """Advance per-processor dependency clocks for one bulk step, in place.
+
+    This is the machine's 1-port depth model as a pure function of
+    ``(clock, src, dst)`` so it can be *replayed* — the determinism
+    sanitizer re-runs it under permuted delivery orders and asserts the
+    resulting clock state is identical (energy and depth must be
+    schedule-independent properties of the message DAG).
+
+    Sends serialize: a processor's k-th send in the step departs at
+    ``clock + k`` and its clock advances by its send count. Receives
+    serialize too: processing incoming chains ``m_1 <= .. <= m_k`` from
+    start clock ``t0`` gives ``t_i = max(t_{i-1} + 1, m_i)``, i.e.
+    ``t_k = max(t0 + k, max_i(m_i + k - i))``.
+    """
+    order = np.argsort(src, kind="stable")
+    sorted_src = src[order]
+    boundaries = np.flatnonzero(np.diff(sorted_src)) + 1
+    group_starts = np.concatenate([[0], boundaries])
+    group_lens = np.diff(np.concatenate([group_starts, [len(sorted_src)]]))
+    occ_sorted = np.arange(len(sorted_src)) - np.repeat(group_starts, group_lens)
+    occ = np.empty(len(src), dtype=np.int64)
+    occ[order] = occ_sorted
+    chain = clock[src] + occ + 1
+    np.add.at(clock, src, 1)
+    rorder = np.lexsort((chain, dst))
+    rd_s = dst[rorder]
+    m_s = chain[rorder]
+    rb = np.flatnonzero(np.diff(rd_s)) + 1
+    rstarts = np.concatenate([[0], rb])
+    rlens = np.diff(np.concatenate([rstarts, [len(rd_s)]]))
+    pos_in_group = np.arange(len(rd_s)) - np.repeat(rstarts, rlens)
+    remaining = np.repeat(rlens, rlens) - 1 - pos_in_group  # k - i (0-based)
+    vals_adj = m_s + remaining
+    group_max = np.maximum.reduceat(vals_adj, rstarts)
+    dst_unique = rd_s[rstarts]
+    clock[dst_unique] = np.maximum(clock[dst_unique] + rlens, group_max)
+    return ClockAdvance(
+        src_count=int(len(group_starts)),
+        dst_count=int(len(dst_unique)),
+        max_clock=max(int(clock[src].max()), int(clock[dst_unique].max())),
+    )
 
 
 class SpatialMachine:
@@ -67,17 +127,33 @@ class SpatialMachine:
         (§I-B): the algorithms are metric-agnostic, and since
         ``L∞ ≤ L1 ≤ 2·L∞`` every energy bound transfers within a factor
         of 2 — which the tests verify empirically.
+    strict:
+        Model-discipline sanitizers (see :mod:`repro.machine.sanitizer`).
+        ``False`` (default) runs unchecked; ``True`` attaches a write-race
+        sanitizer under the ``"crew"`` policy plus a determinism checker,
+        both raising :class:`~repro.errors.SanitizerError` on the first
+        violation; a policy string (``"erew"``/``"crew"``/``"crcw"``)
+        selects the write-race policy explicitly.
+    permute_delivery:
+        Delivery-order fuzzing seed. When set, the payload returned by
+        :meth:`send` is permuted *within groups of messages addressed to
+        the same destination* — exactly the arrival-order ambiguity a real
+        spatial machine exhibits. Algorithms whose results change under
+        this permutation depend on simulator delivery order (see
+        :func:`repro.machine.sanitizer.check_determinism`).
     """
 
     def __init__(
         self,
         n: int,
         *,
-        curve="hilbert",
+        curve: str | SpaceFillingCurve = "hilbert",
         side: int | None = None,
         budget: int = DEFAULT_BUDGET,
         metric: str = "manhattan",
-    ):
+        strict: bool | str = False,
+        permute_delivery: int | None = None,
+    ) -> None:
         if n < 1:
             raise ValidationError(f"machine needs n >= 1 processors, got {n}")
         if metric not in ("manhattan", "chebyshev"):
@@ -107,6 +183,17 @@ class SpatialMachine:
         self._ledger_instrument = LedgerInstrument()
         self._tracer_instrument: TracerInstrument | None = None
         self.attach(self._ledger_instrument)
+        self._delivery_rng = (
+            np.random.default_rng(permute_delivery)
+            if permute_delivery is not None
+            else None
+        )
+        if strict:
+            from repro.machine.sanitizer import DeterminismSanitizer, WriteRaceSanitizer
+
+            policy = strict if isinstance(strict, str) else "crew"
+            self.attach(WriteRaceSanitizer(policy=policy, strict=True))
+            self.attach(DeterminismSanitizer(strict=True))
 
     # ------------------------------------------------------------------ #
     # instrumentation
@@ -142,9 +229,14 @@ class SpatialMachine:
     def _call(self, instrument: Instrument, hook: str, *args) -> None:
         """Run one instrument hook, isolating failures from the simulation
         (and from the other instruments — cost accounting must survive a
-        buggy observer)."""
+        buggy observer). :class:`~repro.errors.SanitizerError` is exempt:
+        a strict-mode sanitizer's whole job is to abort the run."""
+        from repro.errors import SanitizerError
+
         try:
             getattr(instrument, hook)(*args)
+        except SanitizerError:
+            raise
         except Exception as exc:  # noqa: BLE001 - isolation is the point
             self.instrument_errors.append((instrument, hook, exc))
             warnings.warn(
@@ -160,6 +252,16 @@ class SpatialMachine:
             self._call(instrument, hook, *args)
 
     @property
+    def sanitizers(self) -> tuple[Instrument, ...]:
+        """Attached sanitizer instruments (empty unless ``strict=`` or an
+        explicit :mod:`repro.machine.sanitizer` attach)."""
+        from repro.machine.sanitizer import SanitizerInstrument
+
+        return tuple(
+            i for i in self._instruments if isinstance(i, SanitizerInstrument)
+        )
+
+    @property
     def ledger(self) -> CostLedger:
         """The built-in cost ledger (fed by a :class:`LedgerInstrument`)."""
         return self._ledger_instrument.ledger
@@ -169,7 +271,7 @@ class SpatialMachine:
         self._ledger_instrument.ledger = value
 
     @property
-    def tracer(self):
+    def tracer(self) -> CongestionTracer | None:
         """The attached :class:`CongestionTracer`, or ``None``.
 
         Assigning a tracer wraps it in a
@@ -181,7 +283,7 @@ class SpatialMachine:
         return self._tracer_instrument.tracer if self._tracer_instrument else None
 
     @tracer.setter
-    def tracer(self, tracer) -> None:
+    def tracer(self, tracer: CongestionTracer | None) -> None:
         if self._tracer_instrument is not None:
             self.detach(self._tracer_instrument)
         if tracer is not None:
@@ -210,25 +312,36 @@ class SpatialMachine:
     # messaging
     # ------------------------------------------------------------------ #
 
-    def send(self, src, dst, values: np.ndarray | None = None) -> np.ndarray | None:
+    def send(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        values: np.ndarray | None = None,
+        *,
+        combiner: str | None = None,
+    ) -> np.ndarray | None:
         """Deliver one message per (src[i], dst[i]) pair; returns the payload.
 
         ``values`` (optional) is the per-message payload, one entry per
         pair; it is returned unchanged so call sites read naturally
         (``received = m.send(src, dst, vals[src])``). Payload movement is
-        the caller's job — the machine only does the accounting.
+        the caller's job — the machine only does the accounting. (Under
+        delivery-order fuzzing — ``permute_delivery=`` — the returned
+        payload is instead permuted within same-destination groups.)
+
+        ``combiner`` (optional) declares that multiple deliveries to one
+        destination in this step are reduced with the named associative
+        operator (``"sum"``, ``"max"``, …). It changes no accounting; it is
+        metadata on the emitted :class:`StepEvent` that whitelists the step
+        for the write-race sanitizer's EREW/CREW policies.
 
         Self-messages (``src == dst``) are local work: free and depth-less,
         consistent with energy being a property of *communication*.
 
-        Depth accounting honours the model's O(1)-messages-per-round rule:
-        a processor's clock advances by one per message it *sends* (sends
-        serialize), the k-th message a processor sends in one bulk call has
-        chain length ``clock + k``, and a processor receiving k messages in
-        one call pays ``k - 1`` extra rounds on top of the longest incoming
-        chain (receives serialize too). A vertex talking to Θ(Δ) neighbours
-        directly therefore costs Θ(Δ) depth — which is precisely why the
-        paper's §III-D virtual trees exist.
+        Depth accounting honours the model's O(1)-messages-per-round rule
+        (see :func:`advance_clocks`): sends and receives both serialize, so
+        a vertex talking to Θ(Δ) neighbours directly costs Θ(Δ) depth —
+        which is precisely why the paper's §III-D virtual trees exist.
 
         Each call that charges at least one remote message emits exactly one
         :class:`StepEvent` to every attached instrument (the ledger included)
@@ -249,49 +362,20 @@ class SpatialMachine:
             rs, rd = src[remote], dst[remote]
             dist = self.manhattan(rs, rd)
             depth_before = self._max_clock
-            # --- 1-port clock model ---
-            # Sends serialize: a processor's k-th send in this call departs
-            # at clock + k, and its clock advances by its send count.
-            order = np.argsort(rs, kind="stable")
-            sorted_src = rs[order]
-            boundaries = np.flatnonzero(np.diff(sorted_src)) + 1
-            group_starts = np.concatenate([[0], boundaries])
-            group_lens = np.diff(np.concatenate([group_starts, [len(sorted_src)]]))
-            occ_sorted = np.arange(len(sorted_src)) - np.repeat(group_starts, group_lens)
-            occ = np.empty(len(rs), dtype=np.int64)
-            occ[order] = occ_sorted
-            chain = self.clock[rs] + occ + 1
-            np.add.at(self.clock, rs, 1)
-            # Receives serialize too: processing incoming chains m_1<=..<=m_k
-            # from start clock t0 gives t_i = max(t_{i-1} + 1, m_i), i.e.
-            # t_k = max(t0 + k, max_i(m_i + k - i)).
-            rorder = np.lexsort((chain, rd))
-            rd_s = rd[rorder]
-            m_s = chain[rorder]
-            rb = np.flatnonzero(np.diff(rd_s)) + 1
-            rstarts = np.concatenate([[0], rb])
-            rlens = np.diff(np.concatenate([rstarts, [len(rd_s)]]))
-            pos_in_group = np.arange(len(rd_s)) - np.repeat(rstarts, rlens)
-            remaining = np.repeat(rlens, rlens) - 1 - pos_in_group  # k - i (0-based)
-            vals_adj = m_s + remaining
-            group_max = np.maximum.reduceat(vals_adj, rstarts)
-            dst_unique = rd_s[rstarts]
-            self.clock[dst_unique] = np.maximum(
-                self.clock[dst_unique] + rlens, group_max
-            )
+            adv = advance_clocks(self.clock, rs, rd)
             # clocks only grow in this method, so the max is maintainable
             # incrementally from the entries just touched (O(k), not O(n))
-            self._max_clock = max(
-                self._max_clock,
-                int(self.clock[rs].max()),
-                int(self.clock[dst_unique].max()),
-            )
+            self._max_clock = max(self._max_clock, adv.max_clock)
             if self._instruments:
                 rs.setflags(write=False)
                 rd.setflags(write=False)
                 dist.setflags(write=False)
                 histogram = np.bincount(dist)
                 histogram.setflags(write=False)
+                payload = None
+                if values is not None:
+                    payload = np.atleast_1d(np.asarray(values))[remote]
+                    payload.setflags(write=False)
                 event = StepEvent(
                     step=self._step_index,
                     phases=tuple(self._phase_stack),
@@ -301,17 +385,52 @@ class SpatialMachine:
                     distance_histogram=histogram,
                     energy=int(dist.sum()),
                     messages=int(len(rs)),
-                    src_count=int(len(group_starts)),
-                    dst_count=int(len(dst_unique)),
+                    src_count=adv.src_count,
+                    dst_count=adv.dst_count,
                     depth_before=depth_before,
                     depth_after=self._max_clock,
                     metric=self.metric,
+                    payload=payload,
+                    combiner=combiner,
                 )
                 self._emit("on_step", event)
             self._step_index += 1
+            if self._delivery_rng is not None and values is not None:
+                values = self._permute_delivery(dst, remote, values)
         return values
 
-    def gather_from(self, dst, src, values: np.ndarray) -> np.ndarray:
+    def _permute_delivery(
+        self, dst: np.ndarray, remote: np.ndarray, values: np.ndarray
+    ) -> np.ndarray:
+        """Permute the returned payload within equal-destination groups.
+
+        A receiver of k messages sees them in arbitrary order on a real
+        spatial machine; this reproduces that ambiguity for the *caller*
+        (accounting is untouched — it is order-independent by construction).
+        """
+        vals = np.array(np.atleast_1d(values), copy=True)
+        ridx = np.flatnonzero(remote)
+        rd = dst[ridx]
+        det = np.argsort(rd, kind="stable")
+        rnd = np.lexsort((self._delivery_rng.random(len(rd)), rd))
+        vals[ridx[det]] = np.asarray(np.atleast_1d(values))[ridx[rnd]]
+        return vals
+
+    def charge_external(self, energy: int, messages: int) -> None:
+        """Fold a bill from outside this machine's event stream into the
+        ledger (e.g. a subroutine that ran on its own machine, charged by
+        proxy). This is the *sanctioned* way to add external costs — lint
+        rule REPRO005 flags direct ``ledger`` mutation outside the machine
+        package.
+        """
+        if energy < 0 or messages < 0:
+            raise ValidationError(
+                f"external charges must be non-negative, got energy={energy}, "
+                f"messages={messages}"
+            )
+        self.ledger.charge(int(energy), int(messages))
+
+    def gather_from(self, dst: np.ndarray, src: np.ndarray, values: np.ndarray) -> np.ndarray:
         """Convenience: ``dst[i]`` receives ``values[src[i]]`` (charged send)."""
         src = as_index_array(np.atleast_1d(src), name="src")
         payload = values[src]
@@ -339,7 +458,7 @@ class SpatialMachine:
         return self._step_index
 
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str) -> Iterator[PhaseCost]:
         """Phase context manager: notifies instruments and attributes costs.
 
         Yields the ledger's :class:`PhaseCost` bucket for ``name`` (as the

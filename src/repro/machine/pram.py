@@ -40,9 +40,9 @@ class PRAMSimulator:
         num_procs: int,
         num_cells: int,
         *,
-        curve="hilbert",
+        curve: str = "hilbert",
         mode: str = "erew",
-    ):
+    ) -> None:
         if num_procs < 1 or num_cells < 1:
             raise ValidationError("PRAM needs at least one processor and one cell")
         if mode not in ("erew", "crcw"):
@@ -86,7 +86,7 @@ class PRAMSimulator:
                     f"EREW violation: duplicate addresses in concurrent {kind}"
                 )
 
-    def read(self, proc_ids, addrs) -> np.ndarray:
+    def read(self, proc_ids: np.ndarray, addrs: np.ndarray) -> np.ndarray:
         """Each listed processor reads one cell (request + response messages)."""
         proc_ids = as_index_array(np.atleast_1d(proc_ids), name="proc_ids")
         addrs = as_index_array(np.atleast_1d(addrs), name="addrs")
@@ -99,7 +99,7 @@ class PRAMSimulator:
         self.machine.send(cell_ids, proc_ids, values)  # response
         return values
 
-    def write(self, proc_ids, addrs, values) -> None:
+    def write(self, proc_ids: np.ndarray, addrs: np.ndarray, values: np.ndarray) -> None:
         """Each listed processor writes one cell (a single message)."""
         proc_ids = as_index_array(np.atleast_1d(proc_ids), name="proc_ids")
         addrs = as_index_array(np.atleast_1d(addrs), name="addrs")

@@ -33,11 +33,15 @@ exposition in :mod:`repro.analysis.metrics`.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.machine.instrumentation import Instrument, StepEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import SpatialMachine
 
 #: per-cell counter names, in a stable export order
 CELL_METRICS = (
@@ -105,7 +109,7 @@ class SpatialProfiler(Instrument):
     """
 
     def __init__(self, *, window: int = 64, max_windows: int | None = None,
-                 links: bool = True):
+                 links: bool = True) -> None:
         if window < 1:
             raise ValidationError(f"window must be >= 1 depth round, got {window}")
         if max_windows is not None and max_windows < 1:
@@ -131,7 +135,7 @@ class SpatialProfiler(Instrument):
     # lifecycle
     # ------------------------------------------------------------------ #
 
-    def on_attach(self, machine) -> None:
+    def on_attach(self, machine: SpatialMachine) -> None:
         if self.machine is not None and self.machine is not machine:
             raise ValidationError(
                 "SpatialProfiler observes one machine at a time; "
@@ -160,7 +164,7 @@ class SpatialProfiler(Instrument):
             self._win_depth_lo = 0
             self._win_depth_hi = 0
 
-    def on_detach(self, machine) -> None:
+    def on_detach(self, machine: SpatialMachine) -> None:
         self.flush()
 
     # ------------------------------------------------------------------ #
@@ -198,7 +202,8 @@ class SpatialProfiler(Instrument):
         if self.links:
             self._record_links(event, xs, ys, xd, yd)
 
-    def _record_links(self, event, xs, ys, xd, yd) -> None:
+    def _record_links(self, event: StepEvent, xs: np.ndarray, ys: np.ndarray,
+                      xd: np.ndarray, yd: np.ndarray) -> None:
         w = event.depth_before // self.window
         if self._win is None:
             self._win = w

@@ -14,9 +14,11 @@ the budget reflects peak simultaneous use, not cumulative allocations.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from contextlib import contextmanager
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import MemoryBudgetError, ValidationError
 
@@ -28,7 +30,7 @@ DEFAULT_BUDGET = 64
 class RegisterFile:
     """Named per-processor word arrays with an enforced word budget."""
 
-    def __init__(self, n: int, *, budget: int = DEFAULT_BUDGET):
+    def __init__(self, n: int, *, budget: int = DEFAULT_BUDGET) -> None:
         if n < 1:
             raise ValidationError(f"register file needs n >= 1 processors, got {n}")
         if budget < 1:
@@ -38,7 +40,7 @@ class RegisterFile:
         self._regs: dict[str, np.ndarray] = {}
         self.peak = 0
 
-    def alloc(self, name: str, *, dtype=np.int64, fill=0) -> np.ndarray:
+    def alloc(self, name: str, *, dtype: npt.DTypeLike = np.int64, fill: int | float = 0) -> np.ndarray:
         """Allocate one word per processor under ``name`` and return the array."""
         if name in self._regs:
             raise ValidationError(f"register {name!r} is already allocated")
@@ -71,17 +73,32 @@ class RegisterFile:
         """Words per processor currently in use."""
         return len(self._regs)
 
+    def names(self) -> tuple[str, ...]:
+        """Currently allocated register names, in allocation order."""
+        return tuple(self._regs)
+
+    def items(self) -> list[tuple[str, np.ndarray]]:
+        """``(name, array)`` pairs of the live registers (the sanctioned
+        way to enumerate register storage — lint rule REPRO001 flags raw
+        ``_regs`` access outside this module)."""
+        return list(self._regs.items())
+
     @contextmanager
-    def scope(self, *names: str, dtype=np.int64, fill=0):
+    def scope(self, *names: str, dtype: npt.DTypeLike = np.int64,
+              fill: int | float = 0) -> Iterator[np.ndarray | list[np.ndarray]]:
         """Allocate ``names`` for the duration of the block, freeing on exit.
 
         Yields the arrays in declaration order (a single array when one name
         is given).
         """
-        arrays = [self.alloc(name, dtype=dtype, fill=fill) for name in names]
+        arrays = []
         try:
+            for name in names:
+                arrays.append(self.alloc(name, dtype=dtype, fill=fill))
             yield arrays[0] if len(arrays) == 1 else arrays
         finally:
-            for name in names:
+            # unwind only what was actually allocated — a budget failure
+            # partway through must not strand the earlier names
+            for name in names[: len(arrays)]:
                 if name in self._regs:
                     self.free(name)

@@ -23,7 +23,7 @@ from repro.machine.machine import SpatialMachine
 from repro.utils import as_index_array, check_in_range, next_power_of_two
 
 
-def permute(machine: SpatialMachine, values, destinations) -> np.ndarray:
+def permute(machine: SpatialMachine, values: np.ndarray, destinations: np.ndarray) -> np.ndarray:
     """Send ``values[i]`` from processor ``i`` to processor ``destinations[i]``.
 
     ``destinations`` must be a permutation of ``0..n-1`` (every processor
@@ -46,7 +46,8 @@ def permute(machine: SpatialMachine, values, destinations) -> np.ndarray:
     return out
 
 
-def scatter(machine: SpatialMachine, src_ids, dst_ids, values) -> None:
+def scatter(machine: SpatialMachine, src_ids: np.ndarray, dst_ids: np.ndarray,
+            values: np.ndarray | None = None) -> None:
     """Arbitrary point-to-point round (thin charged wrapper over ``send``).
 
     Unlike :func:`permute` this allows partial sends; the caller is
@@ -57,8 +58,8 @@ def scatter(machine: SpatialMachine, src_ids, dst_ids, values) -> None:
 
 def bitonic_sort(
     machine: SpatialMachine,
-    keys,
-    payload=None,
+    keys: np.ndarray,
+    payload: np.ndarray | None = None,
     *,
     descending: bool = False,
 ) -> tuple[np.ndarray, np.ndarray | None]:

@@ -14,15 +14,20 @@ energy term. :func:`render_heatmap` draws it as ASCII for the examples.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.errors import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.machine.machine import SpatialMachine
 
 
 class CongestionTracer:
     """Accumulates per-cell traversal counts under XY routing."""
 
-    def __init__(self, side: int):
+    def __init__(self, side: int) -> None:
         if side < 1:
             raise ValidationError(f"side must be >= 1, got {side}")
         self.side = int(side)
@@ -77,7 +82,7 @@ class CongestionTracer:
         self.messages = 0
 
 
-def attach_tracer(machine) -> CongestionTracer:
+def attach_tracer(machine: SpatialMachine) -> CongestionTracer:
     """Attach a fresh tracer to a machine; subsequent sends are recorded."""
     tracer = CongestionTracer(machine.side)
     machine.tracer = tracer

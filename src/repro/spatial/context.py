@@ -24,7 +24,7 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.layout.embedding import TreeLayout
 from repro.machine.machine import SpatialMachine
-from repro.trees.transform import VirtualTree, transform_tree
+from repro.trees.transform import VirtualTree
 from repro.trees.tree import Tree
 from repro.utils import as_index_array, check_in_range
 

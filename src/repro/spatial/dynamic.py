@@ -31,7 +31,6 @@ import numpy as np
 from repro.errors import ValidationError
 from repro.layout.embedding import TreeLayout
 from repro.layout.orders import light_first_order
-from repro.machine.machine import SpatialMachine
 from repro.spatial.layout_creation import create_light_first_layout
 from repro.trees.tree import Tree
 

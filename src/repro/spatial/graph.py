@@ -36,7 +36,7 @@ from repro.errors import ValidationError
 from repro.spatial.applications import lca_batch_balanced
 from repro.spatial.lca import lca_batch
 from repro.spatial.treefix import treefix_sum
-from repro.utils import as_index_array, check_in_range
+from repro.utils import check_in_range
 
 
 @dataclass(frozen=True)
@@ -122,7 +122,7 @@ def one_respecting_cuts(
             )
             # charge the balanced batch on our machine's ledger by proxy:
             # the split tree ran on its own machine; fold its bill in
-            st.machine.ledger.charge(
+            st.machine.charge_external(
                 _split_st.machine.energy, _split_st.machine.messages
             )
         else:

@@ -27,7 +27,7 @@ order), so non-commutative associative operators are safe.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

@@ -46,7 +46,7 @@ paper's "execute the steps as soon as possible" depth argument.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 

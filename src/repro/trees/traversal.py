@@ -8,8 +8,6 @@ sequential implementations.
 
 from __future__ import annotations
 
-from typing import Callable
-
 import numpy as np
 
 from repro.trees.tree import Tree

@@ -13,13 +13,12 @@ children ascending by vertex id for bottom-up, root-to-leaf for top-down).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
 from repro.errors import ValidationError
 from repro.trees.tree import Tree
-from repro.utils import check_same_length
 
 
 Op = Callable[[np.ndarray, np.ndarray], np.ndarray]

@@ -8,7 +8,7 @@ rather than surfacing deep inside a vectorized kernel.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 

@@ -4,8 +4,8 @@ caching behaviour, and a stateful property test of the register file."""
 import numpy as np
 import pytest
 from hypothesis import settings
-from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
 from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
 
 from repro.errors import MemoryBudgetError, ValidationError
 from repro.machine import RegisterFile, SpatialMachine, scatter

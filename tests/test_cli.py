@@ -216,6 +216,57 @@ class TestProfile:
             main(["profile", "fourier", "--out", "x"])
 
 
+class TestSanitize:
+    def test_sanitize_treefix_clean(self, capsys):
+        assert main(["sanitize", "treefix", "--n", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "no findings" in out
+        assert "policy=crew" in out
+
+    def test_sanitize_writes_findings_report(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "findings.json"
+        assert main(["sanitize", "lca", "--n", "128",
+                     "--out", str(out)]) == 0
+        report = json.loads(out.read_text())
+        assert report["schema"] == "repro.sanitize/v1"
+        assert report["clean"] is True
+        assert set(report["sanitizers"]) == {
+            "write-race", "determinism", "ghost-state"
+        }
+        assert report["meta"]["workload"] == "lca"
+
+    def test_sanitize_with_fuzzing(self, capsys):
+        assert main(["sanitize", "cuts", "--n", "128", "--fuzz"]) == 0
+        assert "fuzz=on" in capsys.readouterr().out
+
+    def test_sanitize_erew_policy_flags_builtin_workload(self, capsys):
+        # the builtin workloads are CREW-clean but a star is not EREW-clean:
+        # the hub legitimately feeds many children in a single bulk step
+        assert main(["sanitize", "treefix", "--tree", "star", "--n", "256",
+                     "--policy", "erew"]) == 1
+        assert "SAN-RACE-READ" in capsys.readouterr().out
+
+
+class TestLint:
+    def test_lint_src_is_clean(self, capsys):
+        assert main(["lint", "src"]) == 0
+        assert "no findings" in capsys.readouterr().out
+
+    def test_lint_list_rules(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        assert "REPRO001" in out and "REPRO009" in out
+
+    def test_lint_flags_fixture_and_exits_nonzero(self, tmp_path, capsys):
+        bad = tmp_path / "repro" / "spatial"
+        bad.mkdir(parents=True)
+        (bad / "fixture.py").write_text("print('lib code')\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        assert "REPRO007" in capsys.readouterr().out
+
+
 class TestErrors:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
@@ -228,3 +279,13 @@ class TestErrors:
     def test_bad_tree_kind_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["treefix", "--tree", "nope"])
+
+    def test_validation_error_is_clean_exit_2(self, capsys):
+        assert main(["treefix", "--n", "-5"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("repro: error:")
+        assert "Traceback" not in err
+
+    def test_machine_state_error_is_clean_exit_2(self, capsys):
+        assert main(["lint", "/nonexistent/nope.py"]) == 2
+        assert "repro: error:" in capsys.readouterr().err

@@ -14,7 +14,7 @@ from repro.spatial.expression import (
     evaluate_expression_sequential,
     random_expression,
 )
-from repro.trees import Tree, path_tree, prufer_random_tree, random_attachment_tree, star_tree
+from repro.trees import Tree, path_tree, random_attachment_tree, star_tree
 
 
 class TestSequentialReference:

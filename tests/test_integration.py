@@ -5,8 +5,8 @@ import numpy as np
 import pytest
 
 from repro import SpatialTree, create_light_first_layout
-from repro.layout import TreeLayout, is_light_first
-from repro.machine import SpatialMachine, attach_tracer
+from repro.layout import TreeLayout
+from repro.machine import attach_tracer
 from repro.spatial import lca_batch, treefix_sum
 from repro.spatial.treefix import top_down_treefix
 from repro.trees import (

@@ -1,0 +1,230 @@
+"""Tests for the model-discipline lint: framework behaviour (registry,
+noqa suppression, path scoping) plus one positive and one negative
+fixture per ``REPROxxx`` rule."""
+
+import pytest
+
+from repro.analysis.lint import (
+    LintRule,
+    active_rules,
+    format_findings,
+    lint_paths,
+    lint_source,
+    package_relpath,
+    rule,
+    rule_catalog,
+)
+from repro.errors import ValidationError
+
+
+def codes(source, path="repro/spatial/fixture.py"):
+    return [f.code for f in lint_source(source, path)]
+
+
+# --------------------------------------------------------------------- #
+# rule fixtures: (rule, path, flagged source, clean source)
+# --------------------------------------------------------------------- #
+
+FIXTURES = [
+    (
+        "REPRO001",
+        "repro/spatial/fixture.py",
+        "x = machine.registers._regs['tmp']\n",
+        "x = machine.registers['tmp']\n",
+    ),
+    (
+        "REPRO002",
+        "repro/spatial/fixture.py",
+        "def f(regs):\n    a = regs.alloc('a')\n    return a\n",
+        "def f(regs):\n    with regs.scope('a') as a:\n        return a + 0\n",
+    ),
+    (
+        "REPRO003",
+        "repro/spatial/fixture.py",
+        (
+            "def f(m, tree):\n"
+            "    for i in range(tree.n):\n"
+            "        m.send(i, tree.parent[i])\n"
+        ),
+        (
+            "def f(m, tree, src, dst):\n"
+            "    m.send(src, dst)\n"
+            "    for i in range(tree.n):\n"
+            "        total = i + 1\n"
+            "    return total\n"
+        ),
+    ),
+    (
+        "REPRO004",
+        "repro/spatial/fixture.py",
+        "import numpy as np\nx = np.random.permutation(10)\n",
+        (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)\n"
+            "x = rng.permutation(10)\n"
+        ),
+    ),
+    (
+        "REPRO005",
+        "repro/spatial/fixture.py",
+        "def f(m):\n    m.ledger.charge(10, 1)\n",
+        "def f(m):\n    m.charge_external(10, 1)\n",
+    ),
+    (
+        "REPRO006",
+        "repro/spatial/fixture.py",
+        "def f(m):\n    m.clock[:] = m.clock.max()\n",
+        "def f(m):\n    peak = m.clock.max()\n    return peak\n",
+    ),
+    (
+        "REPRO007",
+        "repro/spatial/fixture.py",
+        "def f(x):\n    print(x)\n",
+        "def f(x):\n    return f'value: {x}'\n",
+    ),
+    (
+        "REPRO008",
+        "repro/spatial/fixture.py",
+        "def f(arr):\n    arr.setflags(write=True)\n",
+        "def f(arr):\n    arr = arr.copy()\n    return arr\n",
+    ),
+    (
+        "REPRO009",
+        "repro/spatial/fixture.py",
+        "try:\n    x = 1\nexcept ValueError:\n    pass\n",
+        "try:\n    x = 1\nexcept ValueError as exc:\n    raise RuntimeError('bad') from exc\n",
+    ),
+]
+
+
+class TestRuleFixtures:
+    @pytest.mark.parametrize(
+        "code,path,flagged,clean",
+        FIXTURES,
+        ids=[f[0] for f in FIXTURES],
+    )
+    def test_positive_fixture_is_flagged(self, code, path, flagged, clean):
+        assert code in codes(flagged, path)
+
+    @pytest.mark.parametrize(
+        "code,path,flagged,clean",
+        FIXTURES,
+        ids=[f[0] for f in FIXTURES],
+    )
+    def test_negative_fixture_is_clean(self, code, path, flagged, clean):
+        assert code not in codes(clean, path)
+
+
+class TestPathScoping:
+    def test_repro001_allowed_inside_registers_module(self):
+        src = "x = self._regs['tmp']\n"
+        assert codes(src, "repro/machine/registers.py") == []
+        assert codes(src, "repro/machine/collectives.py") == ["REPRO001"]
+
+    def test_repro003_only_hot_packages(self):
+        src = (
+            "def f(m, n):\n"
+            "    for i in range(n):\n"
+            "        m.send(i, 0)\n"
+        )
+        assert "REPRO003" in codes(src, "repro/machine/fixture.py")
+        assert "REPRO003" not in codes(src, "repro/analysis/fixture.py")
+
+    def test_repro005_006_allowed_inside_machine(self):
+        src = "def f(m):\n    m.ledger.charge(1, 1)\n    m.clock[:] = 0\n"
+        assert codes(src, "repro/machine/collectives.py") == []
+
+    def test_repro007_allowed_in_cli(self):
+        src = "print('hello')\n"
+        assert codes(src, "repro/cli.py") == []
+        assert codes(src, "repro/__main__.py") == []
+
+    def test_package_relpath(self):
+        assert package_relpath("src/repro/spatial/x.py") == "spatial/x.py"
+        assert package_relpath("/abs/src/repro/machine/m.py") == "machine/m.py"
+        assert package_relpath("./fixture.py") == "fixture.py"
+
+
+class TestSuppression:
+    SRC = "def f(x):\n    print(x)  # repro: noqa[REPRO007]\n"
+
+    def test_targeted_noqa_suppresses(self):
+        assert codes(self.SRC) == []
+
+    def test_blanket_noqa_suppresses_everything(self):
+        src = "def f(m):\n    m.ledger.charge(1, 1); print(1)  # repro: noqa\n"
+        assert codes(src) == []
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        src = "def f(x):\n    print(x)  # repro: noqa[REPRO001]\n"
+        assert codes(src) == ["REPRO007"]
+
+    def test_noqa_only_covers_its_line(self):
+        src = (
+            "def f(x):\n"
+            "    print(x)  # repro: noqa[REPRO007]\n"
+            "    print(x)\n"
+        )
+        assert codes(src) == ["REPRO007"]
+
+
+class TestFramework:
+    def test_catalog_has_at_least_eight_rules(self):
+        rules = active_rules()
+        assert len(rules) >= 8
+        assert [r.code for r in rules] == sorted(r.code for r in rules)
+        for r in rules:
+            assert r.name and r.description
+
+    def test_rule_catalog_shape(self):
+        cat = rule_catalog()
+        assert {"code", "name", "description"} == set(cat[0])
+
+    def test_register_rejects_bad_code(self):
+        with pytest.raises(ValidationError):
+
+            @rule
+            class Bad(LintRule):
+                code = "XX1"
+                name = "bad"
+                description = "bad"
+
+    def test_register_rejects_duplicate_code(self):
+        with pytest.raises(ValidationError):
+
+            @rule
+            class Dup(LintRule):
+                code = "REPRO001"
+                name = "dup"
+                description = "dup"
+
+    def test_syntax_error_reported_as_repro000(self):
+        (f,) = lint_source("def f(:\n", "fixture.py")
+        assert f.code == "REPRO000"
+        assert "syntax error" in f.message
+
+    def test_findings_sorted_and_formatted(self):
+        src = "print(1)\nx = m._regs\n"
+        findings = lint_source(src, "repro/spatial/fixture.py")
+        assert [f.line for f in findings] == sorted(f.line for f in findings)
+        text = format_findings(findings)
+        assert "repro/spatial/fixture.py:1:1: REPRO007" in text
+        assert format_findings([]) == "no findings"
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        pkg = tmp_path / "repro" / "spatial"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("print('x')\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = lint_paths([str(tmp_path)])
+        assert [f.code for f in findings] == ["REPRO007"]
+
+    def test_lint_paths_missing_path_rejected(self):
+        with pytest.raises(ValidationError):
+            lint_paths(["/nonexistent/nope.py"])
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        findings = lint_paths(["src"])
+        assert findings == [], format_findings(findings)

@@ -1,0 +1,389 @@
+"""Tests for the runtime sanitizers: write-race detection under the
+EREW/CREW/CRCW policies, delivery-order determinism checking, ghost-state
+scanning, strict mode, and the findings report."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SanitizerError, ValidationError
+from repro.machine import SpatialMachine
+from repro.machine.sanitizer import (
+    DeterminismSanitizer,
+    Finding,
+    GhostStateSanitizer,
+    WriteRaceSanitizer,
+    check_determinism,
+    format_findings,
+    sanitize_findings_report,
+    save_findings_report,
+)
+
+
+def _machine(n=16):
+    return SpatialMachine(n)
+
+
+class TestWriteRace:
+    def test_injected_write_race_detected(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew"))
+        # two senders deliver different values to processor 3 in one step
+        m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]))
+        assert not san.clean
+        (f,) = san.findings
+        assert f.code == "SAN-RACE-WRITE"
+        assert f.details["dst"] == 3
+        assert f.details["writers"] == 2
+
+    def test_unique_destinations_are_clean(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew"))
+        m.send(np.array([0, 1, 2]), np.array([3, 4, 5]), np.array([1, 2, 3]))
+        assert san.clean
+
+    def test_declared_combiner_whitelists_reduce_step(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew"))
+        m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]),
+               combiner="sum")
+        assert san.clean
+
+    def test_unknown_combiner_is_a_finding(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew"))
+        m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]),
+               combiner="frobnicate")
+        codes = {f.code for f in san.findings}
+        assert "SAN-RACE-COMBINER" in codes
+
+    def test_erew_flags_concurrent_reads(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="erew"))
+        # one sender feeds two destinations: legal under crew, not erew
+        m.send(np.array([0, 0]), np.array([3, 4]), np.array([7, 7]))
+        codes = {f.code for f in san.findings}
+        assert "SAN-RACE-READ" in codes
+
+    def test_erew_flags_valueless_multi_delivery(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="erew"))
+        m.send(np.array([0, 1]), np.array([3, 3]))  # no payload
+        codes = {f.code for f in san.findings}
+        assert "SAN-RACE-DELIVERY" in codes
+
+    def test_crew_ignores_valueless_multi_delivery(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew"))
+        m.send(np.array([0, 1]), np.array([3, 3]))
+        assert san.clean
+
+    def test_crcw_accepts_common_writes(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crcw"))
+        m.send(np.array([0, 1]), np.array([3, 3]), np.array([5, 5]))
+        assert san.clean
+
+    def test_crcw_flags_conflicting_writes(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crcw"))
+        m.send(np.array([0, 1]), np.array([3, 3]), np.array([5, 6]))
+        (f,) = san.findings
+        assert f.code == "SAN-RACE-WRITE"
+        assert f.details["values"] == [5, 6]
+
+    def test_allow_phases_skips_step(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew",
+                                          allow_phases=("scatter",)))
+        with m.phase("scatter"):
+            m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]))
+        assert san.clean
+
+    def test_self_messages_never_race(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="erew"))
+        m.send(np.array([3, 3]), np.array([3, 3]), np.array([1, 2]))
+        assert san.clean  # local work emits no step
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValidationError):
+            WriteRaceSanitizer(policy="qrcw")
+
+
+class TestStrictMode:
+    def test_strict_sanitizer_raises_on_first_finding(self):
+        m = _machine()
+        m.attach(WriteRaceSanitizer(policy="crew", strict=True))
+        with pytest.raises(SanitizerError, match="SAN-RACE-WRITE"):
+            m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]))
+
+    def test_machine_strict_mode_attaches_sanitizers(self):
+        m = SpatialMachine(16, strict=True)
+        names = {s.name for s in m.sanitizers}
+        assert names == {"write-race", "determinism"}
+        with pytest.raises(SanitizerError):
+            m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]))
+
+    def test_machine_strict_policy_string(self):
+        m = SpatialMachine(16, strict="erew")
+        race = next(s for s in m.sanitizers if s.name == "write-race")
+        assert race.policy == "erew"
+        with pytest.raises(SanitizerError):
+            m.send(np.array([0, 0]), np.array([3, 4]))
+
+    def test_strict_clean_run_passes(self):
+        m = SpatialMachine(16, strict=True)
+        got = m.send(np.array([0, 1]), np.array([3, 4]), np.array([1, 2]))
+        assert np.array_equal(got, [1, 2])
+
+
+class TestDeterminism:
+    def test_clean_on_ordinary_steps(self):
+        m = _machine(64)
+        san = m.attach(DeterminismSanitizer(trials=4))
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            src = rng.integers(0, 64, size=32)
+            dst = rng.integers(0, 64, size=32)
+            m.send(src, dst)
+        assert san.clean
+
+    def test_legal_permutation_preserves_sender_program_order(self):
+        san = DeterminismSanitizer(seed=7)
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            src = rng.integers(0, 8, size=40)
+            perm = san._legal_permutation(src)
+            assert sorted(perm) == list(range(40))
+            for s in np.unique(src):
+                where = np.flatnonzero(src[perm] == s)
+                # positions of sender s's messages, in output order, must
+                # carry its original message indices ascending
+                assert np.all(np.diff(perm[where]) > 0)
+
+    def test_survives_external_clock_adjustment(self):
+        from repro.machine.collectives import barrier
+
+        m = _machine(16)
+        san = m.attach(DeterminismSanitizer(trials=3))
+        m.send(np.array([0, 1]), np.array([5, 6]))
+        barrier(m)  # writes machine.clock wholesale
+        m.send(np.array([5, 6]), np.array([0, 1]))
+        assert san.clean
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ValidationError):
+            DeterminismSanitizer(trials=0)
+
+
+class TestGhostState:
+    def test_planted_ghost_array_detected(self):
+        class Algo:
+            pass
+
+        m = _machine(16)
+        algo = Algo()
+        san = m.attach(GhostStateSanitizer({"algo": algo}))
+        algo.stash = np.zeros(m.n)  # Θ(n) words outside the register file
+        findings = san.finish(m)
+        assert [f.code for f in findings] == ["SAN-GHOST-STATE"]
+        assert findings[0].details["path"] == "algo.stash"
+
+    def test_baseline_state_is_grandfathered(self):
+        class Algo:
+            pass
+
+        m = _machine(16)
+        algo = Algo()
+        algo.preexisting = np.zeros(m.n)
+        san = m.attach(GhostStateSanitizer({"algo": algo}))
+        assert san.finish(m) == []
+
+    def test_register_file_storage_is_not_ghost(self):
+        m = _machine(16)
+        holder = {"reg": None}
+        san = m.attach(GhostStateSanitizer({"h": holder}))
+        holder["reg"] = m.registers.alloc("tmp")
+        assert san.finish(m) == []
+        m.registers.free("tmp")
+
+    def test_allow_patterns_exempt_structure(self):
+        class Algo:
+            pass
+
+        m = _machine(16)
+        algo = Algo()
+        san = m.attach(GhostStateSanitizer({"algo": algo},
+                                           allow=("*.cache",)))
+        algo.cache = np.zeros(m.n)
+        algo.stash = np.zeros(m.n)
+        findings = san.finish(m)
+        assert [f.details["path"] for f in findings] == ["algo.stash"]
+
+    def test_non_n_arrays_ignored(self):
+        class Algo:
+            pass
+
+        m = _machine(16)
+        algo = Algo()
+        san = m.attach(GhostStateSanitizer({"algo": algo}))
+        algo.small = np.zeros(3)  # O(1)-ish scratch, not per-processor
+        assert san.finish(m) == []
+
+    def test_phase_exit_rescans(self):
+        class Algo:
+            pass
+
+        m = _machine(16)
+        algo = Algo()
+        san = m.attach(GhostStateSanitizer({"algo": algo}))
+        with m.phase("up"):
+            algo.stash = np.zeros(m.n)
+        assert not san.clean
+        assert san.findings[0].phases == ("up",)
+
+
+class TestDeliveryFuzzing:
+    def test_permute_delivery_shuffles_within_destination_groups(self):
+        m = SpatialMachine(16, permute_delivery=3)
+        src = np.array([0, 1, 2, 4, 5])
+        dst = np.array([3, 3, 3, 6, 6])
+        vals = np.array([10, 20, 30, 40, 50])
+        # try several sends: each destination keeps its own value multiset
+        seen_orders = set()
+        for _ in range(10):
+            got = m.send(src, dst, vals)
+            assert sorted(got[:3]) == [10, 20, 30]
+            assert sorted(got[3:]) == [40, 50]
+            seen_orders.add(tuple(got))
+        assert len(seen_orders) > 1  # the order actually varies
+
+    def test_check_determinism_passes_order_independent_algorithm(self):
+        def build(permute):
+            return SpatialMachine(16, permute_delivery=permute)
+
+        def run(m):
+            src = np.array([0, 1, 2])
+            dst = np.array([3, 3, 3])
+            got = m.send(src, dst, np.array([4, 5, 6]))
+            out = np.zeros(m.n, dtype=np.int64)
+            np.add.at(out, dst, got)  # commutative reduce: order-free
+            return out
+
+        assert check_determinism(build, run, trials=3) == []
+
+    def test_check_determinism_catches_last_writer_wins(self):
+        def build(permute):
+            return SpatialMachine(16, permute_delivery=permute)
+
+        def run(m):
+            src = np.array([0, 1, 2])
+            dst = np.array([3, 3, 3])
+            got = m.send(src, dst, np.array([4, 5, 6]))
+            out = np.zeros(m.n, dtype=np.int64)
+            out[dst] = got  # last writer wins: delivery-order dependent
+            return out
+
+        findings = check_determinism(build, run, trials=4)
+        assert findings
+        assert {f.code for f in findings} == {"SAN-DET-RESULT"}
+
+
+class TestWorkloadsClean:
+    """The paper's algorithms must run clean under every sanitizer."""
+
+    @pytest.mark.parametrize("mode", ["direct", "virtual"])
+    def test_treefix_clean(self, mode):
+        from repro.spatial import SpatialTree, treefix_sum
+        from repro.trees import prufer_random_tree
+
+        tree = prufer_random_tree(128, seed=3)
+        st = SpatialTree.build(tree, mode=mode)
+        sans = [
+            st.machine.attach(WriteRaceSanitizer(policy="crew")),
+            st.machine.attach(DeterminismSanitizer()),
+            st.machine.attach(GhostStateSanitizer({"workload": st})),
+        ]
+        treefix_sum(st, np.arange(tree.n), seed=3)
+        assert all(s.finish(st.machine) == [] for s in sans)
+
+    def test_treefix_fuzzed_delivery_is_deterministic(self):
+        from repro.spatial import SpatialTree, treefix_sum
+        from repro.trees import prufer_random_tree
+
+        tree = prufer_random_tree(96, seed=5)
+        values = np.arange(tree.n)
+
+        def build(permute):
+            kwargs = {} if permute is None else {"permute_delivery": permute}
+            return SpatialTree.build(tree, **kwargs)
+
+        def run(st):
+            return treefix_sum(st, values, seed=5)
+
+        assert check_determinism(build, run, trials=2) == []
+
+    def test_lca_clean(self):
+        from repro.spatial import SpatialTree, lca_batch
+        from repro.trees import random_attachment_tree
+
+        tree = random_attachment_tree(128, seed=1)
+        st = SpatialTree.build(tree)
+        sans = [
+            st.machine.attach(WriteRaceSanitizer(policy="crew")),
+            st.machine.attach(DeterminismSanitizer()),
+        ]
+        us = np.arange(tree.n)
+        vs = np.roll(us, 1)
+        lca_batch(st, us, vs, seed=1)
+        assert all(s.clean for s in sans)
+
+
+class TestFindingsReport:
+    def _raced(self):
+        m = _machine()
+        san = m.attach(WriteRaceSanitizer(policy="crew"))
+        m.send(np.array([0, 1]), np.array([3, 3]), np.array([10, 20]))
+        return san
+
+    def test_report_schema_and_counts(self):
+        san = self._raced()
+        report = sanitize_findings_report(
+            [san], meta={"workload": "unit"}, policy="crew"
+        )
+        assert report["schema"] == "repro.sanitize/v1"
+        assert report["schema_version"] == 1
+        assert report["clean"] is False
+        assert report["sanitizers"] == {"write-race": 1}
+        assert report["meta"] == {"workload": "unit"}
+        (f,) = report["findings"]
+        assert f["code"] == "SAN-RACE-WRITE"
+
+    def test_clean_report(self):
+        report = sanitize_findings_report([WriteRaceSanitizer()])
+        assert report["clean"] is True
+        assert report["findings"] == []
+
+    def test_extra_findings_counted(self):
+        extra = Finding(sanitizer="determinism", code="SAN-DET-RESULT",
+                        message="x")
+        report = sanitize_findings_report([WriteRaceSanitizer()],
+                                          extra_findings=[extra])
+        assert report["clean"] is False
+
+    def test_save_and_reload(self, tmp_path):
+        import json
+
+        san = self._raced()
+        path = save_findings_report(
+            sanitize_findings_report([san]), tmp_path / "f.json"
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded["schema"] == "repro.sanitize/v1"
+        assert loaded["findings"][0]["details"]["dst"] == 3
+
+    def test_format_findings(self):
+        san = self._raced()
+        text = format_findings(san.findings)
+        assert "SAN-RACE-WRITE" in text
+        assert format_findings([]) == "no findings"

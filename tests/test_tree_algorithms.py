@@ -5,7 +5,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from tests.conftest import TREE_ZOO, brute_lca, brute_path_sum, brute_subtree_sum
+from tests.conftest import brute_lca, brute_path_sum, brute_subtree_sum
 
 from repro.trees import (
     BinaryLiftingLCA,
