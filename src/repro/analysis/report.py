@@ -73,6 +73,7 @@ class RunRecorder(Instrument):
             "depth_before": event.depth_before,
             "depth_after": event.depth_after,
             "max_distance": event.max_distance,
+            "rounds": event.n_rounds,
         }
         if self.histograms:
             row["distance_histogram"] = [int(c) for c in event.distance_histogram]
@@ -131,9 +132,16 @@ class RunReport:
         charges folded in from another machine).
         """
         ledger = machine.ledger
+        # sorted, not insertion order: two engines (or two refactors of one
+        # algorithm) may enter phases in different orders, and report diffs
+        # must not depend on dict-insertion history
         phases = {
-            name: {"energy": p.energy, "messages": p.messages, "depth": p.depth}
-            for name, p in ledger.phases.items()
+            name: {
+                "energy": ledger.phases[name].energy,
+                "messages": ledger.phases[name].messages,
+                "depth": ledger.phases[name].depth,
+            }
+            for name in sorted(ledger.phases)
         }
         data = {
             "schema": SCHEMA,

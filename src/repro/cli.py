@@ -95,6 +95,12 @@ def _add_tree_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--curve", default="hilbert", choices=available_curves())
 
 
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--engine", default="scalar", choices=["scalar", "batched"],
+                   help="bulk-messaging engine: per-round scalar reference or "
+                        "vectorized batched path (identical accounting)")
+
+
 def _add_output_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--report", metavar="PATH", default=None,
                    help="write a schema-versioned run report (JSON; .jsonl streams steps)")
@@ -194,19 +200,20 @@ def cmd_treefix(args) -> int:
     tree = _make_tree(args.tree, args.n, args.seed)
     rng = np.random.default_rng(args.seed)
     values = rng.integers(0, 100, size=tree.n)
-    st = SpatialTree.build(tree, curve=args.curve, mode=args.mode)
+    st = SpatialTree.build(tree, curve=args.curve, mode=args.mode, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
     out = treefix_sum(st, values, seed=args.seed)
     ok = np.array_equal(out, bottom_up_treefix(tree, values))
     snap = st.snapshot()
-    print(f"tree={args.tree} n={tree.n} Δ={tree.max_degree} mode={st.mode}")
+    print(f"tree={args.tree} n={tree.n} Δ={tree.max_degree} mode={st.mode} "
+          f"engine={st.machine.engine}")
     print(f"verified against sequential reference: {'OK' if ok else 'MISMATCH'}")
     print(f"energy {snap['energy']:,}  (= {snap['energy'] / (tree.n * max(1, np.log2(tree.n))):.2f}"
           f"·n·log2 n)   depth {snap['depth']:,}   messages {snap['messages']:,}")
     _write_outputs(
         args, st.machine, recorder,
         meta={"command": "treefix", "tree": args.tree, "mode": st.mode,
-              "seed": args.seed, "verified": bool(ok)},
+              "engine": st.machine.engine, "seed": args.seed, "verified": bool(ok)},
     )
     return 0 if ok else 1
 
@@ -375,9 +382,9 @@ def cmd_profile(args) -> int:
     from repro.machine.profiler import SpatialProfiler
     from repro.machine.tracing import attach_tracer
 
-    st, run, meta = PROFILE_WORKLOADS[args.workload](args)
+    st, run, meta = PROFILE_WORKLOADS[args.workload](args, engine=args.engine)
     machine = st.machine
-    meta = {"command": "profile", **meta}
+    meta = {"command": "profile", "engine": machine.engine, **meta}
     profiler = machine.attach(
         SpatialProfiler(window=args.window, max_windows=args.max_windows)
     )
@@ -416,9 +423,9 @@ def cmd_sanitize(args) -> int:
         save_findings_report,
     )
 
-    st, run, meta = PROFILE_WORKLOADS[args.workload](args)
+    st, run, meta = PROFILE_WORKLOADS[args.workload](args, engine=args.engine)
     machine = st.machine
-    meta = {"command": "sanitize", **meta}
+    meta = {"command": "sanitize", "engine": machine.engine, **meta}
     recorder = _attach_telemetry(machine, args)
     sanitizers = [
         machine.attach(WriteRaceSanitizer(policy=args.policy)),
@@ -435,7 +442,7 @@ def cmd_sanitize(args) -> int:
 
         def build(permute):
             _, run_i, _ = PROFILE_WORKLOADS[args.workload](
-                args, permute_delivery=permute
+                args, permute_delivery=permute, engine=args.engine
             )
             return run_i
 
@@ -550,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("treefix", help="run the §V treefix sum")
     _add_tree_args(p)
     p.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"])
+    _add_engine_arg(p)
     _add_output_args(p)
     p.set_defaults(fn=cmd_treefix)
 
@@ -600,6 +608,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, help="hotspot table size")
     p.add_argument("--no-step-histograms", action="store_true",
                    help="drop per-step distance histograms from report.json")
+    _add_engine_arg(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
@@ -626,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="delivery-order fuzz re-runs (default 2)")
     p.add_argument("--out", metavar="PATH", default=None,
                    help="write the schema-versioned findings report (JSON)")
+    _add_engine_arg(p)
     _add_output_args(p)
     p.set_defaults(fn=cmd_sanitize)
 

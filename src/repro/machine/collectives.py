@@ -50,7 +50,7 @@ def _upsweep(machine: SpatialMachine, acc: np.ndarray, op: Op) -> None:
             break
         src = starts + half - 1          # right edge of the (full) left half
         dst = np.minimum(starts + b - 1, n - 1)  # surrogate right edge
-        machine.send(src, dst, acc[src])
+        machine.send_batch(src, dst, acc[src])
         acc[dst] = op(acc[src], acc[dst])
         half = b
 
@@ -64,7 +64,7 @@ def reduce(machine: SpatialMachine, values: np.ndarray, *, op: Op = np.add, root
     _upsweep(machine, acc, op)
     total = acc[machine.n - 1]
     if root != machine.n - 1:
-        machine.send(machine.n - 1, root, total)
+        machine.send_batch(machine.n - 1, root, total)
     return total
 
 
@@ -81,7 +81,7 @@ def broadcast(machine: SpatialMachine, value: int | np.generic, *, root: int = 0
     if n == 1:
         return out
     if root != n - 1:
-        machine.send(root, n - 1, value)
+        machine.send_batch(root, n - 1, value)
     # Downsweep of the reduce tree: each surrogate right edge forwards the
     # value to the right edge of its block's left half. Level k moves
     # n / 2^k messages of curve gap <= 2^k, i.e. O(sqrt(2^k)) grid distance,
@@ -95,7 +95,7 @@ def broadcast(machine: SpatialMachine, value: int | np.generic, *, root: int = 0
         if len(starts):
             left = starts + half - 1
             right = np.minimum(starts + b - 1, n - 1)
-            machine.send(right, left, out[right])
+            machine.send_batch(right, left, out[right])
         half //= 2
     return out
 
@@ -135,9 +135,14 @@ def exclusive_scan(machine: SpatialMachine, values: np.ndarray, *, op: Op = np.a
             left = starts + half - 1
             right = np.minimum(starts + b - 1, n - 1)
             # swap-and-combine: left gets the block prefix, right gets
-            # block-prefix ⊕ left-half-sum
-            machine.send(right, left, acc[right])
-            machine.send(left, right, acc[left])
+            # block-prefix ⊕ left-half-sum (two dependency rounds, batched)
+            k = len(starts)
+            machine.send_batch(
+                np.concatenate([right, left]),
+                np.concatenate([left, right]),
+                np.concatenate([acc[right], acc[left]]),
+                rounds=np.array([0, k, 2 * k]),
+            )
             block_prefix = acc[right].copy()
             left_sum = acc[left].copy()
             acc[left] = block_prefix

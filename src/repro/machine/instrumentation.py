@@ -73,6 +73,14 @@ class StepEvent:
     combiner:
         Combiner tag declared by the call site for multi-delivery reduce
         steps (e.g. ``"sum"``), or ``None``. Accounting-neutral metadata.
+    rounds:
+        ``None`` for ordinary (single-round) sends. For aggregated events
+        from the batched engine (:meth:`SpatialMachine.send_batch` under
+        ``engine="batched"``): CSR-style offsets ``[0, ..., messages]``
+        partitioning ``src``/``dst``/``distances``/``payload`` into the
+        batch's sequential dependency rounds. Round ``r`` is the slice
+        ``rounds[r]:rounds[r+1]``; the scalar engine would have charged it
+        as its own step with index ``step + r``. Read-only view.
     """
 
     step: int
@@ -90,11 +98,17 @@ class StepEvent:
     metric: str
     payload: np.ndarray | None = None
     combiner: str | None = None
+    rounds: np.ndarray | None = None
 
     @property
     def max_distance(self) -> int:
         """Longest single message in this step."""
         return int(len(self.distance_histogram)) - 1 if len(self.distance_histogram) else 0
+
+    @property
+    def n_rounds(self) -> int:
+        """Dependency rounds covered by this event (1 for ordinary sends)."""
+        return 1 if self.rounds is None else int(len(self.rounds)) - 1
 
 
 class Instrument:

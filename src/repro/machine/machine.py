@@ -102,6 +102,236 @@ def advance_clocks(clock: np.ndarray, src: np.ndarray, dst: np.ndarray) -> Clock
     )
 
 
+@dataclass(frozen=True)
+class BatchClockAdvance:
+    """Result of a multi-round batched clock update (:func:`advance_clocks_batch`)."""
+
+    rounds: int
+    max_clock: int
+
+
+def _advance_round(
+    clock: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    scratch: np.ndarray,
+    ar: np.ndarray,
+) -> int:
+    """Advance clocks for one dependency round of remote messages, in place.
+
+    Computes exactly what :func:`advance_clocks` computes (same integer
+    recurrences, hence bit-identical clock state) but takes O(k) fast paths
+    when the round's senders and/or receivers are pairwise distinct — the
+    overwhelmingly common case for the tree and list kernels. Distinctness
+    is detected with a last-write-wins stamp into ``scratch``: after
+    ``scratch[ids] = ar``, every id is distinct iff each position reads back
+    its own stamp. Only entries written in this call are read back, so stale
+    scratch contents (from earlier rounds or batches) are harmless.
+
+    ``ar`` must be ``np.arange(len(src))`` (callers pass a slice of a cached
+    buffer). Returns the max clock among the endpoints touched this round.
+    """
+    k = len(src)
+    scratch[src] = ar
+    if np.array_equal(scratch[src], ar):
+        # distinct senders: every message is its sender's only send
+        chain = clock[src] + 1
+        clock[src] = chain
+        fast_send = True
+    else:
+        # try the pairwise path: each sender sends at most twice (the
+        # degree-≤4 virtual tree's relay rounds). First-write-wins stamping
+        # yields each message's first-occurrence position; occurrence
+        # indices are then 0/1, valid iff the later occurrences are
+        # themselves distinct.
+        scratch[src[::-1]] = ar[::-1]
+        occ = scratch[src] != ar
+        later = src[occ]
+        scratch[later] = ar[occ]
+        if np.array_equal(scratch[later], ar[occ]):
+            chain = clock[src] + occ + 1
+            clock[src[~occ]] += 1
+            clock[later] += 1
+            # a sender's final clock equals the chain of its last message,
+            # so chain.max() covers the senders (as in the distinct case)
+            fast_send = True
+        else:
+            # reference send recurrence (occurrence index per sender)
+            order = np.argsort(src, kind="stable")
+            sorted_src = src[order]
+            boundaries = np.flatnonzero(np.diff(sorted_src)) + 1
+            group_starts = np.concatenate([[0], boundaries])
+            group_lens = np.diff(np.concatenate([group_starts, [k]]))
+            occ_sorted = ar - np.repeat(group_starts, group_lens)
+            occ_full = np.empty(k, dtype=np.int64)
+            occ_full[order] = occ_sorted
+            chain = clock[src] + occ_full + 1
+            clock[sorted_src[group_starts]] += group_lens
+            fast_send = False
+    scratch[dst] = ar
+    if np.array_equal(scratch[dst], ar):
+        # distinct receivers: each receives exactly one message
+        upd = np.maximum(clock[dst] + 1, chain)
+        clock[dst] = upd
+        dst_max = int(upd.max())
+    else:
+        scratch[dst[::-1]] = ar[::-1]
+        firstpos = scratch[dst]  # first-occurrence position per message
+        docc = firstpos != ar
+        dlater = dst[docc]
+        scratch[dlater] = ar[docc]
+        if np.array_equal(scratch[dlater], ar[docc]):
+            # each receiver gets at most two messages: serialize the pair
+            # by chain order — arrivals max(c_min+1, c_max) on top of the
+            # two mandatory receive slots
+            pair_first = firstpos[docc]
+            c2 = chain[docc]
+            c1 = chain[pair_first]
+            gmax = np.maximum(np.minimum(c1, c2) + 1, np.maximum(c1, c2))
+            upd2 = np.maximum(clock[dlater] + 2, gmax)
+            clock[dlater] = upd2
+            single = ~docc
+            single[pair_first] = False
+            sd = dst[single]
+            dst_max = int(upd2.max())
+            if len(sd):
+                upd1 = np.maximum(clock[sd] + 1, chain[single])
+                clock[sd] = upd1
+                dst_max = max(dst_max, int(upd1.max()))
+        else:
+            # reference receive recurrence (serialized arrival processing)
+            rorder = np.lexsort((chain, dst))
+            rd_s = dst[rorder]
+            m_s = chain[rorder]
+            rb = np.flatnonzero(np.diff(rd_s)) + 1
+            rstarts = np.concatenate([[0], rb])
+            rlens = np.diff(np.concatenate([rstarts, [k]]))
+            pos_in_group = ar - np.repeat(rstarts, rlens)
+            remaining = np.repeat(rlens, rlens) - 1 - pos_in_group
+            vals_adj = m_s + remaining
+            group_max = np.maximum.reduceat(vals_adj, rstarts)
+            dst_unique = rd_s[rstarts]
+            clock[dst_unique] = np.maximum(clock[dst_unique] + rlens, group_max)
+            dst_max = int(clock[dst_unique].max())
+    if fast_send:
+        # receives only raise entries also present in dst (covered by
+        # dst_max); chain covers the senders untouched by receives
+        return max(int(chain.max()), dst_max)
+    return max(int(clock[src].max()), dst_max)
+
+
+#: Rounds at or below this size take the pure-Python `_advance_round_small`
+#: path — numpy's per-call overhead (~20 vector ops) dominates tiny rounds.
+_SMALL_ROUND = 16
+
+
+def _advance_round_small(clock: np.ndarray, src: np.ndarray, dst: np.ndarray) -> int:
+    """Replay of the :func:`_advance_round` recurrences for tiny rounds.
+
+    Bit-identical to the vectorized path (same integer recurrences per
+    sender-occurrence and per sorted receive group) but runs in plain
+    Python, which is faster below roughly 20 messages.
+    """
+    occ_count: dict[int, int] = {}
+    chain: list[int] = []
+    for s in src.tolist():
+        o = occ_count.get(s, 0)
+        occ_count[s] = o + 1
+        chain.append(int(clock[s]) + o + 1)
+    for s, c in occ_count.items():
+        clock[s] += c
+    groups: dict[int, list[int]] = {}
+    for d, m in zip(dst.tolist(), chain):
+        groups.setdefault(d, []).append(m)
+    dst_max = 0
+    for d, ms in groups.items():
+        ms.sort()
+        last = len(ms) - 1
+        gmax = max(m + last - j for j, m in enumerate(ms))
+        upd = max(int(clock[d]) + len(ms), gmax)
+        clock[d] = upd
+        if upd > dst_max:
+            dst_max = upd
+    smax = max(int(clock[s]) for s in occ_count)
+    return max(smax, dst_max)
+
+
+def _advance_round_exclusive(
+    clock: np.ndarray, src: np.ndarray, dst: np.ndarray
+) -> int:
+    """:func:`_advance_round` when senders and receivers are each pairwise
+    distinct — the statically-known EREW shape of cached plan rounds and
+    the treefix frontier hops. Same recurrences, no distinctness probing.
+    """
+    chain = clock[src] + 1
+    clock[src] = chain
+    upd = np.maximum(clock[dst] + 1, chain)
+    clock[dst] = upd
+    return max(int(chain.max()), int(upd.max()))
+
+
+def _advance_round_occ(
+    clock: np.ndarray, src: np.ndarray, dst: np.ndarray, occ: np.ndarray
+) -> int:
+    """:func:`_advance_round` when receivers are pairwise distinct and the
+    senders' occurrence indices (0/1, multiplicity at most two) are known
+    statically — the virtual broadcast plan's relay rounds, where a sender
+    forwards to at most its two appended children. Same recurrences.
+    """
+    chain = clock[src] + occ + 1
+    first = occ == 0
+    clock[src[first]] += 1  # collision-free: first occurrences are distinct
+    clock[src[~first]] += 1
+    upd = np.maximum(clock[dst] + 1, chain)
+    clock[dst] = upd
+    # a sender's final clock equals the chain of its last message
+    return max(int(chain.max()), int(upd.max()))
+
+
+def advance_clocks_batch(
+    clock: np.ndarray,
+    src: np.ndarray,
+    dst: np.ndarray,
+    offsets: np.ndarray,
+    scratch: np.ndarray,
+    ar: np.ndarray,
+    *,
+    exclusive: bool = False,
+    src_occ: np.ndarray | None = None,
+) -> BatchClockAdvance:
+    """Advance clocks for a batch of dependency rounds, in place.
+
+    ``offsets`` are CSR-style round boundaries ``[0, ..., len(src)]``:
+    messages ``offsets[r]:offsets[r+1]`` form round ``r``, and round
+    ``r+1``'s chains are computed against the clock state left by round
+    ``r`` — exactly as if each round were its own :meth:`SpatialMachine.send`
+    call. ``scratch`` is an n-sized int64 work array; ``ar`` must cover
+    ``np.arange`` of the largest round (see :func:`_advance_round`).
+    ``exclusive`` asserts every round is EREW (distinct senders, distinct
+    receivers); ``src_occ`` instead asserts distinct receivers plus known
+    sender occurrence indices (multiplicity ≤ 2) — both caller-trusted
+    static properties of cached message plans.
+    """
+    max_clock = 0
+    rounds = 0
+    for i in range(len(offsets) - 1):
+        a, b = int(offsets[i]), int(offsets[i + 1])
+        if b <= a:
+            continue
+        rounds += 1
+        if b - a <= _SMALL_ROUND:
+            m = _advance_round_small(clock, src[a:b], dst[a:b])
+        elif exclusive:
+            m = _advance_round_exclusive(clock, src[a:b], dst[a:b])
+        elif src_occ is not None:
+            m = _advance_round_occ(clock, src[a:b], dst[a:b], src_occ[a:b])
+        else:
+            m = _advance_round(clock, src[a:b], dst[a:b], scratch, ar[: b - a])
+        if m > max_clock:
+            max_clock = m
+    return BatchClockAdvance(rounds=rounds, max_clock=max_clock)
+
+
 class SpatialMachine:
     """A √n×√n-style grid of constant-memory processors with cost accounting.
 
@@ -141,6 +371,17 @@ class SpatialMachine:
         spatial machine exhibits. Algorithms whose results change under
         this permutation depend on simulator delivery order (see
         :func:`repro.machine.sanitizer.check_determinism`).
+    engine:
+        Bulk-messaging engine behind :meth:`send_batch`. ``"scalar"``
+        (default) replays each dependency round through :meth:`send` — the
+        reference path, whose accounting is definitionally correct.
+        ``"batched"`` runs a vectorized path that validates once, charges
+        energy once, advances clocks with O(k) fast-path kernels and emits a
+        *single* aggregated :class:`StepEvent` per batch. Both engines
+        produce identical results, ledger totals, depth clocks and step
+        counts (pinned by the differential suite in
+        ``tests/test_engine_equivalence.py``); only the granularity of the
+        event stream differs.
     """
 
     def __init__(
@@ -153,12 +394,18 @@ class SpatialMachine:
         metric: str = "manhattan",
         strict: bool | str = False,
         permute_delivery: int | None = None,
+        engine: str = "scalar",
     ) -> None:
         if n < 1:
             raise ValidationError(f"machine needs n >= 1 processors, got {n}")
         if metric not in ("manhattan", "chebyshev"):
             raise ValidationError(f"metric must be manhattan|chebyshev, got {metric!r}")
+        if engine not in ("scalar", "batched"):
+            raise ValidationError(f"engine must be scalar|batched, got {engine!r}")
         self.metric = metric
+        self.engine = engine
+        self._uniq_scratch: np.ndarray | None = None
+        self._arange_buf: np.ndarray | None = None
         self.n = int(n)
         self.curve = resolve_curve(curve)
         self.side = self.curve.validate_side(side) if side else self.curve.min_side(n)
@@ -415,6 +662,270 @@ class SpatialMachine:
         rnd = np.lexsort((self._delivery_rng.random(len(rd)), rd))
         vals[ridx[det]] = np.asarray(np.atleast_1d(values))[ridx[rnd]]
         return vals
+
+    # -- batched messaging --------------------------------------------- #
+
+    def send_batch(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        values: np.ndarray | None = None,
+        *,
+        rounds: np.ndarray | list[int] | None = None,
+        combiner: str | None = None,
+        dist: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Deliver a batch of messages spanning one or more dependency rounds.
+
+        ``src``/``dst``/``values`` are laid out exactly as for :meth:`send`.
+        ``rounds`` (optional) is a CSR-style offset array ``[0, ..., k]``
+        partitioning the batch into *sequential* dependency rounds: round
+        ``r`` is the slice ``rounds[r]:rounds[r+1]``, and round ``r+1``
+        depends on round ``r`` (its chains are computed against the clocks
+        round ``r`` left behind). Omitting ``rounds`` means one round — the
+        whole batch is concurrent. Empty rounds are legal and free.
+
+        ``dist`` (optional) is the caller-precomputed per-message distance
+        under this machine's metric, aligned with ``src``/``dst``. It is a
+        pure wall-clock optimization for callers that replay cached message
+        plans (the kernels in :mod:`repro.spatial.batched_messaging`): the
+        batched engine charges the given distances instead of recomputing
+        them, the scalar engine ignores it. Callers are trusted to pass
+        ``self.manhattan(src, dst)`` exactly — anything else corrupts the
+        energy ledger.
+
+        The accounting contract is engine-independent: ``send_batch`` is
+        *defined* as performing one :meth:`send` per non-empty round, in
+        order. Under ``engine="scalar"`` that is literally what runs. Under
+        ``engine="batched"`` a vectorized path produces the same ledger
+        totals, clock state and step count while emitting a single
+        aggregated :class:`StepEvent` (with its ``rounds`` field set)
+        instead of one event per round — so instruments see batches without
+        per-round Python callbacks.
+
+        Returns the payload (permuted within per-round same-destination
+        groups under delivery fuzzing), or ``None`` for valueless sends.
+        """
+        src = as_index_array(np.atleast_1d(src), name="src")
+        dst = as_index_array(np.atleast_1d(dst), name="dst")
+        if src.shape != dst.shape:
+            raise MachineStateError(
+                f"send endpoints must align: {src.shape} vs {dst.shape}"
+            )
+        k = len(src)
+        if rounds is None:
+            offsets = np.array([0, k], dtype=np.int64)
+        else:
+            offsets = np.asarray(rounds, dtype=np.int64)
+            if (
+                offsets.ndim != 1
+                or len(offsets) < 2
+                or offsets[0] != 0
+                or offsets[-1] != k
+                or bool(np.any(np.diff(offsets) < 0))
+            ):
+                raise MachineStateError(
+                    f"rounds must be monotone offsets [0, ..., {k}], got {rounds!r}"
+                )
+        if dist is not None and len(dist) != k:
+            raise MachineStateError("dist length must match endpoint count")
+        if self.engine == "batched":
+            check_in_range(src, 0, self.n, name="src")
+            check_in_range(dst, 0, self.n, name="dst")
+            return self._send_batched(src, dst, values, offsets, combiner, dist)
+        # scalar reference path: one send() per non-empty round
+        if values is None:
+            for i in range(len(offsets) - 1):
+                a, b = int(offsets[i]), int(offsets[i + 1])
+                if b > a:
+                    self.send(src[a:b], dst[a:b], None, combiner=combiner)
+            return None
+        vals = np.atleast_1d(np.asarray(values))
+        if len(vals) != k:
+            raise MachineStateError("payload length must match endpoint count")
+        if len(offsets) == 2:
+            return self.send(src, dst, vals, combiner=combiner)
+        out = np.array(vals, copy=True)
+        for i in range(len(offsets) - 1):
+            a, b = int(offsets[i]), int(offsets[i + 1])
+            if b > a:
+                out[a:b] = self.send(src[a:b], dst[a:b], vals[a:b], combiner=combiner)
+        return out
+
+    def send_plan(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        values: np.ndarray | None = None,
+        *,
+        rounds: np.ndarray,
+        dist: np.ndarray | None = None,
+        combiner: str | None = None,
+        exclusive: bool = False,
+        src_occ: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Trusted replay of a cached, pre-validated message plan.
+
+        Identical accounting to :meth:`send_batch`, but skips the per-call
+        endpoint validation: callers (the plan caches in
+        :mod:`repro.spatial.batched_messaging` and the treefix frontier
+        hops) guarantee ``src``/``dst`` are aligned int64 processor ids in
+        range with ``src[i] != dst[i]`` everywhere, and ``rounds`` is a
+        monotone CSR offset array ``[0, ..., len(src)]``. ``exclusive``
+        additionally asserts each round is EREW — distinct senders and
+        distinct receivers — letting the clock kernel skip its distinctness
+        probes (direct-mode rank rounds and virtual reduce segments are
+        EREW by construction). ``src_occ`` is the weaker static hint for
+        rounds with distinct receivers but sender multiplicity up to 2:
+        per-message sender occurrence indices (0 for a sender's first
+        message of its round, 1 for its second), as the virtual broadcast
+        relay produces. Under the scalar engine this falls back to the
+        validated :meth:`send_batch` path.
+        """
+        if self.engine != "batched":
+            return self.send_batch(
+                src, dst, values, rounds=rounds, combiner=combiner, dist=dist
+            )
+        return self._send_batched(
+            src, dst, values, rounds, combiner, dist,
+            all_remote=True, exclusive=exclusive, src_occ=src_occ,
+        )
+
+    def _send_batched(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        values: np.ndarray | None,
+        offsets: np.ndarray,
+        combiner: str | None,
+        dist: np.ndarray | None = None,
+        *,
+        all_remote: bool = False,
+        exclusive: bool = False,
+        src_occ: np.ndarray | None = None,
+    ) -> np.ndarray | None:
+        """Vectorized engine behind :meth:`send_batch` (``engine="batched"``).
+
+        ``all_remote=True`` (the :meth:`send_plan` contract) asserts every
+        message has distinct endpoints, skipping the self-message scan;
+        ``exclusive=True`` asserts each round is EREW, and ``src_occ``
+        asserts distinct receivers plus sender occurrence indices (see
+        :func:`advance_clocks_batch`). ``src_occ`` requires
+        ``all_remote=True`` — it is aligned to the unfiltered batch.
+        """
+        vals: np.ndarray | None = None
+        if values is not None:
+            vals = np.atleast_1d(np.asarray(values))
+            if len(vals) != len(src):
+                raise MachineStateError("payload length must match endpoint count")
+        if all_remote:
+            remote = None
+            n_remote = len(src)
+            rs, rd = src, dst
+            roffsets = offsets
+        else:
+            remote = src != dst
+            n_remote = int(np.count_nonzero(remote))
+            if n_remote == 0:
+                return values
+            if n_remote == len(src):
+                rs, rd = src, dst
+                roffsets = offsets
+            else:
+                rs, rd = src[remote], dst[remote]
+                keep = np.concatenate([[0], np.cumsum(remote, dtype=np.int64)])
+                roffsets = keep[offsets]
+                if dist is not None:
+                    dist = dist[remote]
+        nonempty = np.diff(roffsets) > 0
+        if not nonempty.all():
+            roffsets = np.concatenate([roffsets[:1], roffsets[1:][nonempty]])
+        if dist is None:
+            dist = self.manhattan(rs, rd)
+        depth_before = self._max_clock
+        ar = self._arange(len(rs))
+        scratch = self._scratch()
+        adv = advance_clocks_batch(
+            self.clock, rs, rd, roffsets, scratch, ar,
+            exclusive=exclusive, src_occ=src_occ,
+        )
+        self._max_clock = max(self._max_clock, adv.max_clock)
+        instruments = self._instruments
+        if len(instruments) == 1 and instruments[0] is self._ledger_instrument:
+            # the always-attached ledger only reads energy/messages — skip
+            # the (histogram, distinct-count, frozen-view) event assembly
+            self._ledger_instrument.ledger.charge(int(dist.sum()), int(len(rs)))
+        elif instruments:
+            # freeze *views* — in the all-remote case rs/rd/dist/vals/roffsets
+            # can alias caller-owned arrays whose writeability must survive
+            ev_src, ev_dst, ev_off = rs.view(), rd.view(), roffsets.view()
+            ev_src.setflags(write=False)
+            ev_dst.setflags(write=False)
+            ev_off.setflags(write=False)
+            ev_dist = dist.view()
+            ev_dist.setflags(write=False)
+            histogram = np.bincount(dist)
+            histogram.setflags(write=False)
+            payload = None
+            if vals is not None:
+                payload = (vals[remote] if n_remote != len(src) else vals).view()
+                payload.setflags(write=False)
+            event = StepEvent(
+                step=self._step_index,
+                phases=tuple(self._phase_stack),
+                src=ev_src,
+                dst=ev_dst,
+                distances=ev_dist,
+                distance_histogram=histogram,
+                energy=int(dist.sum()),
+                messages=int(len(rs)),
+                src_count=self._distinct(rs, scratch, ar),
+                dst_count=self._distinct(rd, scratch, ar),
+                depth_before=depth_before,
+                depth_after=self._max_clock,
+                metric=self.metric,
+                payload=payload,
+                combiner=combiner,
+                rounds=ev_off,
+            )
+            self._emit("on_step", event)
+        self._step_index += adv.rounds
+        if self._delivery_rng is not None and vals is not None:
+            if remote is None:
+                remote = np.ones(len(src), dtype=bool)
+            out = np.array(vals, copy=True)
+            for i in range(len(offsets) - 1):
+                a, b = int(offsets[i]), int(offsets[i + 1])
+                if b <= a:
+                    continue
+                seg_remote = remote[a:b]
+                if seg_remote.any():
+                    out[a:b] = self._permute_delivery(dst[a:b], seg_remote, vals[a:b])
+            return out
+        return values
+
+    def _scratch(self) -> np.ndarray:
+        """Lazily-allocated n-sized int64 work array for the batched engine."""
+        scr = self._uniq_scratch
+        if scr is None:
+            scr = np.empty(self.n, dtype=np.int64)
+            self._uniq_scratch = scr
+        return scr
+
+    def _arange(self, k: int) -> np.ndarray:
+        """``np.arange(k)`` served from a grow-only cached buffer."""
+        buf = self._arange_buf
+        if buf is None or len(buf) < k:
+            buf = np.arange(max(k, 1024), dtype=np.int64)
+            self._arange_buf = buf
+        return buf[:k]
+
+    @staticmethod
+    def _distinct(ids: np.ndarray, scratch: np.ndarray, ar: np.ndarray) -> int:
+        """Number of distinct ids, via the last-write-wins stamp (O(k))."""
+        a = ar[: len(ids)]
+        scratch[ids] = a
+        return int(np.count_nonzero(scratch[ids] == a))
 
     def charge_external(self, energy: int, messages: int) -> None:
         """Fold a bill from outside this machine's event stream into the

@@ -179,12 +179,24 @@ class SpatialProfiler(Instrument):
         np.add.at(cells["energy_received"], cd, event.distances)
         np.add.at(cells["messages_sent"], cs, 1)
         np.add.at(cells["messages_received"], cd, 1)
-        # 1-port queueing: k sends (receives) in one bulk step serialize
-        # into k - 1 extra rounds at that cell
-        uc, counts = np.unique(cs, return_counts=True)
-        np.add.at(cells["queue_occupancy"], uc, counts - 1)
-        ud, counts = np.unique(cd, return_counts=True)
-        np.add.at(cells["queue_occupancy"], ud, counts - 1)
+        # 1-port queueing: k sends (receives) in one dependency round
+        # serialize into k - 1 extra rounds at that cell. An aggregated
+        # batch event spans several rounds; keying on (round, cell) makes
+        # the occupancy identical to what the per-round scalar engine
+        # would have recorded.
+        if event.rounds is not None and len(event.rounds) > 2:
+            offs = np.asarray(event.rounds)
+            ncell = self.side * self.side
+            rid = np.repeat(np.arange(len(offs) - 1, dtype=np.int64), np.diff(offs))
+            uc, counts = np.unique(rid * ncell + cs, return_counts=True)
+            np.add.at(cells["queue_occupancy"], uc % ncell, counts - 1)
+            ud, counts = np.unique(rid * ncell + cd, return_counts=True)
+            np.add.at(cells["queue_occupancy"], ud % ncell, counts - 1)
+        else:
+            uc, counts = np.unique(cs, return_counts=True)
+            np.add.at(cells["queue_occupancy"], uc, counts - 1)
+            ud, counts = np.unique(cd, return_counts=True)
+            np.add.at(cells["queue_occupancy"], ud, counts - 1)
         xs, ys = self._px[event.src], self._py[event.src]
         xd, yd = self._px[event.dst], self._py[event.dst]
         turns = (xs != xd) & (ys != yd)
@@ -196,7 +208,7 @@ class SpatialProfiler(Instrument):
             grown[: len(self.distance_histogram)] = self.distance_histogram
             self.distance_histogram = grown
         self.distance_histogram[: len(hist)] += hist
-        self.steps += 1
+        self.steps += event.n_rounds
         self.energy += event.energy
         self.messages += event.messages
         if self.links:
@@ -225,7 +237,7 @@ class SpatialProfiler(Instrument):
         y_hi = np.maximum(ys, yd)
         np.add.at(self._col_diff, (y_lo, xd), 1)
         np.add.at(self._col_diff, (y_hi, xd), -1)
-        self._win_steps += 1
+        self._win_steps += event.n_rounds
         self._win_energy += event.energy
         self._win_messages += event.messages
         self._win_depth_hi = event.depth_after

@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import fnmatch
 import json
-from collections.abc import Callable, Iterable, Iterator, Mapping
+from collections.abc import Callable, Iterable, Mapping
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -149,6 +149,15 @@ class WriteRaceSanitizer(SanitizerInstrument):
     Valueless sends (pure accounting; nothing is written) only constrain
     ``erew``. Steps whose innermost phase is listed in ``allow_phases``
     are skipped entirely.
+
+    Batched engine: an aggregated :class:`StepEvent` (``event.rounds`` set)
+    covers several dependency rounds, and the policies apply *per round* —
+    two deliveries to one destination in different rounds are sequential,
+    not racing. Detection runs as vectorized duplicate-grouping on the
+    composite ``(round, dst)`` (and ``(round, src)`` for EREW) keys; the
+    Python loop only runs over offending groups. Finding ``step`` numbers
+    are offset by the round index, so they match what the scalar engine
+    would have reported.
     """
 
     name = "write-race"
@@ -171,9 +180,10 @@ class WriteRaceSanitizer(SanitizerInstrument):
     def on_step(self, event: StepEvent) -> None:
         if self.allow_phases.intersection(event.phases):
             return
+        round_of = _round_ids(event)
         if self.policy == "erew":
-            self._check_exclusive_reads(event)
-        dup_mask, order, starts, lens = _dup_groups(event.dst)
+            self._check_exclusive_reads(event, round_of)
+        dup_mask, order, starts, lens, rid = _dup_groups(event.dst, round_of)
         if not dup_mask.any():
             return
         combined = event.combiner in self.combiners
@@ -188,47 +198,55 @@ class WriteRaceSanitizer(SanitizerInstrument):
         if event.payload is None:
             # nothing is written; multi-delivery only violates EREW
             if self.policy == "erew":
-                self._record_race(event, order, starts, lens, kind="delivery")
+                self._record_race(event, order, starts, lens, rid, kind="delivery")
             return
         if combined:
             return
         if self.policy in ("erew", "crew"):
-            self._record_race(event, order, starts, lens, kind="write")
+            self._record_race(event, order, starts, lens, rid, kind="write")
             return
-        # common-CRCW: concurrent writes must agree
+        # common-CRCW: concurrent writes must agree — vectorized group
+        # equality (compare every element against its group's first), the
+        # Python loop only visits offending groups
         vals = np.asarray(event.payload)[order]
-        for s, ln in _iter_dup_groups(starts, lens):
-            group = vals[s : s + ln]
-            if not (group == group[0]).all():
-                dst = int(event.dst[order[s]])
-                self.record(
-                    "SAN-RACE-WRITE",
-                    f"{ln} messages deliver conflicting values to processor "
-                    f"{dst} in one step under the crcw policy "
-                    "(common-CRCW requires equal values or a declared combiner)",
-                    step=event.step,
-                    phases=event.phases,
-                    dst=dst,
-                    values=[_scalar(v) for v in group[:8]],
-                    writers=int(ln),
-                )
+        mismatch = vals != np.repeat(vals[starts], lens)
+        if mismatch.ndim > 1:
+            mismatch = mismatch.reshape(len(vals), -1).any(axis=1)
+        bad = np.add.reduceat(mismatch, starts) & dup_mask
+        for g in np.flatnonzero(bad):
+            s, ln = int(starts[g]), int(lens[g])
+            dst = int(event.dst[order[s]])
+            self.record(
+                "SAN-RACE-WRITE",
+                f"{ln} messages deliver conflicting values to processor "
+                f"{dst} in one step under the crcw policy "
+                "(common-CRCW requires equal values or a declared combiner)",
+                step=event.step + (int(rid[s]) if rid is not None else 0),
+                phases=event.phases,
+                dst=dst,
+                values=[_scalar(v) for v in vals[s : s + ln][:8]],
+                writers=ln,
+            )
 
     # ------------------------------------------------------------------ #
 
-    def _check_exclusive_reads(self, event: StepEvent) -> None:
-        dup_mask, order, starts, lens = _dup_groups(event.src)
+    def _check_exclusive_reads(
+        self, event: StepEvent, round_of: np.ndarray | None
+    ) -> None:
+        dup_mask, order, starts, lens, rid = _dup_groups(event.src, round_of)
         if not dup_mask.any():
             return
-        for s, ln in _iter_dup_groups(starts, lens):
+        for g in np.flatnonzero(dup_mask):
+            s, ln = int(starts[g]), int(lens[g])
             src = int(event.src[order[s]])
             self.record(
                 "SAN-RACE-READ",
                 f"processor {src} sources {ln} messages in one step under "
                 "the erew policy (exclusive read allows one)",
-                step=event.step,
+                step=event.step + (int(rid[s]) if rid is not None else 0),
                 phases=event.phases,
                 src=src,
-                readers=int(ln),
+                readers=ln,
             )
 
     def _record_race(
@@ -237,12 +255,14 @@ class WriteRaceSanitizer(SanitizerInstrument):
         order: np.ndarray,
         starts: np.ndarray,
         lens: np.ndarray,
+        rid: np.ndarray | None,
         *,
         kind: str,
     ) -> None:
-        for s, ln in _iter_dup_groups(starts, lens):
+        for g in np.flatnonzero(lens > 1):
+            s, ln = int(starts[g]), int(lens[g])
             dst = int(event.dst[order[s]])
-            detail: dict[str, Any] = {"dst": dst, "writers": int(ln)}
+            detail: dict[str, Any] = {"dst": dst, "writers": ln}
             if event.payload is not None:
                 group = np.asarray(event.payload)[order[s : s + ln]]
                 detail["values"] = [_scalar(v) for v in group[:8]]
@@ -251,7 +271,7 @@ class WriteRaceSanitizer(SanitizerInstrument):
                 f"processor {dst} receives {ln} "
                 f"{'values' if kind == 'write' else 'messages'} in one step "
                 f"under the {self.policy} policy with no declared combiner",
-                step=event.step,
+                step=event.step + (int(rid[s]) if rid is not None else 0),
                 phases=event.phases,
                 **detail,
             )
@@ -323,12 +343,22 @@ class DeterminismSanitizer(SanitizerInstrument):
                 step=event.step,
                 phases=event.phases,
             )
+        # an aggregated batch event covers several sequential rounds;
+        # delivery order is only ambiguous *within* a round, so replay
+        # permutes each round independently
+        if event.rounds is None:
+            segments = [(0, len(event.src))]
+        else:
+            offs = np.asarray(event.rounds)
+            segments = [(int(a), int(b)) for a, b in zip(offs[:-1], offs[1:])]
         base = self._shadow.copy()
-        advance_clocks(base, event.src, event.dst)
+        for a, b in segments:
+            advance_clocks(base, event.src[a:b], event.dst[a:b])
         for trial in range(self.trials):
-            perm = self._legal_permutation(event.src)
             replay = self._shadow.copy()
-            advance_clocks(replay, event.src[perm], event.dst[perm])
+            for a, b in segments:
+                perm = self._legal_permutation(event.src[a:b])
+                advance_clocks(replay, event.src[a:b][perm], event.dst[a:b][perm])
             if not np.array_equal(base, replay):
                 diverged = np.flatnonzero(base != replay)
                 self.record(
@@ -378,6 +408,9 @@ class GhostStateSanitizer(SanitizerInstrument):
         "*._vt*",
         "*._sched*",
         "*._children_by_rank*",
+        "*._direct_plan*",
+        "*._virtual_bcast_plan*",
+        "*._virtual_reduce_plan*",
     )
 
     def __init__(
@@ -594,20 +627,39 @@ def format_findings(findings: Iterable[Finding]) -> str:
 # --------------------------------------------------------------------- #
 
 
-def _dup_groups(ids: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Group ``ids``: returns (dup_mask_over_groups, order, starts, lens)."""
-    order = np.argsort(ids, kind="stable")
-    sorted_ids = ids[order]
-    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+def _round_ids(event: StepEvent) -> np.ndarray | None:
+    """Per-message round index for an aggregated batch event, else ``None``."""
+    if event.rounds is None or len(event.rounds) <= 2:
+        return None
+    offs = np.asarray(event.rounds)
+    return np.repeat(np.arange(len(offs) - 1, dtype=np.int64), np.diff(offs))
+
+
+def _dup_groups(
+    ids: np.ndarray, round_of: np.ndarray | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray | None]:
+    """Group ``ids`` (per round, when ``round_of`` is given).
+
+    Returns ``(dup_mask_over_groups, order, starts, lens, rid_sorted)``
+    where ``order`` sorts by ``(round, id)`` preserving program order within
+    groups, ``starts``/``lens`` delimit the groups in sorted order, and
+    ``rid_sorted`` is the sorted-order round index (``None`` when ungrouped
+    by rounds).
+    """
+    if round_of is None:
+        order = np.argsort(ids, kind="stable")
+        sorted_ids = ids[order]
+        boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+        rid_sorted = None
+    else:
+        order = np.lexsort((ids, round_of))
+        sorted_ids = ids[order]
+        rid_sorted = round_of[order]
+        new_group = (np.diff(sorted_ids) != 0) | (np.diff(rid_sorted) != 0)
+        boundaries = np.flatnonzero(new_group) + 1
     starts = np.concatenate([[0], boundaries])
     lens = np.diff(np.concatenate([starts, [len(sorted_ids)]]))
-    return lens > 1, order, starts, lens
-
-
-def _iter_dup_groups(starts: np.ndarray, lens: np.ndarray) -> Iterator[tuple[int, int]]:
-    for s, ln in zip(starts, lens):
-        if ln > 1:
-            yield int(s), int(ln)
+    return lens > 1, order, starts, lens, rid_sorted
 
 
 def _scalar(value: Any) -> Any:

@@ -107,6 +107,47 @@ class SpatialTree:
         check_in_range(dst, 0, self.n, name="dst_vertices")
         return self.machine.send(self.proc[src], self.proc[dst], values)
 
+    def send_batch(
+        self, src_vertices, dst_vertices, values=None, *, rounds=None, combiner=None
+    ):
+        """Charged multi-round message batch between *vertices*.
+
+        Vertex-addressed front end of
+        :meth:`~repro.machine.SpatialMachine.send_batch`; ``rounds`` are
+        CSR offsets partitioning the batch into sequential dependency
+        rounds. Under ``engine="scalar"`` this replays one ``send`` per
+        round (the reference accounting); under ``engine="batched"`` it
+        runs the vectorized engine with identical totals.
+        """
+        src = as_index_array(np.atleast_1d(src_vertices), name="src_vertices")
+        dst = as_index_array(np.atleast_1d(dst_vertices), name="dst_vertices")
+        check_in_range(src, 0, self.n, name="src_vertices")
+        check_in_range(dst, 0, self.n, name="dst_vertices")
+        return self.machine.send_batch(
+            self.proc[src], self.proc[dst], values, rounds=rounds, combiner=combiner
+        )
+
+    def send_plan(
+        self, src_vertices, dst_vertices, values=None, *, rounds=None, exclusive=False
+    ):
+        """Trusted vertex-addressed batch (see
+        :meth:`~repro.machine.SpatialMachine.send_plan`).
+
+        Callers guarantee in-range int64 vertex ids with
+        ``src_vertices[i] != dst_vertices[i]`` everywhere — the treefix
+        driver's frontier hops along tree edges qualify by construction.
+        ``exclusive`` additionally asserts each round has distinct senders
+        and distinct receivers. Accounting is identical to
+        :meth:`send_batch` under both engines.
+        """
+        src = np.atleast_1d(src_vertices)
+        dst = np.atleast_1d(dst_vertices)
+        if rounds is None:
+            rounds = np.array([0, len(src)], dtype=np.int64)
+        return self.machine.send_plan(
+            self.proc[src], self.proc[dst], values, rounds=rounds, exclusive=exclusive
+        )
+
     @property
     def n(self) -> int:
         return self.tree.n

@@ -120,8 +120,8 @@ def list_rank(
         max_rounds = int(slowdown * (40 * max(1, ceil_log2(max(2, k))) + 40))
     rng = resolve_rng(seed)
 
-    def msg(src_elems: np.ndarray, dst_elems: np.ndarray) -> None:
-        machine.send(elem_proc[src_elems], elem_proc[dst_elems])
+    def msg(src_elems: np.ndarray, dst_elems: np.ndarray, rounds=None) -> None:
+        machine.send_batch(elem_proc[src_elems], elem_proc[dst_elems], rounds=rounds)
 
     # --- initialize doubly-linked structure (one pointer-exchange round) ---
     cur_succ = succ.copy()
@@ -164,9 +164,14 @@ def list_rank(
                 continue
             p = pred[sel]
             s = cur_succ[sel]
-            # splice messages: u -> p carries (succ, weight); u -> s carries pred
-            msg(sel, p)
-            msg(sel, s)
+            # splice messages: u -> p carries (succ, weight); u -> s carries
+            # pred (two dependency rounds of one batch — u's port serializes)
+            m = len(sel)
+            msg(
+                np.concatenate([sel, sel]),
+                np.concatenate([p, s]),
+                rounds=np.array([0, m, 2 * m]),
+            )
             removed_succ[sel] = s
             removal_round[sel] = rounds
             w_at_removal[sel] = w[sel]
@@ -199,8 +204,13 @@ def list_rank(
             if len(us) == 0:
                 continue
             s = removed_succ[us]
-            msg(us, s)  # request
-            msg(s, us)  # response with rank(s)
+            # request round, then response round with rank(s)
+            m = len(us)
+            msg(
+                np.concatenate([us, s]),
+                np.concatenate([s, us]),
+                rounds=np.array([0, m, 2 * m]),
+            )
             ranks[us] = w_at_removal[us] + ranks[s]
 
     return ListRankResult(ranks=ranks, rounds=rounds, base_size=base_size)

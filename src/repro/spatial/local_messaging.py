@@ -206,10 +206,22 @@ def local_broadcast(st, values, *, mode: str | None = None) -> np.ndarray:
     Returns ``received`` with ``received[v] = values[parent(v)]`` for
     non-root ``v``. O(n) energy on an energy-bound layout; depth O(Δ)
     (direct) or O(log n) (virtual).
+
+    The machine's ``engine`` selects the execution path: ``"scalar"`` loops
+    the reference per-round sends below; ``"batched"`` replays the same
+    rounds through one :meth:`~repro.machine.SpatialMachine.send_batch`
+    (see :mod:`repro.spatial.batched_messaging`) with identical accounting.
     """
     values = _as_values(st, values)
     mode = _resolve_mode(st, mode)
+    batched = st.machine.engine == "batched"
     with st.machine.phase("local_broadcast"):
+        if batched:
+            from repro.spatial import batched_messaging as bm
+
+            if mode == "direct":
+                return bm.direct_broadcast(st, values, None)
+            return bm.virtual_broadcast(st, values, None)
         if mode == "direct":
             return _direct_broadcast(st, values, None)
         return _virtual_broadcast(st, values, None)
@@ -220,11 +232,19 @@ def local_reduce(st, values, *, op: Op = np.add, identity=0, mode: str | None = 
 
     Leaves receive ``identity``. Operands combine in sibling (light-first)
     order, so any associative operator is safe. Same cost profile as
-    :func:`local_broadcast`.
+    :func:`local_broadcast`; the machine's ``engine`` selects the scalar
+    reference path or the batched one.
     """
     values = _as_values(st, values)
     mode = _resolve_mode(st, mode)
+    batched = st.machine.engine == "batched"
     with st.machine.phase("local_reduce"):
+        if batched:
+            from repro.spatial import batched_messaging as bm
+
+            if mode == "direct":
+                return bm.direct_reduce(st, values, op, identity, None, None)
+            return bm.virtual_reduce(st, values, op, identity, None, None)
         if mode == "direct":
             return _direct_reduce(st, values, op, identity, None, None)
         return _virtual_reduce(st, values, op, identity, None, None)
@@ -241,6 +261,12 @@ def family_broadcast(st, values, families, *, mode: str | None = None) -> np.nda
     values = _as_values(st, values)
     families = np.asarray(families, dtype=bool)
     mode = _resolve_mode(st, mode)
+    if st.machine.engine == "batched":
+        from repro.spatial import batched_messaging as bm
+
+        if mode == "direct":
+            return bm.direct_broadcast(st, values, families)
+        return bm.virtual_broadcast(st, values, families)
     if mode == "direct":
         return _direct_broadcast(st, values, families)
     return _virtual_broadcast(st, values, families)
@@ -266,6 +292,12 @@ def family_reduce(
     values = _as_values(st, values)
     families = np.asarray(families, dtype=bool)
     mode = _resolve_mode(st, mode)
+    if st.machine.engine == "batched":
+        from repro.spatial import batched_messaging as bm
+
+        if mode == "direct":
+            return bm.direct_reduce(st, values, op, identity, contribute, families)
+        return bm.virtual_reduce(st, values, op, identity, contribute, families)
     if mode == "direct":
         return _direct_reduce(st, values, op, identity, contribute, families)
     return _virtual_reduce(st, values, op, identity, contribute, families)

@@ -141,13 +141,13 @@ def _rep_to_last_hop(st, reps: np.ndarray, last: np.ndarray) -> None:
     """Charge the representative → family-head hop where they differ."""
     far = reps[last[reps] != reps]
     if len(far):
-        st.send(far, last[far])
+        st.send_plan(far, last[far], exclusive=True)
 
 
 def _last_to_rep_hop(st, reps: np.ndarray, last: np.ndarray) -> None:
     far = reps[last[reps] != reps]
     if len(far):
-        st.send(last[far], far)
+        st.send_plan(last[far], far, exclusive=True)
 
 
 def _family_mask(n: int, heads: np.ndarray) -> np.ndarray:
@@ -179,6 +179,7 @@ def _contract(
     from repro.machine.collectives import barrier
 
     n = st.n
+    big = np.int64(np.iinfo(np.int64).max)
     rounds = 0
     while int(s.active.sum()) > 1:
         if rounds >= max_rounds:
@@ -190,7 +191,9 @@ def _contract(
         if sync_barriers and rounds > 1:
             barrier(st.machine)
         act = np.flatnonzero(s.active == 1)
-        coins = (rng.random(size=n) < coin_bias).astype(np.int64)
+        # bool coins; arithmetic below treats heads as 1 exactly as the
+        # previous int64 cast did, and the rng stream is unchanged
+        coins = rng.random(size=n) < coin_bias
 
         # ---- (1) parents announce (branching?, coin) to their children ----
         parents_u = act[s.nchild[act] > 0]
@@ -218,10 +221,16 @@ def _contract(
         if len(sel):
             u = s.par[sel]
             # v hands its state to its parent (one O(1)-word exchange) and
-            # tells its single child about its new parent
-            st.send(sel, u)
+            # tells its single child about its new parent — two dependency
+            # rounds, batched into one charged call
             child = s.only_child[sel]
-            st.send(sel, child)
+            k = len(sel)
+            st.send_plan(
+                np.concatenate([sel, sel]),
+                np.concatenate([u, child]),
+                rounds=np.array([0, k, 2 * k]),
+                exclusive=True,
+            )
             # event record at v
             s.ev_type[sel] = _EV_COMPRESS
             s.ev_saved[sel] = s.log_head[u]
@@ -243,29 +252,33 @@ def _contract(
             continue
         heads = s.last[parents_u]
         fam = _family_mask(n, heads)
-        is_active_child = (s.active == 1) & (s.par >= 0)
-        child_active_parent = np.zeros(n, dtype=bool)
-        child_active_parent[is_active_child] = (
-            s.active[s.par[is_active_child]] == 1
-        )
-        contributor = is_active_child & child_active_parent
-        is_leaf = contributor & (s.nchild == 0)
+        # contributor/leaf sets on the active frontier: an active child of
+        # an active parent contributes; leaves among them are rake fodder.
+        # (Equivalent to the full-n boolean algebra, but O(frontier).)
+        ch = act[s.par[act] >= 0]
+        cap = ch[s.active[s.par[ch]] == 1]
+        cap_leaf = s.nchild[cap] == 0
+        leaf_ids = cap[cap_leaf]
+        nonleaf_ids = cap[~cap_leaf]
+        is_leaf = np.zeros(n, dtype=bool)
+        is_leaf[leaf_ids] = True
 
         _rep_to_last_hop(st, parents_u, s.last)
-        leaf_P = family_reduce(st, np.where(is_leaf, s.P, identity), fam, op=op, identity=identity)
-        leaf_cnt = family_reduce(st, is_leaf.astype(np.int64), fam)
-        ids = np.arange(n, dtype=np.int64)
+        vdtype = np.result_type(s.P.dtype, np.asarray(identity).dtype)
+        leaf_msg = np.full(n, identity, dtype=vdtype)
+        leaf_msg[leaf_ids] = s.P[leaf_ids]
+        leaf_P = family_reduce(st, leaf_msg, fam, op=op, identity=identity)
+        cnt_msg = np.zeros(n, dtype=np.int64)
+        cnt_msg[leaf_ids] = 1
+        leaf_cnt = family_reduce(st, cnt_msg, fam)
+        wit_msg = np.full(n, _NONE, dtype=np.int64)
+        wit_msg[nonleaf_ids] = nonleaf_ids
         witness = family_reduce(
-            st,
-            np.where(contributor & ~is_leaf, ids, _NONE),
-            fam,
-            op=_witness_combine,
-            identity=_NONE,
+            st, wit_msg, fam, op=_witness_combine, identity=_NONE
         )
-        big = np.int64(np.iinfo(np.int64).max)
-        v1 = family_reduce(
-            st, np.where(is_leaf, ids, big), fam, op=np.minimum, identity=big
-        )
+        v1_msg = np.full(n, big, dtype=np.int64)
+        v1_msg[leaf_ids] = leaf_ids
+        v1 = family_reduce(st, v1_msg, fam, op=np.minimum, identity=big)
         _last_to_rep_hop(st, parents_u, s.last)
 
         h = s.last[parents_u]
@@ -283,9 +296,13 @@ def _contract(
         wake_note[rh] = designated
         _rep_to_last_hop(st, rakers, s.last)
         note = family_broadcast(st, wake_note, _family_mask(n, rh))
-        raked = is_leaf & np.isin(s.par, rakers)
+        # mask-scatter membership test (np.isin is O(n log n) here); is_leaf
+        # implies par >= 0, so the fancy index never reads a wrapped entry
+        raker_mask = np.zeros(n, dtype=bool)
+        raker_mask[rakers] = True
+        raked = is_leaf & raker_mask[s.par]
         # event record at the designated child
-        st.send(rakers, designated)
+        st.send_plan(rakers, designated, exclusive=True)
         s.ev_type[designated] = _EV_RAKE
         s.ev_saved[designated] = s.log_head[rakers]
         s.ev_last[designated] = s.last[rakers]
@@ -310,7 +327,6 @@ def _contract(
 def _uncontract(st, s: _TreefixState, op: Op, identity, direction: str, max_rounds: int) -> int:
     """Undo the contraction tree, maintaining the §V-B invariants."""
     n = st.n
-    ids = np.arange(n, dtype=np.int64)
     rounds = 0
     while True:
         undoers = np.flatnonzero((s.active == 1) & (s.log_head != _NONE))
@@ -326,8 +342,14 @@ def _uncontract(st, s: _TreefixState, op: Op, identity, direction: str, max_roun
         cu = undoers[kinds == _EV_COMPRESS]
         if len(cu):
             v = s.log_head[cu]
-            st.send(cu, v)  # A / restore exchange
-            st.send(v, cu)
+            k = len(cu)
+            # A / restore exchange: two dependency rounds in one batch
+            st.send_plan(
+                np.concatenate([cu, v]),
+                np.concatenate([v, cu]),
+                rounds=np.array([0, k, 2 * k]),
+                exclusive=True,
+            )
             if direction == "bottom_up":
                 s.A[v] = s.A[cu]
                 s.A[cu] = op(s.A[cu], s.P[v])
@@ -342,7 +364,7 @@ def _uncontract(st, s: _TreefixState, op: Op, identity, direction: str, max_roun
             child = s.only_child[v]
             has_child = child != _NONE
             if has_child.any():
-                st.send(v[has_child], child[has_child])
+                st.send_plan(v[has_child], child[has_child], exclusive=True)
                 s.par[child[has_child]] = v[has_child]
             s.ev_type[v] = 0
 
@@ -361,7 +383,7 @@ def _uncontract(st, s: _TreefixState, op: Op, identity, direction: str, max_roun
             got = family_broadcast(st, note, fam)
             if direction == "top_down":
                 pv = family_broadcast(st, path_val, fam)
-            waking = (s.wake_ev != _NONE) & (got[ids] == s.wake_ev)
+            waking = (s.wake_ev != _NONE) & (got == s.wake_ev)
             if direction == "top_down" and waking.any():
                 s.A[waking] = pv[waking]
             # gather the raked total back (bottom-up needs it for A)

@@ -112,15 +112,26 @@ def build_virtual_tree(st) -> VirtualTree:
     vt = transform_tree(st.tree)
     sched = VirtualSchedule.from_virtual_tree(vt)
     with st.machine.phase("virtual_tree_construction"):
-        # bottom-up: deepest relay level first
+        # bottom-up: deepest relay level first; per level, three dependency
+        # rounds (hand up boundary reference / query the appended child /
+        # response with the next boundary), then the current children
+        # register with their parent — all charged as one segmented batch
+        seg_src: list[np.ndarray] = []
+        seg_dst: list[np.ndarray] = []
         for edges in reversed(sched.app_rounds):
             if len(edges) == 0:
                 continue
             parents, children = edges[:, 0], edges[:, 1]
-            st.send(children, parents)  # hand up boundary reference
-            st.send(parents, children)  # query the appended child
-            st.send(children, parents)  # response with the next boundary
+            seg_src += [children, parents, children]
+            seg_dst += [parents, children, parents]
         if len(sched.cur_edges):
             parents, children = sched.cur_edges[:, 0], sched.cur_edges[:, 1]
-            st.send(children, parents)  # current children register with parent
+            seg_src.append(children)
+            seg_dst.append(parents)
+        if seg_src:
+            sizes = np.array([len(a) for a in seg_src], dtype=np.int64)
+            offs = np.concatenate([[0], np.cumsum(sizes)])
+            st.send_plan(
+                np.concatenate(seg_src), np.concatenate(seg_dst), rounds=offs
+            )
     return vt

@@ -1,0 +1,183 @@
+"""Metamorphic tests: cost and result invariants under input transformations.
+
+Three families of properties, each checked under both engines:
+
+* **Relabeling equivariance** — permuting vertex ids permutes treefix
+  results accordingly, and the light-first layout's local-messaging energy
+  stays inside the O(n) corridor of Theorem 1 for every relabeling (the
+  order is computed from tree *structure*, which relabeling preserves).
+* **Grid-rotation invariance** — the Manhattan metric is invariant under
+  quarter-turn rotations and reflections of the grid, so every layout's
+  edge-distance multiset (hence its energy) is too.
+* **Virtual-tree preservation** — the §III-D TRANSFORM relays values but
+  never reassociates across families, so treefix sums over the virtual
+  tree equal the direct-mode results and the sequential oracle exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.layout import TreeLayout
+from repro.spatial import SpatialTree
+from repro.spatial.treefix import top_down_treefix
+from repro.trees import prufer_random_tree, star_tree
+
+ENGINES = ("scalar", "batched")
+
+#: Theorem 1 corridor for light-first layouts under a locality-preserving
+#: curve — same constant the layout suite pins (energy/n < 8 on Hilbert).
+ENERGY_PER_VERTEX_BOUND = 8.0
+
+
+def oracle_treefix(tree, values):
+    """Sequential bottom-up subtree sums."""
+    out = values.astype(np.int64).copy()
+    for v in reversed(tree.bfs_order()):
+        p = tree.parents[v]
+        if p >= 0:
+            out[p] += out[v]
+    return out
+
+
+def oracle_top_down(tree, values):
+    """Sequential root-path sums."""
+    out = values.astype(np.int64).copy()
+    for v in tree.bfs_order():
+        p = tree.parents[v]
+        if p >= 0:
+            out[v] += out[p]
+    return out
+
+
+# --------------------------------------------------------------------- #
+# relabeling equivariance
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    engine=st.sampled_from(ENGINES),
+)
+def test_treefix_relabeling_equivariance(n, seed, engine):
+    """treefix(relabel(T))[pi[v]] == treefix(T)[v]."""
+    tree = prufer_random_tree(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(-50, 50, size=n).astype(np.int64)
+    pi = rng.permutation(n)
+    relabeled = tree.relabel(pi)
+    pvals = np.empty_like(vals)
+    pvals[pi] = vals
+
+    st1 = SpatialTree.build(tree, seed=0, engine=engine)
+    st2 = SpatialTree.build(relabeled, seed=0, engine=engine)
+    out1 = st1.treefix_sum(vals, seed=seed)
+    out2 = st2.treefix_sum(pvals, seed=seed)
+    assert np.array_equal(out2[pi], out1)
+    assert np.array_equal(out1, oracle_treefix(tree, vals))
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=16, max_value=256),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_layout_energy_corridor_under_relabeling(n, seed):
+    """Light-first layout energy stays O(n) for every relabeling of the
+    same structure — the Theorem 1 bound depends only on subtree sizes."""
+    tree = prufer_random_tree(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    for _ in range(3):
+        layout = TreeLayout.build(tree, order="light_first", curve="hilbert")
+        energy = layout.local_broadcast_energy()
+        assert energy / tree.n < ENERGY_PER_VERTEX_BOUND
+        tree = tree.relabel(rng.permutation(tree.n))
+
+
+def test_star_energy_invariant_under_relabeling():
+    """Light-first canonicalizes by structure, so relabeling a star (whose
+    direct fan-out energy is Θ(n√n), outside the bounded-degree corridor)
+    changes the layout energy not at all."""
+    tree = star_tree(225)
+    rng = np.random.default_rng(3)
+    base = TreeLayout.build(tree, order="light_first", curve="hilbert")
+    expected = base.local_broadcast_energy()
+    for _ in range(4):
+        tree = tree.relabel(rng.permutation(tree.n))
+        layout = TreeLayout.build(tree, order="light_first", curve="hilbert")
+        assert layout.local_broadcast_energy() == expected
+
+
+# --------------------------------------------------------------------- #
+# grid-rotation metric invariance
+# --------------------------------------------------------------------- #
+
+
+def _l1(coords, edges):
+    d = np.abs(coords[edges[:, 0]] - coords[edges[:, 1]])
+    return d.sum(axis=1)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    n=st.integers(min_value=4, max_value=128),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    curve=st.sampled_from(["hilbert", "zorder", "rowmajor"]),
+)
+def test_edge_distances_invariant_under_grid_rotation(n, seed, curve):
+    """Rotating/reflecting the grid preserves every edge's L1 distance,
+    hence the layout energy the machine would charge."""
+    tree = prufer_random_tree(n, seed=seed)
+    layout = TreeLayout.build(tree, order="light_first", curve=curve)
+    coords = layout.coordinates()
+    edges = layout.tree.edges()
+    base = _l1(coords, edges)
+    assert int(base.sum()) == layout.local_broadcast_energy()
+    side = coords.max() + 1  # bounding box is enough for the isometries
+    x, y = coords[:, 0], coords[:, 1]
+    transforms = {
+        "rot90": np.stack([y, side - 1 - x], axis=1),
+        "rot180": np.stack([side - 1 - x, side - 1 - y], axis=1),
+        "rot270": np.stack([side - 1 - y, x], axis=1),
+        "flip": np.stack([y, x], axis=1),
+    }
+    for name, rotated in transforms.items():
+        assert np.array_equal(_l1(rotated, edges), base), name
+
+
+# --------------------------------------------------------------------- #
+# virtual-tree (TRANSFORM) preservation
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=48),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    engine=st.sampled_from(ENGINES),
+)
+def test_virtual_tree_preserves_treefix_sums(n, seed, engine):
+    """The degree-≤4 virtual tree relays but never reassociates: virtual-
+    and direct-mode treefix agree with each other and the oracle."""
+    tree = prufer_random_tree(n, seed=seed)
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(-50, 50, size=n).astype(np.int64)
+    direct = SpatialTree.build(tree, seed=0, mode="direct", engine=engine)
+    virtual = SpatialTree.build(tree, seed=0, mode="virtual", engine=engine)
+    expect_up = oracle_treefix(tree, vals)
+    expect_down = oracle_top_down(tree, vals)
+    assert np.array_equal(direct.treefix_sum(vals, seed=seed), expect_up)
+    assert np.array_equal(virtual.treefix_sum(vals, seed=seed), expect_up)
+    assert np.array_equal(top_down_treefix(direct, vals, seed=seed), expect_down)
+    assert np.array_equal(top_down_treefix(virtual, vals, seed=seed), expect_down)
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+def test_virtual_tree_preserves_high_degree_sums(engine):
+    """Star tree: the relay tree is a full binary cascade; sums intact."""
+    tree = star_tree(64)
+    vals = np.arange(64, dtype=np.int64) - 31
+    virtual = SpatialTree.build(tree, seed=0, mode="virtual", engine=engine)
+    assert np.array_equal(virtual.treefix_sum(vals, seed=1), oracle_treefix(tree, vals))
