@@ -8,6 +8,10 @@ Subcommands:
 * ``treefix`` — run the §V treefix sum on a generated tree and print the
   cost bill.
 * ``lca``     — run a batch of random LCA queries (§VI) and print the bill.
+* ``sort``    — bitonic sort over curve order (§II-A routing) with the
+  measured Θ(n^{3/2}) bill; verified against ``np.sort``.
+* ``layout-create`` — the §IV light-first layout-creation pipeline
+  (Theorem 4) with its per-phase bill.
 * ``curves``  — empirical distance-bound constants (experiment E4).
 * ``profile`` — run a workload under the spatial profiler: per-cell
   heatmap JSON, link-congestion timeline, folded stacks, Prometheus text.
@@ -33,6 +37,8 @@ Examples::
     python -m repro treefix --tree star --n 8192 --mode virtual \
         --report r.json --trace t.trace.json
     python -m repro lca --tree random --n 2048 --queries 2048
+    python -m repro sort --n 4096 --engine batched
+    python -m repro layout-create --tree prufer --n 2048 --engine batched
     python -m repro curves --side 32
     python -m repro profile treefix --n 4096 --out prof/
     python -m repro sanitize treefix --n 1024 --policy crew --fuzz
@@ -224,19 +230,19 @@ def cmd_lca(args) -> int:
     q = args.queries or tree.n
     us = rng.permutation(tree.n)[: min(q, tree.n)]
     vs = rng.permutation(tree.n)[: min(q, tree.n)]
-    st = SpatialTree.build(tree, curve=args.curve)
+    st = SpatialTree.build(tree, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
     answers = lca_batch(st, us, vs, seed=args.seed)
     expect = BinaryLiftingLCA(tree).query_batch(us, vs)
     ok = np.array_equal(answers, expect)
     snap = st.snapshot()
-    print(f"tree={args.tree} n={tree.n} queries={len(us)}")
+    print(f"tree={args.tree} n={tree.n} queries={len(us)} engine={st.machine.engine}")
     print(f"verified against binary lifting: {'OK' if ok else 'MISMATCH'}")
     print(f"energy {snap['energy']:,}   depth {snap['depth']:,}   messages {snap['messages']:,}")
     _write_outputs(
         args, st.machine, recorder,
         meta={"command": "lca", "tree": args.tree, "queries": len(us),
-              "seed": args.seed, "verified": bool(ok)},
+              "engine": st.machine.engine, "seed": args.seed, "verified": bool(ok)},
     )
     return 0 if ok else 1
 
@@ -249,7 +255,7 @@ def cmd_expr(args) -> int:
     )
 
     tree, ops, leaf_vals = random_expression(args.n, seed=args.seed)
-    st = SpatialTree.build(tree, curve=args.curve)
+    st = SpatialTree.build(tree, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
     got = evaluate_expression(st, ops, leaf_vals, seed=args.seed)
     expect = evaluate_expression_sequential(tree, ops, leaf_vals)
@@ -261,7 +267,8 @@ def cmd_expr(args) -> int:
     print(f"energy {snap['energy']:,}   depth {snap['depth']:,}")
     _write_outputs(
         args, st.machine, recorder,
-        meta={"command": "expr", "seed": args.seed, "verified": bool(ok)},
+        meta={"command": "expr", "engine": st.machine.engine, "seed": args.seed,
+              "verified": bool(ok)},
     )
     return 0 if ok else 1
 
@@ -274,7 +281,7 @@ def cmd_cuts(args) -> int:
     m = args.extra_edges or 2 * tree.n
     raw = rng.integers(0, tree.n, size=(m + tree.n, 2))
     extra = raw[raw[:, 0] != raw[:, 1]][:m]
-    st = SpatialTree.build(tree, curve=args.curve)
+    st = SpatialTree.build(tree, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
     cuts = one_respecting_cuts(st, extra, seed=args.seed)
     v, best = cuts.minimum(tree)
@@ -284,8 +291,66 @@ def cmd_cuts(args) -> int:
     print(f"energy {snap['energy']:,}   depth {snap['depth']:,}")
     _write_outputs(
         args, st.machine, recorder,
-        meta={"command": "cuts", "tree": args.tree, "seed": args.seed,
-              "extra_edges": len(extra)},
+        meta={"command": "cuts", "tree": args.tree, "engine": st.machine.engine,
+              "seed": args.seed, "extra_edges": len(extra)},
+    )
+    return 0
+
+
+def cmd_sort(args) -> int:
+    from repro.machine.machine import SpatialMachine
+    from repro.machine.routing import bitonic_sort
+
+    rng = np.random.default_rng(args.seed)
+    keys = rng.integers(0, 10 * max(1, args.n), size=args.n).astype(np.int64)
+    machine = SpatialMachine(args.n, curve=args.curve, engine=args.engine)
+    recorder = _attach_telemetry(machine, args)
+    with machine.phase("bitonic_sort"):
+        sorted_keys, _ = bitonic_sort(machine, keys, descending=args.descending)
+    expect = np.sort(keys)
+    if args.descending:
+        expect = expect[::-1]
+    ok = np.array_equal(sorted_keys, expect)
+    snap = machine.snapshot()
+    print(f"bitonic sort n={args.n} descending={args.descending} "
+          f"engine={machine.engine}")
+    print(f"verified against np.sort: {'OK' if ok else 'MISMATCH'}")
+    print(f"energy {snap['energy']:,}   depth {snap['depth']:,}   "
+          f"messages {snap['messages']:,}   steps {machine.steps:,}")
+    _write_outputs(
+        args, machine, recorder,
+        meta={"command": "sort", "n": args.n, "descending": args.descending,
+              "engine": machine.engine, "seed": args.seed, "verified": bool(ok)},
+    )
+    return 0 if ok else 1
+
+
+def cmd_layout_create(args) -> int:
+    from repro.spatial.layout_creation import create_light_first_layout
+
+    tree = _make_tree(args.tree, args.n, args.seed)
+    res = create_light_first_layout(
+        tree, curve=args.curve, seed=args.seed, engine=args.engine
+    )
+    rows = [
+        {"phase": name, "energy": bill["energy"], "messages": bill["messages"],
+         "depth": bill["depth"]}
+        for name, bill in res.phases.items()
+        if name != "total"
+    ]
+    print(f"light-first layout creation (§IV): tree={args.tree} n={tree.n} "
+          f"curve={args.curve} engine={args.engine}")
+    print(f"energy {res.energy:,}   depth {res.depth:,}   "
+          f"messages {res.messages:,}   steps {res.steps:,}   "
+          f"list-rank rounds {res.list_rank_rounds}")
+    if rows:
+        print(format_table(rows))
+    _write_table_outputs(
+        args, "layout_create", rows,
+        meta={"command": "layout-create", "tree": args.tree, "n": tree.n,
+              "curve": args.curve, "engine": args.engine, "seed": args.seed,
+              "energy": res.energy, "depth": res.depth,
+              "messages": res.messages, "steps": res.steps},
     )
     return 0
 
@@ -564,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("lca", help="run a batched LCA (§VI)")
     _add_tree_args(p)
     p.add_argument("--queries", type=int, default=0, help="query count (default n)")
+    _add_engine_arg(p)
     _add_output_args(p)
     p.set_defaults(fn=cmd_lca)
 
@@ -571,14 +637,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n", type=int, default=1024)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--curve", default="hilbert", choices=available_curves())
+    _add_engine_arg(p)
     _add_output_args(p)
     p.set_defaults(fn=cmd_expr)
 
     p = sub.add_parser("cuts", help="1-respecting cut values (Karger building block)")
     _add_tree_args(p)
     p.add_argument("--extra-edges", type=int, default=0, help="non-tree edge count (default 2n)")
+    _add_engine_arg(p)
     _add_output_args(p)
     p.set_defaults(fn=cmd_cuts)
+
+    p = sub.add_parser("sort", help="bitonic sort over curve order (§II-A routing)")
+    p.add_argument("--n", type=int, default=1024)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--curve", default="hilbert", choices=available_curves())
+    p.add_argument("--descending", action="store_true", help="sort descending")
+    _add_engine_arg(p)
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_sort)
+
+    p = sub.add_parser(
+        "layout-create",
+        help="run the §IV light-first layout-creation pipeline (Theorem 4)",
+    )
+    _add_tree_args(p)
+    _add_engine_arg(p)
+    _add_output_args(p)
+    p.set_defaults(fn=cmd_layout_create)
 
     p = sub.add_parser("curves", help="empirical distance-bound constants (E4)")
     p.add_argument("--side", type=int, default=32)

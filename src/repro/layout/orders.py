@@ -82,7 +82,7 @@ def compute_order(tree: Tree, order: "str | np.ndarray", *, seed=None) -> np.nda
 
 
 def is_light_first(tree: Tree, order: np.ndarray) -> bool:
-    """Check the §III-A definition position by position.
+    """Check the §III-A definition position by position (vectorized).
 
     Every vertex ``v`` at position ``p_v`` must have its children (in
     increasing subtree size) at positions ``1 + p_v + Σ_{j<i} s(c_j)``.
@@ -92,18 +92,19 @@ def is_light_first(tree: Tree, order: np.ndarray) -> bool:
     pos = np.empty(tree.n, dtype=np.int64)
     pos[order] = np.arange(tree.n)
     sizes = tree.subtree_sizes()
-    offsets, targets = tree.children_csr()
-    for v in range(tree.n):
-        kids = targets[offsets[v] : offsets[v + 1]]
-        if len(kids) == 0:
-            continue
-        kids = kids[np.argsort(pos[kids], kind="stable")]  # by stored position
-        expected = pos[v] + 1
-        for c in kids:
-            if pos[c] != expected:
-                return False
-            expected += sizes[c]
-        # children must be in non-decreasing subtree size
-        if np.any(np.diff(sizes[kids]) < 0):
-            return False
-    return True
+    _, targets = tree.children_csr()
+    if len(targets) == 0:
+        return True
+    # children grouped by parent, each group ordered by stored position
+    gpar = tree.parents[targets]
+    perm = np.lexsort((pos[targets], gpar))
+    kids = targets[perm]
+    first = np.r_[True, gpar[1:] != gpar[:-1]]  # perm keeps the grouping
+    # exclusive prefix of sibling subtree sizes within each parent's group
+    sz = sizes[kids]
+    cs = np.cumsum(sz) - sz
+    excl = cs - cs[first][np.cumsum(first) - 1]
+    if not np.array_equal(pos[kids], pos[gpar] + 1 + excl):
+        return False
+    # children must be in non-decreasing subtree size
+    return not np.any((np.diff(sz) < 0) & ~first[1:])

@@ -30,7 +30,13 @@ from repro.machine.collectives import (
     inclusive_scan,
     reduce,
 )
-from repro.machine.routing import bitonic_sort, permute, scatter
+from repro.machine.routing import (
+    SortNetworkPlan,
+    bitonic_sort,
+    permute,
+    scatter,
+    sort_network_plan,
+)
 from repro.machine.pram import PRAMSimulator
 from repro.machine.sanitizer import (
     DeterminismSanitizer,
@@ -71,6 +77,8 @@ __all__ = [
     "bitonic_sort",
     "permute",
     "scatter",
+    "SortNetworkPlan",
+    "sort_network_plan",
     "PRAMSimulator",
     "CongestionTracer",
     "attach_tracer",

@@ -121,31 +121,32 @@ def _advance_round(
 
     Computes exactly what :func:`advance_clocks` computes (same integer
     recurrences, hence bit-identical clock state) but takes O(k) fast paths
-    when the round's senders and/or receivers are pairwise distinct — the
-    overwhelmingly common case for the tree and list kernels. Distinctness
-    is detected with a last-write-wins stamp into ``scratch``: after
-    ``scratch[ids] = ar``, every id is distinct iff each position reads back
-    its own stamp. Only entries written in this call are read back, so stale
-    scratch contents (from earlier rounds or batches) are harmless.
+    when the round's senders and/or receivers are pairwise distinct or
+    occur at most twice — the overwhelmingly common cases for the tree and
+    list kernels. One first-write-wins stamp into ``scratch``
+    (``scratch[ids[::-1]] = ar[::-1]``) yields each message's
+    first-occurrence position, which answers both probes at once: all ids
+    are distinct iff every position reads back its own stamp, and otherwise
+    the non-first occurrences carry occurrence index 1 — valid as a
+    pairwise round iff they are themselves distinct. Only entries written
+    in this call are read back, so stale scratch contents (from earlier
+    rounds or batches) are harmless.
 
     ``ar`` must be ``np.arange(len(src))`` (callers pass a slice of a cached
     buffer). Returns the max clock among the endpoints touched this round.
     """
     k = len(src)
-    scratch[src] = ar
-    if np.array_equal(scratch[src], ar):
+    scratch[src[::-1]] = ar[::-1]
+    occ = scratch[src] != ar
+    if not occ.any():
         # distinct senders: every message is its sender's only send
         chain = clock[src] + 1
         clock[src] = chain
         fast_send = True
     else:
-        # try the pairwise path: each sender sends at most twice (the
-        # degree-≤4 virtual tree's relay rounds). First-write-wins stamping
-        # yields each message's first-occurrence position; occurrence
-        # indices are then 0/1, valid iff the later occurrences are
-        # themselves distinct.
-        scratch[src[::-1]] = ar[::-1]
-        occ = scratch[src] != ar
+        # pairwise path: each sender sends at most twice (the degree-≤4
+        # virtual tree's relay rounds); occurrence indices are then 0/1,
+        # valid iff the later occurrences are themselves distinct
         later = src[occ]
         scratch[later] = ar[occ]
         if np.array_equal(scratch[later], ar[occ]):
@@ -168,16 +169,15 @@ def _advance_round(
             chain = clock[src] + occ_full + 1
             clock[sorted_src[group_starts]] += group_lens
             fast_send = False
-    scratch[dst] = ar
-    if np.array_equal(scratch[dst], ar):
+    scratch[dst[::-1]] = ar[::-1]
+    firstpos = scratch[dst]  # first-occurrence position per message
+    docc = firstpos != ar
+    if not docc.any():
         # distinct receivers: each receives exactly one message
         upd = np.maximum(clock[dst] + 1, chain)
         clock[dst] = upd
         dst_max = int(upd.max())
     else:
-        scratch[dst[::-1]] = ar[::-1]
-        firstpos = scratch[dst]  # first-occurrence position per message
-        docc = firstpos != ar
         dlater = dst[docc]
         scratch[dlater] = ar[docc]
         if np.array_equal(scratch[dlater], ar[docc]):
@@ -270,6 +270,24 @@ def _advance_round_exclusive(
     return max(int(chain.max()), int(upd.max()))
 
 
+def _advance_rounds_paired(clock: np.ndarray, src: np.ndarray, dst: np.ndarray) -> int:
+    """Two consecutive EREW rounds — ``src→dst`` then ``dst→src`` over the
+    *same* pairs — fused into one update (the compare-exchange shape of the
+    cached sort-network plans).
+
+    Bit-identity with running :func:`_advance_round_exclusive` twice: with
+    pair clocks ``(a, b)``, the first round leaves ``(a+1, max(a, b) + 1)``
+    and the second leaves both endpoints at ``M = max(a, b) + 2``, which
+    also dominates every intermediate value — so the fused update writes
+    ``M`` to both sides and returns ``max(M)``.
+    """
+    m = np.maximum(clock[src], clock[dst])
+    m += 2
+    clock[src] = m
+    clock[dst] = m
+    return int(m.max())
+
+
 def _advance_round_occ(
     clock: np.ndarray, src: np.ndarray, dst: np.ndarray, occ: np.ndarray
 ) -> int:
@@ -298,6 +316,7 @@ def advance_clocks_batch(
     *,
     exclusive: bool = False,
     src_occ: np.ndarray | None = None,
+    paired: bool = False,
 ) -> BatchClockAdvance:
     """Advance clocks for a batch of dependency rounds, in place.
 
@@ -309,11 +328,24 @@ def advance_clocks_batch(
     ``np.arange`` of the largest round (see :func:`_advance_round`).
     ``exclusive`` asserts every round is EREW (distinct senders, distinct
     receivers); ``src_occ`` instead asserts distinct receivers plus known
-    sender occurrence indices (multiplicity ≤ 2) — both caller-trusted
-    static properties of cached message plans.
+    sender occurrence indices (multiplicity ≤ 2); ``paired`` asserts the
+    rounds come in mirrored EREW pairs — round ``2r+1`` is round ``2r``
+    with src/dst exchanged, over the same index sets — letting consecutive
+    round pairs fuse into one :func:`_advance_rounds_paired` update. All
+    three are caller-trusted static properties of cached message plans.
     """
     max_clock = 0
     rounds = 0
+    if paired:
+        for i in range(0, len(offsets) - 1, 2):
+            a, b = int(offsets[i]), int(offsets[i + 1])
+            if b <= a:
+                continue
+            rounds += 2
+            m = _advance_rounds_paired(clock, src[a:b], dst[a:b])
+            if m > max_clock:
+                max_clock = m
+        return BatchClockAdvance(rounds=rounds, max_clock=max_clock)
     for i in range(len(offsets) - 1):
         a, b = int(offsets[i]), int(offsets[i + 1])
         if b <= a:
@@ -406,6 +438,9 @@ class SpatialMachine:
         self.engine = engine
         self._uniq_scratch: np.ndarray | None = None
         self._arange_buf: np.ndarray | None = None
+        #: memoized replay plans (e.g. sort networks) keyed by the caller;
+        #: depends only on the placement, so it survives :meth:`reset_costs`
+        self.plan_cache: dict[tuple[object, ...], object] = {}
         self.n = int(n)
         self.curve = resolve_curve(curve)
         self.side = self.curve.validate_side(side) if side else self.curve.min_side(n)
@@ -763,6 +798,7 @@ class SpatialMachine:
         combiner: str | None = None,
         exclusive: bool = False,
         src_occ: np.ndarray | None = None,
+        paired: bool = False,
     ) -> np.ndarray | None:
         """Trusted replay of a cached, pre-validated message plan.
 
@@ -779,8 +815,12 @@ class SpatialMachine:
         rounds with distinct receivers but sender multiplicity up to 2:
         per-message sender occurrence indices (0 for a sender's first
         message of its round, 1 for its second), as the virtual broadcast
-        relay produces. Under the scalar engine this falls back to the
-        validated :meth:`send_batch` path.
+        relay produces. ``paired`` asserts the rounds come in mirrored
+        EREW pairs — round ``2r+1`` replays round ``2r`` with src and dst
+        exchanged over the same index sets, the compare-exchange shape of
+        the cached sort-network plans — fusing each pair into one clock
+        update. Under the scalar engine this falls back to the validated
+        :meth:`send_batch` path.
         """
         if self.engine != "batched":
             return self.send_batch(
@@ -788,7 +828,7 @@ class SpatialMachine:
             )
         return self._send_batched(
             src, dst, values, rounds, combiner, dist,
-            all_remote=True, exclusive=exclusive, src_occ=src_occ,
+            all_remote=True, exclusive=exclusive, src_occ=src_occ, paired=paired,
         )
 
     def _send_batched(
@@ -803,15 +843,17 @@ class SpatialMachine:
         all_remote: bool = False,
         exclusive: bool = False,
         src_occ: np.ndarray | None = None,
+        paired: bool = False,
     ) -> np.ndarray | None:
         """Vectorized engine behind :meth:`send_batch` (``engine="batched"``).
 
         ``all_remote=True`` (the :meth:`send_plan` contract) asserts every
         message has distinct endpoints, skipping the self-message scan;
-        ``exclusive=True`` asserts each round is EREW, and ``src_occ``
-        asserts distinct receivers plus sender occurrence indices (see
-        :func:`advance_clocks_batch`). ``src_occ`` requires
-        ``all_remote=True`` — it is aligned to the unfiltered batch.
+        ``exclusive=True`` asserts each round is EREW, ``src_occ`` asserts
+        distinct receivers plus sender occurrence indices, and ``paired``
+        asserts mirrored EREW round pairs (see
+        :func:`advance_clocks_batch`). ``src_occ`` and ``paired`` require
+        ``all_remote=True`` — they describe the unfiltered batch.
         """
         vals: np.ndarray | None = None
         if values is not None:
@@ -847,7 +889,7 @@ class SpatialMachine:
         scratch = self._scratch()
         adv = advance_clocks_batch(
             self.clock, rs, rd, roffsets, scratch, ar,
-            exclusive=exclusive, src_occ=src_occ,
+            exclusive=exclusive, src_occ=src_occ, paired=paired,
         )
         self._max_clock = max(self._max_clock, adv.max_clock)
         instruments = self._instruments

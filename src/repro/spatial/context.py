@@ -100,12 +100,18 @@ class SpatialTree:
     # ------------------------------------------------------------------ #
 
     def send(self, src_vertices, dst_vertices, values=None):
-        """Charged message step between *vertices* (ids translated to processors)."""
+        """Charged message step between *vertices* (ids translated to processors).
+
+        Routed through :meth:`~repro.machine.SpatialMachine.send_batch` as a
+        single dependency round so it follows the context's engine: scalar
+        replays the reference ``send``, batched runs the vectorized path —
+        with identical accounting either way.
+        """
         src = as_index_array(np.atleast_1d(src_vertices), name="src_vertices")
         dst = as_index_array(np.atleast_1d(dst_vertices), name="dst_vertices")
         check_in_range(src, 0, self.n, name="src_vertices")
         check_in_range(dst, 0, self.n, name="dst_vertices")
-        return self.machine.send(self.proc[src], self.proc[dst], values)
+        return self.machine.send_batch(self.proc[src], self.proc[dst], values)
 
     def send_batch(
         self, src_vertices, dst_vertices, values=None, *, rounds=None, combiner=None

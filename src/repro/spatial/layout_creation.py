@@ -26,7 +26,7 @@ Measured total: O(n^{3/2}) energy, O(log n) depth w.h.p. — Theorem 4.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -51,52 +51,58 @@ class LayoutCreationResult:
     messages: int
     phases: dict
     list_rank_rounds: tuple[int, int]
+    #: number of charged bulk sends (engine-invariant, like the totals)
+    steps: int = 0
+    #: the machine the pipeline ran on (clocks, ledger, instruments)
+    machine: SpatialMachine | None = field(default=None, repr=False, compare=False)
 
 
 def _euler_succ(tree: Tree, child_sort_key: np.ndarray | None) -> tuple[np.ndarray, np.ndarray]:
-    """Successor pointers of the Euler-tour edge list.
+    """Successor pointers of the Euler-tour edge list (fully vectorized).
 
     Element ids: ``down(v) = v - 1``-style compaction is avoided for
     clarity — element ``2e`` is the down-edge to child ``kids[e]`` and
     ``2e + 1`` its up-edge, where ``e`` enumerates non-root vertices.
     Returns (succ, child_of_element).
     """
-    from repro.trees.traversal import _ordered_children
-
     n = tree.n
-    kids_of = _ordered_children(tree, child_sort_key)
+    parents = tree.parents
     # element numbering: for non-root v with index j in `order_nonroot`,
     # down-edge = 2j, up-edge = 2j + 1
-    nonroot = np.flatnonzero(tree.parents >= 0)
-    elem_of_vertex = np.full(n, -1, dtype=np.int64)
-    elem_of_vertex[nonroot] = np.arange(len(nonroot))
-    k = 2 * len(nonroot)
-    succ = np.full(k, -1, dtype=np.int64)
-    owner = np.empty(k, dtype=np.int64)  # child endpoint (hosting vertex)
-    for j, v in enumerate(nonroot):
-        owner[2 * j] = v
-        owner[2 * j + 1] = v
-    for v in range(n):
-        kids = kids_of[v]
-        if len(kids) == 0:
-            continue
-        first = int(kids[0])
-        # arrival at v continues into its first child; for the root the
-        # tour *starts* with that edge, otherwise the down-edge into v
-        # chains to it
-        if tree.parents[v] >= 0:
-            succ[2 * elem_of_vertex[v]] = 2 * elem_of_vertex[first]
-        # each child's up-edge chains to the next sibling's down-edge,
-        # the last child's up-edge returns/exits
-        for a, b in zip(kids[:-1], kids[1:]):
-            succ[2 * elem_of_vertex[int(a)] + 1] = 2 * elem_of_vertex[int(b)]
-        last = int(kids[-1])
-        if tree.parents[v] >= 0:
-            succ[2 * elem_of_vertex[last] + 1] = 2 * elem_of_vertex[v] + 1
+    nonroot = np.flatnonzero(parents >= 0)
+    e = np.full(n, -1, dtype=np.int64)
+    e[nonroot] = np.arange(len(nonroot))
+    succ = np.full(2 * len(nonroot), -1, dtype=np.int64)
+    owner = np.repeat(nonroot, 2)  # child endpoint (hosting vertex)
+    # children grouped by parent (csr order = ascending child id); an
+    # optional stable within-group sort by key keeps id order on ties
+    offsets, kids = tree.children_csr()
+    gpar = parents[kids]
+    if child_sort_key is not None:
+        perm = np.lexsort((child_sort_key[kids], gpar))
+        kids = kids[perm]
+    first = np.empty(len(kids), dtype=bool)
+    first[:1] = True
+    np.not_equal(gpar[1:], gpar[:-1], out=first[1:])
+    last = np.empty(len(kids), dtype=bool)
+    np.not_equal(gpar[1:], gpar[:-1], out=last[:-1])
+    last[-1:] = True
+    # arrival at v continues into its first child; for the root the tour
+    # *starts* with that edge, otherwise the down-edge into v chains to it
+    pf, cf = gpar[first], kids[first]
+    sel = parents[pf] >= 0
+    succ[2 * e[pf[sel]]] = 2 * e[cf[sel]]
+    # each child's up-edge chains to the next sibling's down-edge
+    adj = ~first[1:]
+    succ[2 * e[kids[:-1][adj]] + 1] = 2 * e[kids[1:][adj]]
+    # the last child's up-edge returns to its parent's up-edge (the root's
+    # last child's up-edge ends the tour)
+    pl, cl = gpar[last], kids[last]
+    sel = parents[pl] >= 0
+    succ[2 * e[cl[sel]] + 1] = 2 * e[pl[sel]] + 1
     # leaves: down-edge chains directly to own up-edge
-    for v in nonroot:
-        if len(kids_of[v]) == 0:
-            succ[2 * elem_of_vertex[v]] = 2 * elem_of_vertex[v] + 1
+    leaf = nonroot[np.diff(offsets)[nonroot] == 0]
+    succ[2 * e[leaf]] = 2 * e[leaf] + 1
     return succ, owner
 
 
@@ -106,16 +112,35 @@ def create_light_first_layout(
     curve="hilbert",
     initial_positions=None,
     seed=None,
+    engine="scalar",
+    machine=None,
 ) -> LayoutCreationResult:
     """Run the §IV pipeline and return the light-first layout with costs.
 
     ``initial_positions`` is the arbitrary starting placement (vertex →
     processor), defaulting to the identity. The returned layout is verified
-    to satisfy the §III-A light-first definition.
+    to satisfy the §III-A light-first definition. ``engine`` selects the
+    machine's messaging engine; both produce identical layouts and
+    identical energy/depth/message/step accounting (the batched engine
+    replays a cached sort-network plan for the child-sort phase and runs
+    the remaining phases through ``send_batch``).
+
+    ``machine`` optionally reuses a same-size machine from a previous run:
+    costs are reset but its plan cache (notably the bitonic sort network)
+    survives, so repeated same-size pipelines skip network construction.
+    The machine's own curve and engine take precedence over the ``curve``
+    and ``engine`` arguments.
     """
     n = tree.n
-    machine_layout = TreeLayout.build(tree, order="light_first", curve=curve)
-    machine = SpatialMachine(n, curve=machine_layout.curve, side=machine_layout.side)
+    if machine is None:
+        machine = SpatialMachine(n, curve=curve, engine=engine)
+    else:
+        if machine.n != n:
+            raise ValidationError(
+                f"reused machine has {machine.n} processors, tree has {n}"
+            )
+        machine.reset_costs()
+    curve = machine.curve  # single source of truth for the layout geometry
     if initial_positions is None:
         initial_positions = np.arange(n, dtype=np.int64)
     else:
@@ -125,7 +150,7 @@ def create_light_first_layout(
 
     if n == 1:
         layout = TreeLayout.build(tree, order="light_first", curve=curve)
-        return LayoutCreationResult(layout, 0, 0, 0, {}, (0, 0))
+        return LayoutCreationResult(layout, 0, 0, 0, {}, (0, 0), 0, machine)
 
     proc = initial_positions  # vertex -> processor during the pipeline
 
@@ -160,13 +185,13 @@ def create_light_first_layout(
         # its left neighbour who it is (defining next-sibling links), then
         # every record carries its link home to the child's processor
         if n > 2:
-            machine.send(
+            machine.send_batch(
                 np.arange(1, n - 1, dtype=np.int64),
                 np.arange(0, n - 2, dtype=np.int64),
             )
         order_sorted = np.argsort(key, kind="stable")
         sorted_children = nonroot[order_sorted]
-        machine.send(
+        machine.send_batch(
             np.arange(len(sorted_children), dtype=np.int64), proc[sorted_children]
         )
 
@@ -186,7 +211,7 @@ def create_light_first_layout(
         is_down = np.zeros(total, dtype=np.int64)
         is_down[0::2] = 1  # even element ids are down-edges
         slot_proc = idx2 // 2
-        machine.send(proc[owner2], slot_proc, is_down)
+        machine.send_batch(proc[owner2], slot_proc, is_down)
         flag_at_slot = np.zeros(total, dtype=np.int64)
         flag_at_slot[idx2] = is_down
         pair_sums = np.zeros(machine.n, dtype=np.int64)
@@ -199,7 +224,7 @@ def create_light_first_layout(
         slot_prefix[odd] += flag_at_slot[np.flatnonzero(odd) - 1]
         down_elem_ids = 2 * np.arange(n - 1)
         down_slots = idx2[down_elem_ids]
-        machine.send(down_slots // 2, proc[owner2[down_elem_ids]])
+        machine.send_batch(down_slots // 2, proc[owner2[down_elem_ids]])
         position = np.empty(n, dtype=np.int64)
         # the root occupies position 0; each child's position is one past
         # the number of earlier first occurrences
@@ -225,4 +250,6 @@ def create_light_first_layout(
         messages=machine.messages,
         phases=machine.ledger.summary(),
         list_rank_rounds=(res1.rounds, res2.rounds),
+        steps=machine.steps,
+        machine=machine,
     )

@@ -127,7 +127,7 @@ def list_rank(
     cur_succ = succ.copy()
     pred = np.full(k, -1, dtype=np.int64)
     live = np.flatnonzero(cur_succ >= 0)
-    if len(np.unique(cur_succ[live])) != len(live):
+    if len(live) and int(np.bincount(cur_succ[live], minlength=k).max()) > 1:
         raise ValidationError("succ does not describe a simple list (duplicate successor)")
     if int((cur_succ < 0).sum()) != 1:
         raise ValidationError("succ must describe exactly one list (one tail)")

@@ -150,6 +150,10 @@ def range_broadcast(st, starts: np.ndarray, lengths: np.ndarray) -> None:
     # precompute levels per distinct length
     levels_for = {L: _range_tree_levels(L) for L in by_len}
     num_rounds = max(len(v) for v in levels_for.values())
+    # assemble the union of all ranges' level-r edges as CSR dependency
+    # rounds and charge the whole broadcast forest in one engine batch
+    chunks: list[np.ndarray] = []
+    sizes: list[int] = []
     for r in range(num_rounds):
         src_all = []
         dst_all = []
@@ -164,4 +168,13 @@ def range_broadcast(st, starts: np.ndarray, lengths: np.ndarray) -> None:
             src_all.append(src)
             dst_all.append(dst)
         if src_all:
-            machine.send(np.concatenate(src_all), np.concatenate(dst_all))
+            chunks.append(np.concatenate(src_all))
+            chunks.append(np.concatenate(dst_all))
+            sizes.append(len(chunks[-1]))
+    if sizes:
+        offsets = np.concatenate([[0], np.cumsum(sizes)]).astype(np.int64)
+        machine.send_batch(
+            np.concatenate(chunks[0::2]),
+            np.concatenate(chunks[1::2]),
+            rounds=offsets,
+        )

@@ -65,6 +65,43 @@ class TestAlgorithms:
         out = capsys.readouterr().out
         assert "alpha_hat" in out and "peano" in out
 
+    def test_sort_verifies(self, capsys):
+        assert main(["sort", "--n", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "engine=scalar" in out
+
+    def test_sort_batched_descending(self, capsys):
+        assert main(["sort", "--n", "200", "--engine", "batched", "--descending"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "engine=batched" in out
+
+    def test_layout_create_runs_per_engine(self, capsys):
+        bills = {}
+        for engine in ("scalar", "batched"):
+            assert main(["layout-create", "--tree", "prufer", "--n", "150",
+                         "--engine", engine]) == 0
+            out = capsys.readouterr().out
+            assert "light-first layout creation" in out and "child_sort" in out
+            bills[engine] = out.split("\n")[1]  # the totals line
+        assert bills["scalar"] == bills["batched"]
+
+    def test_lca_accepts_engine(self, capsys):
+        assert main(["lca", "--tree", "prufer", "--n", "128", "--queries", "32",
+                     "--engine", "batched"]) == 0
+        assert "engine=batched" in capsys.readouterr().out
+
+    def test_expr_and_cuts_accept_engine(self, capsys):
+        assert main(["expr", "--n", "128", "--engine", "batched"]) == 0
+        capsys.readouterr()
+        assert main(["cuts", "--tree", "prufer", "--n", "128",
+                     "--engine", "batched"]) == 0
+
+    def test_unknown_engine_exits_2(self):
+        for cmd in (["sort"], ["layout-create"], ["lca"], ["expr"], ["cuts"]):
+            with pytest.raises(SystemExit) as exc:
+                main(cmd + ["--engine", "warp"])
+            assert exc.value.code == 2
+
 
 class TestTelemetryOutputs:
     def test_treefix_report_and_trace(self, tmp_path, capsys):

@@ -1,0 +1,186 @@
+"""Differential tests: the routing layer under scalar vs batched engines.
+
+PR 5 extends the batched engine to the Θ(n^{3/2}) routing primitives
+(`bitonic_sort` with cached sort-network plans, `permute`, `scatter`) and
+threads it through the §IV layout-creation pipeline. These tests pin the
+accounting contract: identical results, ledger totals, per-phase bills,
+per-processor depth clocks and step counts on every workload, including
+non-power-of-two sizes where the network pads with virtual sentinel lanes.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.machine.machine import SpatialMachine
+from repro.machine.routing import bitonic_sort, permute, scatter
+from repro.spatial.layout_creation import create_light_first_layout
+from repro.spatial.subtree_cover import range_broadcast
+from repro.spatial import SpatialTree
+from repro.trees import prufer_random_tree, star_tree
+
+ENGINES = ("scalar", "batched")
+
+
+def assert_machines_agree(ms: SpatialMachine, mb: SpatialMachine) -> None:
+    """Full accounting equivalence: totals, phases, clocks, steps."""
+    assert ms.snapshot() == mb.snapshot()
+    assert ms.steps == mb.steps
+    assert np.array_equal(ms.clock, mb.clock)
+    assert ms.ledger.summary() == mb.ledger.summary()
+
+
+# --------------------------------------------------------------------- #
+# bitonic sort: ascending/descending × payload × non-power-of-two sizes
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=70),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    descending=st.booleans(),
+    with_payload=st.booleans(),
+    curve=st.sampled_from(["hilbert", "zorder", "rowmajor"]),
+)
+def test_bitonic_sort_equivalence(n, seed, descending, with_payload, curve):
+    rng = np.random.default_rng(seed)
+    keys = rng.integers(-100, 100, size=n).astype(np.int64)  # duplicates likely
+    payload = rng.integers(0, 10**6, size=n).astype(np.int64) if with_payload else None
+    outs = {}
+    machines = {}
+    for engine in ENGINES:
+        m = SpatialMachine(n, curve=curve, engine=engine)
+        with m.phase("sort"):
+            k, p = bitonic_sort(m, keys, payload, descending=descending)
+        outs[engine] = (k, p)
+        machines[engine] = m
+    ks, ps = outs["scalar"]
+    kb, pb = outs["batched"]
+    expect = np.sort(keys)[::-1] if descending else np.sort(keys)
+    assert np.array_equal(ks, expect)
+    assert np.array_equal(ks, kb)
+    if payload is None:
+        assert ps is None and pb is None
+    else:
+        assert np.array_equal(ps, pb)
+    assert_machines_agree(machines["scalar"], machines["batched"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_permute_equivalence(n, seed):
+    rng = np.random.default_rng(seed)
+    vals = rng.integers(-1000, 1000, size=n).astype(np.int64)
+    dest = rng.permutation(n).astype(np.int64)
+    outs = {}
+    machines = {}
+    for engine in ENGINES:
+        m = SpatialMachine(n, engine=engine)
+        outs[engine] = permute(m, vals, dest)
+        machines[engine] = m
+    assert np.array_equal(outs["scalar"], outs["batched"])
+    assert np.array_equal(outs["scalar"][dest], vals)
+    assert_machines_agree(machines["scalar"], machines["batched"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=64),
+    k=st.integers(min_value=1, max_value=80),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_scatter_equivalence(n, k, seed):
+    """Partial, duplicate-target, self-message scatters charge identically."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=k).astype(np.int64)
+    dst = rng.integers(0, n, size=k).astype(np.int64)
+    vals = rng.integers(-9, 9, size=k).astype(np.int64)
+    machines = {}
+    for engine in ENGINES:
+        m = SpatialMachine(n, engine=engine)
+        scatter(m, src, dst, vals)
+        machines[engine] = m
+    assert_machines_agree(machines["scalar"], machines["batched"])
+
+
+# --------------------------------------------------------------------- #
+# the full §IV pipeline
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    curve=st.sampled_from(["hilbert", "zorder"]),
+)
+def test_layout_creation_equivalence(n, seed, curve):
+    """create_light_first_layout: same layout, totals, per-phase bills,
+    list-rank round counts, step counts and depth clocks per engine."""
+    tree = prufer_random_tree(n, seed=seed)
+    res = {
+        engine: create_light_first_layout(tree, curve=curve, seed=seed, engine=engine)
+        for engine in ENGINES
+    }
+    rs, rb = res["scalar"], res["batched"]
+    assert np.array_equal(rs.layout.order, rb.layout.order)
+    assert (rs.energy, rs.depth, rs.messages) == (rb.energy, rb.depth, rb.messages)
+    assert rs.steps == rb.steps
+    assert rs.phases == rb.phases
+    assert rs.list_rank_rounds == rb.list_rank_rounds
+    assert rs.machine is not None and rb.machine is not None
+    assert_machines_agree(rs.machine, rb.machine)
+
+
+def test_layout_creation_initial_positions_equivalence():
+    """A non-identity starting placement exercises the proc[] indirection
+    in every converted send."""
+    tree = prufer_random_tree(40, seed=3)
+    rng = np.random.default_rng(7)
+    init = rng.permutation(40)
+    res = {
+        engine: create_light_first_layout(
+            tree, seed=5, initial_positions=init, engine=engine
+        )
+        for engine in ENGINES
+    }
+    rs, rb = res["scalar"], res["batched"]
+    assert np.array_equal(rs.layout.order, rb.layout.order)
+    assert rs.phases == rb.phases
+    assert rs.steps == rb.steps
+    assert_machines_agree(rs.machine, rb.machine)
+
+
+def test_layout_creation_singleton():
+    for engine in ENGINES:
+        res = create_light_first_layout(prufer_random_tree(1), engine=engine)
+        assert (res.energy, res.depth, res.messages, res.steps) == (0, 0, 0, 0)
+        assert res.machine is not None and res.machine.engine == engine
+
+
+# --------------------------------------------------------------------- #
+# range broadcast (Lemma 13) — now a single CSR batch
+# --------------------------------------------------------------------- #
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=4, max_value=64),
+)
+def test_range_broadcast_equivalence(seed, n):
+    rng = np.random.default_rng(seed)
+    # carve [0, n) into disjoint ranges of random lengths (some length-1)
+    cuts = np.unique(rng.integers(0, n + 1, size=max(1, n // 4)))
+    bounds = np.concatenate([[0], cuts[(cuts > 0) & (cuts < n)], [n]])
+    starts = bounds[:-1]
+    lengths = np.diff(bounds)
+    machines = {}
+    for engine in ENGINES:
+        stree = SpatialTree.build(star_tree(n), order="light_first", engine=engine)
+        range_broadcast(stree, starts, lengths)
+        machines[engine] = stree.machine
+    assert_machines_agree(machines["scalar"], machines["batched"])

@@ -1,0 +1,176 @@
+"""Edge cases of the cached bitonic sort network (PR 5 tentpole).
+
+* Cache: the second same-size sort replays the stored plan without
+  rebuilding the network (pinned by monkeypatching the builder away).
+* Round count: Batcher's network has exactly log2(m)·(log2(m)+1)/2
+  compare-exchange rounds — the O(log² m) depth regression guard.
+* Sentinel accounting: virtual padding lanes (ids ≥ n) never appear in
+  charged messages; a virtual exchange costs nothing on either engine.
+* Payload provenance survives duplicate keys identically on both engines.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import (
+    SpatialMachine,
+    bitonic_sort,
+    sort_network_plan,
+)
+from repro.machine.routing import _build_sort_network_plan
+from repro.utils import next_power_of_two
+
+ENGINES = ("scalar", "batched")
+
+
+def batcher_rounds(m: int) -> int:
+    """Σ_{k=1..log2(m)} k — the bitonic network's round count."""
+    stages = int(np.log2(m)) if m > 1 else 0
+    return stages * (stages + 1) // 2
+
+
+# --------------------------------------------------------------------- #
+# plan cache
+# --------------------------------------------------------------------- #
+
+
+def test_second_same_size_sort_skips_network_construction(monkeypatch):
+    m = SpatialMachine(37, engine="batched")
+    keys = np.arange(37, dtype=np.int64)[::-1].copy()
+    bitonic_sort(m, keys)  # builds and caches the plan
+    assert ("sort_network", next_power_of_two(37), False) in m.plan_cache
+
+    def boom(*a, **k):  # pragma: no cover - must not be reached
+        raise AssertionError("plan rebuilt despite cache")
+
+    monkeypatch.setattr("repro.machine.routing._build_sort_network_plan", boom)
+    out, _ = bitonic_sort(m, keys)  # cache hit: builder never called
+    assert np.array_equal(out, np.arange(37))
+
+
+def test_plan_cache_is_per_direction_and_size():
+    m = SpatialMachine(16, engine="batched")
+    asc = sort_network_plan(m)
+    desc = sort_network_plan(m, descending=True)
+    assert asc is not desc
+    assert sort_network_plan(m) is asc
+    assert sort_network_plan(m, descending=True) is desc
+
+
+def test_plan_cache_survives_reset_costs():
+    m = SpatialMachine(16, engine="batched")
+    plan = sort_network_plan(m)
+    m.reset_costs()
+    assert sort_network_plan(m) is plan
+
+
+# --------------------------------------------------------------------- #
+# Batcher round count (the O(log² m) regression guard)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("n", [2, 4, 8, 16, 64, 256])
+def test_round_count_is_batchers(n):
+    m = SpatialMachine(n, engine="batched")
+    plan = sort_network_plan(m)
+    assert plan.rounds == batcher_rounds(n)
+    # power-of-two sizes have no virtual lanes: every round charges both
+    # directions, so steps advance by exactly 2·rounds
+    bitonic_sort(m, np.arange(n, dtype=np.int64))
+    assert m.steps == 2 * plan.rounds
+
+
+@pytest.mark.parametrize("n", [3, 5, 11, 33, 70])
+def test_round_count_non_power_of_two(n):
+    m = SpatialMachine(n, engine="batched")
+    plan = sort_network_plan(m)
+    assert plan.m == next_power_of_two(n)
+    assert plan.rounds == batcher_rounds(plan.m)
+    # scalar engine takes exactly the same number of charged steps
+    ms = SpatialMachine(n, engine="scalar")
+    mb = SpatialMachine(n, engine="batched")
+    keys = (np.arange(n, dtype=np.int64) * 7919) % 101
+    bitonic_sort(ms, keys.copy())
+    bitonic_sort(mb, keys.copy())
+    assert ms.steps == mb.steps
+
+
+# --------------------------------------------------------------------- #
+# sentinel-lane exclusion
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("n", [3, 5, 6, 7, 9, 13, 33])
+def test_virtual_exchanges_charge_nothing(n):
+    """Charged messages must exactly match the count of real-real
+    comparator pairs, computed by an independent reference enumeration."""
+    machine = SpatialMachine(n, engine="batched")
+    plan = sort_network_plan(machine)
+    # independent reference: walk Batcher's (k, j) schedule and count
+    # comparators with both endpoints < n
+    m = plan.m
+    real_pairs = 0
+    k = 2
+    while k <= m:
+        j = k // 2
+        while j >= 1:
+            i = np.arange(m)
+            partner = i ^ j
+            lo = i[(i < partner)]
+            hi = (lo ^ j)
+            real_pairs += int(np.count_nonzero((lo < n) & (hi < n)))
+            j //= 2
+        k *= 2
+    assert plan.messages == 2 * real_pairs
+    assert (plan.msg_src < n).all() and (plan.msg_dst < n).all()
+    # and the measured message total agrees on both engines
+    keys = np.arange(n, dtype=np.int64)[::-1].copy()
+    counts = {}
+    for engine in ENGINES:
+        mm = SpatialMachine(n, engine=engine)
+        bitonic_sort(mm, keys.copy())
+        counts[engine] = mm.messages
+    assert counts["scalar"] == counts["batched"] == 2 * real_pairs
+
+
+def test_singleton_sort_charges_nothing():
+    for engine in ENGINES:
+        m = SpatialMachine(1, engine=engine)
+        out, _ = bitonic_sort(m, np.array([42], dtype=np.int64))
+        assert np.array_equal(out, [42])
+        assert m.snapshot() == {"energy": 0, "messages": 0, "depth": 0}
+        assert m.steps == 0
+
+
+def test_plan_builder_matches_cached_plan():
+    """sort_network_plan returns exactly what the builder constructs."""
+    machine = SpatialMachine(21, engine="batched")
+    plan = sort_network_plan(machine)
+    fresh = _build_sort_network_plan(machine, plan.m, False)
+    for field in ("msg_src", "msg_dst", "msg_dist", "msg_rounds"):
+        assert np.array_equal(getattr(plan, field), getattr(fresh, field))
+
+
+# --------------------------------------------------------------------- #
+# payload provenance under duplicate keys
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.parametrize("descending", [False, True])
+def test_payload_provenance_with_duplicate_keys(descending):
+    rng = np.random.default_rng(11)
+    n = 45
+    keys = rng.integers(0, 6, size=n).astype(np.int64)  # heavy duplication
+    payload = np.arange(n, dtype=np.int64)  # provenance = original index
+    outs = {}
+    for engine in ENGINES:
+        m = SpatialMachine(n, engine=engine)
+        outs[engine] = bitonic_sort(m, keys, payload, descending=descending)
+    ks, ps = outs["scalar"]
+    kb, pb = outs["batched"]
+    assert np.array_equal(ks, kb)
+    assert np.array_equal(ps, pb)
+    # provenance: the payload entry is the original index of its key, so
+    # gathering keys through it must reproduce the sorted output exactly
+    assert np.array_equal(keys[ps], ks)
+    assert np.array_equal(np.sort(ps), np.arange(n))  # a permutation
