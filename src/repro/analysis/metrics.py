@@ -32,9 +32,20 @@ from repro.errors import ValidationError
 _NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
+#: HTTP Content-Type of :meth:`MetricsRegistry.render_prometheus` output
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def _escape_label_value(value: str) -> str:
+    """Exposition-format label-value escaping: backslash, quote, newline —
+    in that order, so already-escaped backslashes don't double up."""
     return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(value: str) -> str:
+    """``# HELP`` text escaping (the format escapes ``\\`` and newlines
+    only; quotes are legal verbatim in help text)."""
+    return value.replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _format_value(value) -> str:
@@ -214,14 +225,22 @@ class MetricsRegistry:
         return "{" + body + "}"
 
     def render_prometheus(self) -> str:
-        """The registry in Prometheus text exposition format (0.0.4)."""
+        """The registry in Prometheus text exposition format (0.0.4).
+
+        Conformance guarantees: ``# HELP`` / ``# TYPE`` appear **exactly
+        once** per metric family (the registry is keyed by family name, so
+        a name cannot render twice), label values and help text are
+        escaped per the format (backslash, quote, newline), and rendering
+        never mutates the registry — an untouched label-less family emits
+        a transient zero sample without materializing a child.
+        """
         lines: list[str] = []
         for family in self._families.values():
             if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# HELP {family.name} {_escape_help(family.help)}")
             lines.append(f"# TYPE {family.name} {family.type}")
             children = family.children or (
-                {} if family.labelnames else {(): family._default_child()}
+                {} if family.labelnames else {(): family._make_child(())}
             )
             for child in children.values():
                 if isinstance(child, _HistogramChild):
@@ -311,6 +330,39 @@ def publish_machine(registry: MetricsRegistry, machine) -> None:
         phase_energy.labels(phase=name).inc(phase.energy)
         phase_messages.labels(phase=name).inc(phase.messages)
         phase_depth.labels(phase=name).set(phase.depth)
+    registry.gauge(
+        "repro_machine_info",
+        "machine identity (constant 1; identity rides on the labels)",
+        ("curve", "metric", "engine"),
+    ).labels(
+        curve=machine.curve.name, metric=machine.metric, engine=machine.engine
+    ).set(1)
+    publish_plan_cache(registry, machine.plan_cache)
+
+
+def publish_plan_cache(registry: MetricsRegistry, plan_cache) -> None:
+    """Plan-cache effectiveness: per-family hit/miss counters + entry count.
+
+    Accepts the machine's :class:`~repro.machine.machine.PlanCache` (a
+    plain dict also works — it just publishes size only).
+    """
+    registry.gauge(
+        "repro_plan_cache_size", "memoized plan entries held by the machine"
+    ).set(len(plan_cache))
+    hits = getattr(plan_cache, "hits", None)
+    misses = getattr(plan_cache, "misses", None)
+    if hits is None and misses is None:
+        return
+    hit_family = registry.counter(
+        "repro_plan_cache_hits_total", "plan-cache lookups served from cache", ("plan",)
+    )
+    miss_family = registry.counter(
+        "repro_plan_cache_misses_total", "plan-cache lookups that built a plan", ("plan",)
+    )
+    for family, count in sorted((hits or {}).items()):
+        hit_family.labels(plan=family).inc(count)
+    for family, count in sorted((misses or {}).items()):
+        miss_family.labels(plan=family).inc(count)
 
 
 def publish_tracer(registry: MetricsRegistry, tracer) -> None:

@@ -250,14 +250,24 @@ class RunReport:
 # ---------------------------------------------------------------------- #
 
 
-def chrome_trace_events(recorder: RunRecorder) -> list[dict]:
-    """Map a recorded run onto Chrome trace events (the Perfetto timeline).
+def chrome_trace_from_spans(
+    spans: list[dict],
+    *,
+    counters: list[dict] | None = None,
+    process_name: str = "repro spatial machine (ts = depth rounds)",
+) -> list[dict]:
+    """Map span dicts onto Chrome trace events (the Perfetto timeline).
 
-    The depth clock plays the role of time: each phase span becomes a
-    complete ("X") slice ``[depth_start, depth_end]`` on one logical
-    thread, so nesting reproduces the algorithm's phase stack as a flame
-    chart; cumulative energy and message counters ("C") ride along per
-    step. Every event carries ``name``/``ph``/``ts`` as the format requires.
+    The depth clock plays the role of time: each span becomes a complete
+    ("X") slice ``[depth_start, depth_end]`` on one logical thread, so
+    nesting reproduces the algorithm's phase stack as a flame chart.
+    ``counters`` rows (dicts with ``depth_after``/``energy``/``messages``)
+    ride along as cumulative counter ("C") events. Every event carries
+    ``name``/``ph``/``ts`` as the format requires.
+
+    Accepts both :meth:`RunRecorder.finished_spans` rows and the
+    :class:`repro.telemetry.spans.Span` JSON shape (span-kind and cost
+    figures, when present, land in ``args``).
     """
     events: list[dict] = [
         {
@@ -266,7 +276,7 @@ def chrome_trace_events(recorder: RunRecorder) -> list[dict]:
             "ts": 0,
             "pid": 0,
             "tid": 0,
-            "args": {"name": "repro spatial machine (ts = depth rounds)"},
+            "args": {"name": process_name},
         },
         {
             "name": "thread_name",
@@ -277,27 +287,44 @@ def chrome_trace_events(recorder: RunRecorder) -> list[dict]:
             "args": {"name": "phase stack"},
         },
     ]
-    spans = recorder.finished_spans()
     # enclosing slices must precede enclosed ones at equal ts: sort (ts, -dur)
     for span in sorted(
         spans, key=lambda s: (s["depth_start"], -(s["depth_end"] - s["depth_start"]))
     ):
         start = span["depth_start"]
         dur = max(span["depth_end"] - start, 0)
+        args = {"stack": "/".join(span["stack"]), "level": span["level"]}
+        for extra in ("energy", "messages", "rounds"):
+            if extra in span:
+                args[extra] = span[extra]
+        if span.get("kind") == "alert":
+            events.append(
+                {
+                    "name": span["name"],
+                    "cat": "alert",
+                    "ph": "i",
+                    "s": "g",
+                    "ts": start,
+                    "pid": 0,
+                    "tid": 0,
+                    "args": args,
+                }
+            )
+            continue
         events.append(
             {
                 "name": span["name"],
-                "cat": "phase",
+                "cat": span.get("kind", "phase"),
                 "ph": "X",
                 "ts": start,
                 "dur": dur,
                 "pid": 0,
                 "tid": 0,
-                "args": {"stack": "/".join(span["stack"]), "level": span["level"]},
+                "args": args,
             }
         )
     energy = messages = 0
-    for row in recorder.steps:
+    for row in counters or ():
         energy += row["energy"]
         messages += row["messages"]
         events.append(
@@ -312,10 +339,36 @@ def chrome_trace_events(recorder: RunRecorder) -> list[dict]:
     return events
 
 
+def chrome_trace_events(recorder: RunRecorder) -> list[dict]:
+    """Chrome trace events for a recorded run (see :func:`chrome_trace_from_spans`)."""
+    return chrome_trace_from_spans(recorder.finished_spans(), counters=recorder.steps)
+
+
 def save_chrome_trace(recorder: RunRecorder, path) -> Path:
     """Write the run as a Chrome trace-event JSON array, Perfetto-loadable."""
     path = Path(path)
     path.write_text(json.dumps(chrome_trace_events(recorder)) + "\n")
+    return path
+
+
+def span_log_to_chrome_trace(jsonl_path, path) -> Path:
+    """Convert a telemetry span JSONL file to a Perfetto-loadable trace.
+
+    The live sibling of :func:`save_chrome_trace`: eats the stream a
+    :class:`repro.telemetry.spans.SpanTracer` wrote with ``--span-log``.
+    """
+    from repro.telemetry.spans import load_span_jsonl
+
+    header, spans = load_span_jsonl(jsonl_path)
+    machine = header.get("machine") or {}
+    label = header.get("workload") or "telemetry span log"
+    if machine:
+        label = f"{label} [n={machine.get('n')} engine={machine.get('engine')}]"
+    events = chrome_trace_from_spans(
+        spans, process_name=f"{label} (ts = depth rounds)"
+    )
+    path = Path(path)
+    path.write_text(json.dumps(events) + "\n")
     return path
 
 

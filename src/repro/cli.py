@@ -30,6 +30,13 @@ trace-event timeline, loadable in Perfetto / ``chrome://tracing``), and
 ``--no-step-histograms`` (drop per-step distance histograms — memory
 relief on long runs).
 
+Machine-driving subcommands additionally take the live-telemetry flags
+(docs/OBSERVABILITY.md, "Live telemetry"): ``--serve-telemetry PORT``
+(HTTP ``/metrics`` ``/health`` ``/progress`` ``/spans`` while the run
+executes), ``--span-log out.jsonl`` (stream hierarchical spans),
+``--watchdog-sample K`` (engine-divergence watchdog stride), and
+``--telemetry-hold SEC`` (post-run scrape grace period).
+
 Examples::
 
     python -m repro info
@@ -115,6 +122,63 @@ def _add_output_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--no-step-histograms", action="store_true",
                    help="drop per-step distance histograms from the report "
                         "(memory relief on long runs)")
+
+
+def _add_telemetry_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--serve-telemetry", metavar="PORT", type=int, default=None,
+                   help="serve live telemetry over HTTP while the run executes: "
+                        "/metrics (Prometheus), /health, /progress, /spans "
+                        "(loopback only; port 0 picks a free one)")
+    p.add_argument("--span-log", metavar="PATH", default=None,
+                   help="stream hierarchical spans (workload → phase → batch → "
+                        "round) to a JSONL file")
+    p.add_argument("--watchdog-sample", type=int, default=4, metavar="K",
+                   help="engine-divergence watchdog: re-verify every K-th phase "
+                        "against the scalar oracle (0 disables; default 4)")
+    p.add_argument("--telemetry-hold", type=float, default=0.0, metavar="SEC",
+                   help="keep the telemetry server answering this many seconds "
+                        "after the run finishes (scrape grace period for CI or "
+                        "a polling Prometheus)")
+
+
+def _telemetry_session(machine, args, *, workload, planned_phases=None):
+    """The :class:`repro.telemetry.TelemetrySession` the telemetry flags ask
+    for, or an inert context when none were given."""
+    import contextlib
+
+    port = getattr(args, "serve_telemetry", None)
+    span_log = getattr(args, "span_log", None)
+    if port is None and span_log is None:
+        return contextlib.nullcontext(None)
+    from repro.telemetry import TelemetrySession
+
+    return TelemetrySession(
+        machine,
+        port=port,
+        span_log=span_log,
+        watchdog_sample=getattr(args, "watchdog_sample", 4),
+        workload=workload,
+        planned_phases=planned_phases,
+        hold=getattr(args, "telemetry_hold", 0.0),
+    )
+
+
+def _telemetry_banner(session) -> None:
+    if session is not None and session.url:
+        print(f"[telemetry serving at {session.url} — "
+              f"/metrics /health /progress /spans]")
+
+
+def _telemetry_summary(session) -> None:
+    if session is None:
+        return
+    if session.watchdog is not None:
+        snap = session.watchdog.snapshot()
+        verdict = "clean" if snap["clean"] else f"{snap['alerts']} ALERTS"
+        print(f"[watchdog: {snap['checks']} phases re-verified against the "
+              f"scalar oracle, {verdict}]")
+    if session.span_log is not None:
+        print(f"[span log saved to {session.span_log}]")
 
 
 def _attach_telemetry(machine, args):
@@ -208,7 +272,11 @@ def cmd_treefix(args) -> int:
     values = rng.integers(0, 100, size=tree.n)
     st = SpatialTree.build(tree, curve=args.curve, mode=args.mode, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
-    out = treefix_sum(st, values, seed=args.seed)
+    session = _telemetry_session(st.machine, args, workload="treefix")
+    with session as tel:
+        _telemetry_banner(tel)
+        out = treefix_sum(st, values, seed=args.seed)
+    _telemetry_summary(tel)
     ok = np.array_equal(out, bottom_up_treefix(tree, values))
     snap = st.snapshot()
     print(f"tree={args.tree} n={tree.n} Δ={tree.max_degree} mode={st.mode} "
@@ -232,7 +300,11 @@ def cmd_lca(args) -> int:
     vs = rng.permutation(tree.n)[: min(q, tree.n)]
     st = SpatialTree.build(tree, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
-    answers = lca_batch(st, us, vs, seed=args.seed)
+    session = _telemetry_session(st.machine, args, workload="lca")
+    with session as tel:
+        _telemetry_banner(tel)
+        answers = lca_batch(st, us, vs, seed=args.seed)
+    _telemetry_summary(tel)
     expect = BinaryLiftingLCA(tree).query_batch(us, vs)
     ok = np.array_equal(answers, expect)
     snap = st.snapshot()
@@ -257,7 +329,11 @@ def cmd_expr(args) -> int:
     tree, ops, leaf_vals = random_expression(args.n, seed=args.seed)
     st = SpatialTree.build(tree, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
-    got = evaluate_expression(st, ops, leaf_vals, seed=args.seed)
+    session = _telemetry_session(st.machine, args, workload="expr")
+    with session as tel:
+        _telemetry_banner(tel)
+        got = evaluate_expression(st, ops, leaf_vals, seed=args.seed)
+    _telemetry_summary(tel)
     expect = evaluate_expression_sequential(tree, ops, leaf_vals)
     ok = all(int(a) == int(b) for a, b in zip(got, expect))
     snap = st.snapshot()
@@ -283,7 +359,11 @@ def cmd_cuts(args) -> int:
     extra = raw[raw[:, 0] != raw[:, 1]][:m]
     st = SpatialTree.build(tree, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(st.machine, args)
-    cuts = one_respecting_cuts(st, extra, seed=args.seed)
+    session = _telemetry_session(st.machine, args, workload="cuts")
+    with session as tel:
+        _telemetry_banner(tel)
+        cuts = one_respecting_cuts(st, extra, seed=args.seed)
+    _telemetry_summary(tel)
     v, best = cuts.minimum(tree)
     snap = st.snapshot()
     print(f"graph: {tree.n} vertices, {tree.n - 1} tree + {len(extra)} extra edges")
@@ -305,8 +385,12 @@ def cmd_sort(args) -> int:
     keys = rng.integers(0, 10 * max(1, args.n), size=args.n).astype(np.int64)
     machine = SpatialMachine(args.n, curve=args.curve, engine=args.engine)
     recorder = _attach_telemetry(machine, args)
-    with machine.phase("bitonic_sort"):
-        sorted_keys, _ = bitonic_sort(machine, keys, descending=args.descending)
+    session = _telemetry_session(machine, args, workload="sort", planned_phases=1)
+    with session as tel:
+        _telemetry_banner(tel)
+        with machine.phase("bitonic_sort"):
+            sorted_keys, _ = bitonic_sort(machine, keys, descending=args.descending)
+    _telemetry_summary(tel)
     expect = np.sort(keys)
     if args.descending:
         expect = expect[::-1]
@@ -326,12 +410,19 @@ def cmd_sort(args) -> int:
 
 
 def cmd_layout_create(args) -> int:
+    from repro.machine.machine import SpatialMachine
     from repro.spatial.layout_creation import create_light_first_layout
 
     tree = _make_tree(args.tree, args.n, args.seed)
-    res = create_light_first_layout(
-        tree, curve=args.curve, seed=args.seed, engine=args.engine
-    )
+    machine = SpatialMachine(tree.n, curve=args.curve, engine=args.engine)
+    session = _telemetry_session(machine, args, workload="layout-create")
+    with session as tel:
+        _telemetry_banner(tel)
+        res = create_light_first_layout(
+            tree, curve=args.curve, seed=args.seed, engine=args.engine,
+            machine=machine,
+        )
+    _telemetry_summary(tel)
     rows = [
         {"phase": name, "energy": bill["energy"], "messages": bill["messages"],
          "depth": bill["depth"]}
@@ -456,7 +547,11 @@ def cmd_profile(args) -> int:
     recorder = machine.attach(RunRecorder(histograms=not args.no_step_histograms))
     if machine.tracer is None:
         attach_tracer(machine)
-    run()
+    session = _telemetry_session(machine, args, workload=args.workload)
+    with session as tel:
+        _telemetry_banner(tel)
+        run()
+    _telemetry_summary(tel)
     paths = write_profile_bundle(
         args.out, profiler=profiler, recorder=recorder, machine=machine,
         meta=meta, top=args.top,
@@ -497,7 +592,11 @@ def cmd_sanitize(args) -> int:
         machine.attach(DeterminismSanitizer(trials=args.trials, seed=args.seed)),
         machine.attach(GhostStateSanitizer({"workload": st})),
     ]
-    run()
+    session = _telemetry_session(machine, args, workload=args.workload)
+    with session as tel:
+        _telemetry_banner(tel)
+        run()
+    _telemetry_summary(tel)
     for s in sanitizers:
         s.finish(machine)
 
@@ -624,6 +723,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"])
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_treefix)
 
     p = sub.add_parser("lca", help="run a batched LCA (§VI)")
@@ -631,6 +731,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--queries", type=int, default=0, help="query count (default n)")
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_lca)
 
     p = sub.add_parser("expr", help="evaluate a random {+,×} expression tree")
@@ -639,6 +740,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--curve", default="hilbert", choices=available_curves())
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_expr)
 
     p = sub.add_parser("cuts", help="1-respecting cut values (Karger building block)")
@@ -646,6 +748,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extra-edges", type=int, default=0, help="non-tree edge count (default 2n)")
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_cuts)
 
     p = sub.add_parser("sort", help="bitonic sort over curve order (§II-A routing)")
@@ -655,6 +758,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--descending", action="store_true", help="sort descending")
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_sort)
 
     p = sub.add_parser(
@@ -664,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_tree_args(p)
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_layout_create)
 
     p = sub.add_parser("curves", help="empirical distance-bound constants (E4)")
@@ -695,6 +800,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-step-histograms", action="store_true",
                    help="drop per-step distance histograms from report.json")
     _add_engine_arg(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
@@ -723,6 +829,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the schema-versioned findings report (JSON)")
     _add_engine_arg(p)
     _add_output_args(p)
+    _add_telemetry_args(p)
     p.set_defaults(fn=cmd_sanitize)
 
     p = sub.add_parser(

@@ -11,7 +11,7 @@
   measured (not assumed) costs.
 """
 
-from repro.machine.machine import SpatialMachine
+from repro.machine.machine import PlanCache, SpatialMachine
 from repro.machine.instrumentation import (
     Instrument,
     LedgerInstrument,
@@ -50,6 +50,7 @@ from repro.machine.tracing import CongestionTracer, attach_tracer, render_heatma
 
 __all__ = [
     "SpatialMachine",
+    "PlanCache",
     "SanitizerInstrument",
     "WriteRaceSanitizer",
     "DeterminismSanitizer",

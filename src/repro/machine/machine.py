@@ -364,6 +364,51 @@ def advance_clocks_batch(
     return BatchClockAdvance(rounds=rounds, max_clock=max_clock)
 
 
+#: sentinel distinguishing a stored ``None`` plan from a cache miss
+_PLAN_MISS = object()
+
+
+class PlanCache(dict):
+    """The machine's memoized-plan store, with hit/miss accounting.
+
+    A plain ``dict`` plus per-family counters: a :meth:`lookup` is
+    classified as a hit or a miss under the plan *family* — the first
+    element of a tuple key (``("sort_network", m, desc)`` → family
+    ``"sort_network"``), or the key itself for string keys. Consumers
+    that memoize plans elsewhere (e.g. batched messaging's
+    tree-attribute plans) can report their lookups with :meth:`count`
+    so one surface covers every plan cache. ``repro_plan_cache_*``
+    metrics expose the counters
+    (:func:`repro.analysis.metrics.publish_plan_cache`).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.hits: dict[str, int] = {}
+        self.misses: dict[str, int] = {}
+
+    @staticmethod
+    def _family(key: object) -> str:
+        if isinstance(key, tuple) and key:
+            return str(key[0])
+        return str(key)
+
+    def count(self, family: str, *, hit: bool) -> None:
+        """Record an externally-memoized plan lookup under ``family``."""
+        book = self.hits if hit else self.misses
+        book[family] = book.get(family, 0) + 1
+
+    def lookup(self, key: object) -> object | None:
+        """Counted :meth:`dict.get`: classifies the lookup under the
+        key's family before returning the plan (or ``None``)."""
+        found = self.get(key, _PLAN_MISS)
+        if found is _PLAN_MISS:
+            self.count(self._family(key), hit=False)
+            return None
+        self.count(self._family(key), hit=True)
+        return found
+
+
 class SpatialMachine:
     """A √n×√n-style grid of constant-memory processors with cost accounting.
 
@@ -440,7 +485,7 @@ class SpatialMachine:
         self._arange_buf: np.ndarray | None = None
         #: memoized replay plans (e.g. sort networks) keyed by the caller;
         #: depends only on the placement, so it survives :meth:`reset_costs`
-        self.plan_cache: dict[tuple[object, ...], object] = {}
+        self.plan_cache = PlanCache()
         self.n = int(n)
         self.curve = resolve_curve(curve)
         self.side = self.curve.validate_side(side) if side else self.curve.min_side(n)

@@ -131,7 +131,7 @@ def sort_network_plan(machine: SpatialMachine, *, descending: bool = False) -> S
     """
     m = next_power_of_two(machine.n)
     key = ("sort_network", m, descending)
-    plan = machine.plan_cache.get(key)
+    plan = machine.plan_cache.lookup(key)
     if plan is None:
         plan = _build_sort_network_plan(machine, m, descending)
         machine.plan_cache[key] = plan

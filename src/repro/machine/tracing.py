@@ -10,6 +10,12 @@ the routing used by mesh NoCs like the WSE's.
 The total traversal count equals energy + messages (each message touches
 ``distance + 1`` cells), so the heatmap is a spatial decomposition of the
 energy term. :func:`render_heatmap` draws it as ASCII for the examples.
+
+Consumers: the CLI's ``--report`` path attaches a tracer for the report's
+max-load figure, ``repro profile`` feeds it into the profile bundle, and
+the live telemetry layer (``repro.telemetry``) exposes its figures on a
+running machine — ``TelemetrySession(congestion=True)`` attaches one and
+every ``/metrics`` scrape publishes ``repro_congestion_*`` from it.
 """
 
 from __future__ import annotations

@@ -129,6 +129,7 @@ def direct_plan(
     tree.
     """
     cache = getattr(st, "_direct_plan", None)
+    st.machine.plan_cache.count("batched_direct", hit=cache is not None)
     if cache is not None:
         return cache
     offsets, targets = st.tree.children_csr()
@@ -246,6 +247,7 @@ def virtual_bcast_plan(
     survive family filtering.
     """
     cache = getattr(st, "_virtual_bcast_plan", None)
+    st.machine.plan_cache.count("batched_virtual_bcast", hit=cache is not None)
     if cache is not None:
         return cache
     sched = st.virtual_schedule
@@ -316,6 +318,7 @@ def virtual_reduce_plan(
     accumulator; the rest fold into the final result.
     """
     cache = getattr(st, "_virtual_reduce_plan", None)
+    st.machine.plan_cache.count("batched_virtual_reduce", hit=cache is not None)
     if cache is not None:
         return cache
     sched = st.virtual_schedule

@@ -82,6 +82,33 @@ class TestFamilies:
         reg.counter("c_total", labelnames=("p",)).labels(p='a"b\\c\nd').inc()
         line = [ln for ln in reg.render_prometheus().splitlines() if ln.startswith("c_total{")][0]
         assert '\\"' in line and "\\\\" in line and "\\n" in line
+        assert line == 'c_total{p="a\\"b\\\\c\\nd"} 1'
+
+    def test_help_text_escaping(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", "line1\nline2 has a \\ backslash").inc()
+        text = reg.render_prometheus()
+        help_lines = [ln for ln in text.splitlines() if ln.startswith("# HELP")]
+        assert help_lines == ["# HELP c_total line1\\nline2 has a \\\\ backslash"]
+
+    def test_render_does_not_mutate_registry(self):
+        reg = MetricsRegistry()
+        family = reg.counter("c_total", "declared but never incremented")
+        before = dict(family.children)
+        text = reg.render_prometheus()
+        assert "c_total 0" in text  # untouched family still renders a sample
+        assert family.children == before == {}
+        assert reg.render_prometheus() == text
+
+    def test_type_and_help_exactly_once_per_family(self):
+        reg = MetricsRegistry()
+        c = reg.counter("c_total", "help", ("k",))
+        c.labels(k="a").inc()
+        c.labels(k="b").inc()
+        reg.counter("c_total", "help", ("k",)).labels(k="a").inc()  # re-declare
+        text = reg.render_prometheus()
+        assert text.count("# TYPE c_total") == 1
+        assert text.count("# HELP c_total") == 1
 
 
 class TestHistogram:
