@@ -1,4 +1,4 @@
-"""Benchmark report normalization and the perf regression gate.
+"""Benchmark report normalization, the perf regression gate, and history.
 
 ``benchmarks/results/BENCH_*.json`` artifacts historically varied in
 shape (rows populated or only an ASCII table, ad-hoc column sets). This
@@ -13,17 +13,31 @@ module pins one normalized form and builds the comparison workflow on it:
   through untouched; ``compare_reports`` handles both kinds).
 * :func:`compare_reports` — row-by-row / phase-by-phase deltas between a
   baseline and a new report, with *regression gating*: metric columns
-  classified as energy-like or depth-like (:func:`metric_kind`) must not
-  grow past the configured tolerance. Rows or phases present on only one
-  side are reported as added/removed, never crashed on.
+  classified as energy-, depth- or wall-clock-like (:func:`metric_kind`)
+  must not grow past the configured tolerance. Energy gates by default;
+  the depth and wall gates are opt-in (wall numbers are host-dependent,
+  so the wall gate is for same-host CI lanes only). Rows or phases
+  present on only one side are reported as added/removed, never crashed
+  on.
 * :func:`format_comparison` — the aligned ASCII rendering the
   ``repro bench compare`` CLI prints; the CLI exits nonzero iff
   ``comparison.ok`` is false. This is the CI perf gate.
+
+**Bench history** (``BENCH_HISTORY.jsonl``): an append-only log of
+normalized benchmark rows — one JSON line per (benchmark, row_key) per
+recording — so per-PR trajectories are visible instead of only
+pairwise diffs. :func:`append_history` records artifacts,
+:func:`format_trend` renders per-series sparklines with a median-of-k
+noise-tolerant latest-vs-history delta (``repro bench record`` /
+``repro bench trend``).
 """
 
 from __future__ import annotations
 
+import json
 import re
+import statistics
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -33,6 +47,12 @@ from repro.errors import ValidationError
 
 #: report kinds that carry benchmark-style ``rows``
 ROW_KINDS = ("benchmark", "scaling")
+
+#: schema tag of one ``BENCH_HISTORY.jsonl`` line
+HISTORY_SCHEMA = "repro.bench-history/v1"
+
+#: default history location, relative to the repo root
+DEFAULT_HISTORY = Path("benchmarks/results/BENCH_HISTORY.jsonl")
 
 
 def parse_percent(text) -> float:
@@ -49,13 +69,14 @@ def parse_percent(text) -> float:
 
 
 def metric_kind(column: str) -> str | None:
-    """Classify a row column for gating: ``"energy"``, ``"depth"`` or None.
+    """Classify a row column: ``"energy"``, ``"depth"``, ``"wall"`` or None.
 
     Matches the naming conventions used across the benchmark suite:
     ``energy``, ``energy/n``, ``E/(n·log2n)``, ``spatial_E`` are
-    energy-like; ``depth``, ``D/log2n``, ``spatial_D`` depth-like. Ratio
-    columns (``E_ratio``) are informational only — a ratio against a
-    baseline implementation is not a cost of ours.
+    energy-like; ``depth``, ``D/log2n``, ``spatial_D`` depth-like;
+    ``scalar_s``, ``batched_s``, ``wall_*`` host wall-clock. Ratio
+    columns (``E_ratio``, ``speedup_ratio``) are informational only — a
+    ratio against a baseline implementation is not a cost of ours.
     """
     name = str(column)
     low = name.lower()
@@ -65,6 +86,14 @@ def metric_kind(column: str) -> str | None:
         return "energy"
     if "depth" in low or name == "D" or name.startswith("D/") or name.endswith("_D"):
         return "depth"
+    if (
+        "wall" in low
+        or low.endswith("_s")
+        or low.endswith("_ms")
+        or low.endswith("_ns")
+        or low in ("seconds", "s")
+    ):
+        return "wall"
     return None
 
 
@@ -232,13 +261,16 @@ def compare_reports(
     *,
     max_energy_regress: float | str | None = "10%",
     max_depth_regress: float | str | None = None,
+    max_wall_regress: float | str | None = None,
 ) -> BenchComparison:
-    """Diff two reports and gate energy/depth-like metrics.
+    """Diff two reports and gate energy/depth/wall-like metrics.
 
     Works on benchmark/scaling reports (row-matched by ``row_key``, by
     position when the key is empty) and on run reports (phase-matched via
     :func:`~repro.analysis.report.diff_reports`). A ``None`` tolerance
     disables that gate; improvements and un-gated columns always pass.
+    The wall gate is off by default — wall numbers are host-dependent, so
+    only enable it when both artifacts came from the same machine.
     """
     if (baseline.kind == "run") != (new.kind == "run"):
         raise ValidationError(
@@ -247,6 +279,7 @@ def compare_reports(
     tolerances = {
         "energy": None if max_energy_regress is None else parse_percent(max_energy_regress),
         "depth": None if max_depth_regress is None else parse_percent(max_depth_regress),
+        "wall": None if max_wall_regress is None else parse_percent(max_wall_regress),
     }
     if baseline.kind == "run":
         a_rows, key = _run_rows(baseline)
@@ -374,3 +407,203 @@ def find_bench_files(directory) -> list[Path]:
     """All ``BENCH_*.json`` artifacts under ``directory``, sorted."""
     directory = Path(directory)
     return sorted(p for p in directory.glob("BENCH_*.json") if _BENCH_RE.match(p.name))
+
+
+# ---------------------------------------------------------------------------
+# bench history: append-only JSONL of normalized rows, keyed by row_key
+# ---------------------------------------------------------------------------
+
+
+def history_rows(
+    report: RunReport, *, recorded_unix: float, label: str | None = None
+) -> list[dict]:
+    """One history entry per benchmark row of ``report``.
+
+    Each entry is self-describing: benchmark name, the ``row_key``
+    values identifying the row, every numeric non-key column under
+    ``metrics``, and each gated column's kind under ``kinds`` — so the
+    trend reader never needs the original artifact.
+    """
+    if report.kind == "run":
+        raise ValidationError("bench history records benchmark reports, not runs")
+    data = normalize_bench(report.data)
+    name = (data.get("meta") or {}).get("benchmark") or data.get("name") or "bench"
+    key = data.get("row_key") or []
+    kind_overrides = data.get("metric_kinds", {})
+    entries = []
+    for row in data["rows"]:
+        metrics, kinds = {}, {}
+        for column, value in row.items():
+            if column in key or isinstance(value, bool) \
+                    or not isinstance(value, (int, float)):
+                continue
+            metrics[column] = value
+            kind = kind_overrides.get(column) or metric_kind(column)
+            if kind:
+                kinds[column] = kind
+        entry = {
+            "schema": HISTORY_SCHEMA,
+            "benchmark": str(name),
+            "row_key": {k: row.get(k) for k in key},
+            "metrics": metrics,
+            "kinds": kinds,
+            "recorded_unix": recorded_unix,
+        }
+        if label:
+            entry["label"] = label
+        entries.append(entry)
+    return entries
+
+
+def append_history(
+    history_path,
+    artifacts: list,
+    *,
+    recorded_unix: float | None = None,
+    label: str | None = None,
+) -> list[dict]:
+    """Record BENCH artifacts into the JSONL history; returns new entries.
+
+    ``artifacts`` are paths (loaded via :func:`load_bench`) or
+    :class:`RunReport` objects. All entries from one call share a single
+    ``recorded_unix`` stamp so a recording session groups naturally.
+    """
+    recorded = time.time() if recorded_unix is None else float(recorded_unix)
+    entries: list[dict] = []
+    for artifact in artifacts:
+        report = artifact if isinstance(artifact, RunReport) else load_bench(artifact)
+        entries.extend(history_rows(report, recorded_unix=recorded, label=label))
+    path = Path(history_path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as fh:
+        for entry in entries:
+            fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entries
+
+
+def load_history(history_path) -> list[dict]:
+    """Load ``BENCH_HISTORY.jsonl`` entries in append order ([] if absent)."""
+    path = Path(history_path)
+    if not path.exists():
+        return []
+    entries = []
+    for lineno, line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValidationError(f"{path}:{lineno}: invalid JSON: {exc}") from exc
+        if not isinstance(entry, dict) or entry.get("schema") != HISTORY_SCHEMA:
+            raise ValidationError(
+                f"{path}:{lineno}: expected schema {HISTORY_SCHEMA!r}, "
+                f"got {entry.get('schema') if isinstance(entry, dict) else entry!r}"
+            )
+        entries.append(entry)
+    return entries
+
+
+def history_series(
+    entries: list[dict],
+    *,
+    benchmark: str | None = None,
+    metric: str | None = None,
+) -> dict[tuple, list[float]]:
+    """Group entries into series: (benchmark, row_key items, column) → values.
+
+    Values keep append order, which the JSONL log makes chronological.
+    """
+    series: dict[tuple, list[float]] = {}
+    for entry in entries:
+        bench = entry.get("benchmark")
+        if benchmark is not None and bench != benchmark:
+            continue
+        rkey = tuple(sorted((entry.get("row_key") or {}).items()))
+        for column, value in (entry.get("metrics") or {}).items():
+            if metric is not None and column != metric:
+                continue
+            series.setdefault((bench, rkey, column), []).append(float(value))
+    return series
+
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: list[float], width: int = 20) -> str:
+    """Unicode sparkline of the last ``width`` values (flat → all ▁)."""
+    vals = [float(v) for v in values][-width:]
+    if not vals:
+        return ""
+    lo, hi = min(vals), max(vals)
+    if hi <= lo:
+        return _SPARK_CHARS[0] * len(vals)
+    span = hi - lo
+    return "".join(
+        _SPARK_CHARS[min(len(_SPARK_CHARS) - 1, int(len(_SPARK_CHARS) * (v - lo) / span))]
+        for v in vals
+    )
+
+
+def format_trend(
+    entries: list[dict],
+    *,
+    benchmark: str | None = None,
+    metric: str | None = None,
+    window: int = 5,
+    width: int = 20,
+    max_regress: float | str | None = None,
+) -> tuple[str, list[dict]]:
+    """Render the history as a sparkline table; returns ``(text, flagged)``.
+
+    The delta column compares the latest value against the *median of
+    the previous ``window`` values* — a single noisy recording neither
+    trips nor hides a trend. When ``max_regress`` is given, gated series
+    (those with a recorded kind) whose delta exceeds it are returned in
+    ``flagged`` for the CLI to turn into a nonzero exit.
+    """
+    series = history_series(entries, benchmark=benchmark, metric=metric)
+    limit = None if max_regress is None else parse_percent(max_regress)
+    kinds: dict[tuple, str] = {}
+    for entry in entries:
+        rkey = tuple(sorted((entry.get("row_key") or {}).items()))
+        for column, kind in (entry.get("kinds") or {}).items():
+            kinds[(entry.get("benchmark"), rkey, column)] = kind
+    table_rows, flagged = [], []
+    for skey in sorted(series, key=lambda k: (str(k[0]), k[1], str(k[2]))):
+        bench, rkey, column = skey
+        values = series[skey]
+        latest = values[-1]
+        previous = values[-(window + 1):-1]
+        base = statistics.median(previous) if previous else None
+        delta = None
+        if base is not None:
+            delta = (latest - base) / base if base else (
+                0.0 if latest == base else float("inf")
+            )
+        row = {
+            "benchmark": bench,
+            "row": " ".join(f"{k}={v}" for k, v in rkey) or "-",
+            "metric": column,
+            "points": len(values),
+            "trend": sparkline(values, width),
+            f"median(prev≤{window})": f"{base:g}" if base is not None else "-",
+            "latest": f"{latest:g}",
+            "Δ%": f"{100 * delta:+.1f}%" if delta is not None else "-",
+        }
+        table_rows.append(row)
+        kind = kinds.get(skey)
+        if limit is not None and kind and delta is not None and delta > limit:
+            flagged.append(
+                {
+                    "benchmark": bench,
+                    "row": row["row"],
+                    "metric": column,
+                    "kind": kind,
+                    "baseline": base,
+                    "latest": latest,
+                    "increase": delta,
+                }
+            )
+    text = format_table(table_rows) if table_rows else "(no history entries matched)"
+    return text, flagged

@@ -1,0 +1,393 @@
+"""Depth-clock critical-path attribution (which rounds realize the depth?).
+
+The machine's depth is the maximum over processors of a per-processor
+dependency clock (:func:`repro.machine.machine.advance_clocks`). The final
+number says *how deep* the run was, but not *why*: which phases, rounds
+and cells the longest dependent chain actually runs through. This module
+answers that.
+
+:class:`CriticalPathAnalyzer` is a live
+:class:`~repro.machine.instrumentation.Instrument`: it consumes each
+:class:`~repro.machine.instrumentation.StepEvent` synchronously (the
+event's ``src``/``dst`` are transient views) and replays the engine's
+exact clock recurrences — per dependency round, using the same
+occurrence-index / chain-sort primitives as the reference
+``advance_clocks`` — while additionally recording, for every cell whose
+clock advanced, a *predecessor*: the (cell, clock) pair whose value the
+update was computed from.
+
+* A sender's new clock ``pre + count`` is predecessed by itself at ``pre``.
+* A receiver's update ``max(t0 + k, max_j(m_j + k - 1 - j))`` is
+  predecessed by itself at its pre-round clock when the serialization term
+  dominates, else by the sender of the arg-max chain at that sender's
+  pre-round clock.
+
+Because each cell's record clocks are strictly increasing, walking
+predecessors backward from the arg-max cell yields a chain whose
+per-hop contributions telescope to **exactly** the machine's final depth —
+the acceptance check (`verify`). Both engines replay identically: the
+batched engine's aggregated events carry the same per-round slices the
+scalar engine would have charged step by step.
+
+Outputs: the hop list (:meth:`~CriticalPathAnalyzer.path`), a blame table
+aggregated by phase / round / cell (:meth:`~CriticalPathAnalyzer.blame`),
+and a Perfetto track (:meth:`~CriticalPathAnalyzer.chrome_trace_events`)
+that rides next to the span track of
+:func:`repro.analysis.report.chrome_trace_from_spans` (both use the depth
+clock as the time axis).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from operator import itemgetter
+
+import numpy as np
+
+from repro.errors import MachineStateError
+from repro.machine.instrumentation import Instrument, StepEvent
+
+#: schema tag for serialized critical-path summaries
+CRITICAL_PATH_SCHEMA = "repro.critical-path/v1"
+
+
+@dataclass(frozen=True)
+class PathHop:
+    """One hop of the reconstructed critical path.
+
+    The hop states: cell ``cell`` reached clock ``clock`` because of
+    ``pred_cell``'s state at ``pred_clock`` (``pred_cell == cell`` for
+    serialization-dominated hops). ``step`` is the scalar-equivalent step
+    index of the responsible round (for batched events: ``event.step +
+    round_index``).
+    """
+
+    cell: int
+    clock: int
+    pred_cell: int
+    pred_clock: int
+    step: int
+    round_index: int
+    phase: str
+    kind: str  # "send" | "receive" | "send+receive"
+
+    @property
+    def contribution(self) -> int:
+        """Depth this hop adds to the chain (``clock - pred_clock``)."""
+        return self.clock - self.pred_clock
+
+    def to_json(self) -> dict:
+        return {
+            "cell": self.cell,
+            "clock": self.clock,
+            "pred_cell": self.pred_cell,
+            "pred_clock": self.pred_clock,
+            "contribution": self.contribution,
+            "step": self.step,
+            "round_index": self.round_index,
+            "phase": self.phase,
+            "kind": self.kind,
+        }
+
+
+class CriticalPathAnalyzer(Instrument):
+    """Reconstructs the chain of rounds/cells realizing the depth clock.
+
+    Attach **before** the run (``machine.attach(analyzer)``) — the
+    analyzer replays clocks from zero, so it must observe every charged
+    step. Memory is O(total clock advances): one small tuple per (cell,
+    round) in which that cell's clock moved.
+    """
+
+    def __init__(self) -> None:
+        self._machine = None
+        self._clock: np.ndarray | None = None
+        self._recs: list[list[tuple]] = []
+        self.events = 0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------ #
+    # instrument hooks
+    # ------------------------------------------------------------------ #
+
+    def on_attach(self, machine) -> None:
+        self._machine = machine
+        self.reset(machine.n)
+        if machine.depth != 0 or machine.steps != 0:
+            raise MachineStateError(
+                "CriticalPathAnalyzer must attach before any charged send "
+                f"(machine already at depth={machine.depth}, steps={machine.steps})"
+            )
+
+    def on_detach(self, machine) -> None:
+        self._machine = None
+
+    def reset(self, n: int | None = None) -> None:
+        """Drop replay state (e.g. after ``machine.reset_costs()``)."""
+        if n is None:
+            n = len(self._clock) if self._clock is not None else 0
+        self._clock = np.zeros(n, dtype=np.int64)
+        self._recs = [[] for _ in range(n)]
+        self.events = 0
+        self.rounds = 0
+
+    def on_step(self, event: StepEvent) -> None:
+        src = np.asarray(event.src)
+        dst = np.asarray(event.dst)
+        phase = event.phases[-1] if event.phases else ""
+        self.events += 1
+        if event.rounds is None:
+            self._replay_round(src, dst, event.step, 0, phase)
+            return
+        offs = np.asarray(event.rounds)
+        for r in range(len(offs) - 1):
+            a, b = int(offs[r]), int(offs[r + 1])
+            if b > a:
+                # the scalar engine would have charged this round as its
+                # own step with index event.step + r
+                self._replay_round(src[a:b], dst[a:b], event.step + r, r, phase)
+
+    # ------------------------------------------------------------------ #
+    # replay (the reference recurrences, plus predecessor records)
+    # ------------------------------------------------------------------ #
+
+    def _replay_round(
+        self, src: np.ndarray, dst: np.ndarray, step: int, round_index: int, phase: str
+    ) -> None:
+        clock = self._clock
+        k = len(src)
+        if k == 0:
+            return
+        self.rounds += 1
+        # --- senders: chain = pre + occ + 1, clock += send count ---------
+        order = np.argsort(src, kind="stable")
+        sorted_src = src[order]
+        boundaries = np.flatnonzero(np.diff(sorted_src)) + 1
+        group_starts = np.concatenate([[0], boundaries])
+        group_lens = np.diff(np.concatenate([group_starts, [k]]))
+        occ_sorted = np.arange(k, dtype=np.int64) - np.repeat(group_starts, group_lens)
+        occ = np.empty(k, dtype=np.int64)
+        occ[order] = occ_sorted
+        send_pre = clock[src]  # per-message sender pre-round clock
+        chain = send_pre + occ + 1
+        senders = sorted_src[group_starts]
+        sender_pre = clock[senders].copy()
+        # --- receivers: group by dst, chains ascending -------------------
+        rorder = np.lexsort((chain, dst))
+        rd_s = dst[rorder]
+        m_s = chain[rorder]
+        rb = np.flatnonzero(np.diff(rd_s)) + 1
+        rstarts = np.concatenate([[0], rb])
+        rlens = np.diff(np.concatenate([rstarts, [k]]))
+        pos = np.arange(k, dtype=np.int64) - np.repeat(rstarts, rlens)
+        vals_adj = m_s + np.repeat(rlens, rlens) - 1 - pos
+        group_max = np.maximum.reduceat(vals_adj, rstarts)
+        dst_unique = rd_s[rstarts]
+        pre_dst = clock[dst_unique].copy()  # pre-round (before send bumps)
+        # arg-max chain per receiver group (stable: ties pick the last)
+        seg_id = np.repeat(np.arange(len(rstarts), dtype=np.int64), rlens)
+        ord2 = np.lexsort((vals_adj, seg_id))
+        amax_msg = rorder[ord2[rstarts + rlens - 1]]
+        amax_src = src[amax_msg]
+        amax_pre = send_pre[amax_msg]
+        # --- clock updates (identical to advance_clocks) -----------------
+        clock[senders] += group_lens
+        t0 = clock[dst_unique]
+        upd = np.maximum(t0 + rlens, group_max)
+        clock[dst_unique] = upd
+        self_dom = (t0 + rlens) >= group_max
+        # --- membership probes (both id lists are sorted) ----------------
+        di = np.searchsorted(dst_unique, senders)
+        di_c = np.minimum(di, len(dst_unique) - 1)
+        pure_send = ~((di < len(dst_unique)) & (dst_unique[di_c] == senders))
+        si = np.searchsorted(senders, dst_unique)
+        si_c = np.minimum(si, len(senders) - 1)
+        dst_sent = (si < len(senders)) & (senders[si_c] == dst_unique)
+        # --- predecessor records -----------------------------------------
+        recs = self._recs
+        ps_clock = sender_pre + group_lens
+        for c, ck, pk in zip(
+            senders[pure_send].tolist(),
+            ps_clock[pure_send].tolist(),
+            sender_pre[pure_send].tolist(),
+        ):
+            recs[c].append((ck, c, pk, step, round_index, phase, "send"))
+        for d, u, sd, pd_, asrc, apre, sent in zip(
+            dst_unique.tolist(),
+            upd.tolist(),
+            self_dom.tolist(),
+            pre_dst.tolist(),
+            amax_src.tolist(),
+            amax_pre.tolist(),
+            dst_sent.tolist(),
+        ):
+            if sd:
+                kind = "send+receive" if sent else "receive"
+                recs[d].append((u, d, pd_, step, round_index, phase, kind))
+            else:
+                recs[d].append((u, asrc, apre, step, round_index, phase, "receive"))
+
+    # ------------------------------------------------------------------ #
+    # reconstruction
+    # ------------------------------------------------------------------ #
+
+    @property
+    def reconstructed_depth(self) -> int:
+        """Max clock of the replayed state (== machine depth when in sync)."""
+        if self._clock is None or len(self._clock) == 0:
+            return 0
+        return int(self._clock.max())
+
+    def verify(self, machine=None) -> None:
+        """Assert the replayed clocks agree with the machine's depth."""
+        m = machine if machine is not None else self._machine
+        if m is None:
+            raise MachineStateError("no machine to verify against")
+        if self.reconstructed_depth != m.depth:
+            raise MachineStateError(
+                f"critical-path replay diverged: reconstructed depth "
+                f"{self.reconstructed_depth} != machine depth {m.depth}"
+            )
+
+    def path(self) -> list[PathHop]:
+        """The critical path, chronological (clock 0 → final depth).
+
+        Per-hop contributions telescope: ``sum(h.contribution) ==
+        reconstructed_depth`` exactly.
+        """
+        clock = self._clock
+        if clock is None or len(clock) == 0:
+            return []
+        cell = int(clock.argmax())
+        target = int(clock[cell])
+        hops: list[PathHop] = []
+        key = itemgetter(0)
+        while target > 0:
+            lst = self._recs[cell]
+            idx = bisect_right(lst, target, key=key)
+            if idx == 0:  # pragma: no cover - replay invariant
+                raise MachineStateError(
+                    f"no record explains cell {cell} at clock {target}"
+                )
+            rec = lst[idx - 1]
+            if rec[0] != target:  # pragma: no cover - replay invariant
+                raise MachineStateError(
+                    f"record gap for cell {cell}: wanted clock {target}, "
+                    f"nearest record at {rec[0]}"
+                )
+            hops.append(
+                PathHop(
+                    cell=cell,
+                    clock=rec[0],
+                    pred_cell=rec[1],
+                    pred_clock=rec[2],
+                    step=rec[3],
+                    round_index=rec[4],
+                    phase=rec[5],
+                    kind=rec[6],
+                )
+            )
+            cell, target = rec[1], rec[2]
+        hops.reverse()
+        return hops
+
+    def blame(self, top_k: int = 10) -> dict:
+        """Aggregate the path into a blame table (top-k rounds and cells).
+
+        Phases are listed exhaustively (there are few); rounds and cells
+        are truncated to ``top_k`` by contribution.
+        """
+        hops = self.path()
+        total = sum(h.contribution for h in hops)
+        by_phase: dict[str, list[int]] = {}
+        by_round: dict[tuple[int, str], list[int]] = {}
+        by_cell: dict[int, list[int]] = {}
+        for h in hops:
+            for table, key in (
+                (by_phase, h.phase),
+                (by_round, (h.step, h.phase)),
+                (by_cell, h.cell),
+            ):
+                entry = table.get(key)
+                if entry is None:
+                    entry = table[key] = [0, 0]
+                entry[0] += h.contribution
+                entry[1] += 1
+        phases = [
+            {"phase": p, "contribution": c, "hops": n}
+            for p, (c, n) in sorted(by_phase.items(), key=lambda kv: -kv[1][0])
+        ]
+        rounds = [
+            {"step": s, "phase": p, "contribution": c, "hops": n}
+            for (s, p), (c, n) in sorted(by_round.items(), key=lambda kv: -kv[1][0])
+        ][:top_k]
+        cells = [
+            {"cell": cell, "contribution": c, "hops": n}
+            for cell, (c, n) in sorted(by_cell.items(), key=lambda kv: -kv[1][0])
+        ][:top_k]
+        return {
+            "schema": CRITICAL_PATH_SCHEMA,
+            "depth": total,
+            "hops": len(hops),
+            "events": self.events,
+            "rounds_replayed": self.rounds,
+            "phases": phases,
+            "rounds": rounds,
+            "cells": cells,
+        }
+
+    def to_json(self, *, top_k: int = 10, include_hops: bool = True) -> dict:
+        out = self.blame(top_k=top_k)
+        if include_hops:
+            out["path"] = [h.to_json() for h in self.path()]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Perfetto export
+    # ------------------------------------------------------------------ #
+
+    def chrome_trace_events(self, *, pid: int = 0, tid: int = 1) -> list[dict]:
+        """Chrome-trace events for the critical path on its own track.
+
+        Time axis is the depth clock — the same convention as
+        :func:`repro.analysis.report.chrome_trace_from_spans`, so merging
+        these events with a span trace lines the path up under the spans.
+        """
+        events: list[dict] = [
+            {
+                "ph": "M",
+                "name": "thread_name",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": "critical path"},
+            },
+            {
+                "ph": "M",
+                "name": "thread_sort_index",
+                "pid": pid,
+                "tid": tid,
+                "args": {"sort_index": 1_000_000},
+            },
+        ]
+        for h in self.path():
+            name = h.phase or h.kind
+            events.append(
+                {
+                    "ph": "X",
+                    "name": name,
+                    "cat": "critical_path",
+                    "ts": h.pred_clock,
+                    "dur": h.contribution,
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {
+                        "cell": h.cell,
+                        "pred_cell": h.pred_cell,
+                        "step": h.step,
+                        "round": h.round_index,
+                        "kind": h.kind,
+                    },
+                }
+            )
+        return events

@@ -81,6 +81,12 @@ class StepEvent:
         batch's sequential dependency rounds. Round ``r`` is the slice
         ``rounds[r]:rounds[r+1]``; the scalar engine would have charged it
         as its own step with index ``step + r``. Read-only view.
+    wall_ns:
+        Host wall-clock nanoseconds the engine spent processing this bulk
+        send, or ``None`` when no
+        :class:`~repro.machine.wallclock.KernelWallProfiler` is attached.
+        Host-dependent annotation only — never part of the model costs the
+        differential equivalence suites pin.
     """
 
     step: int
@@ -99,6 +105,7 @@ class StepEvent:
     payload: np.ndarray | None = None
     combiner: str | None = None
     rounds: np.ndarray | None = None
+    wall_ns: int | None = None
 
     @property
     def max_distance(self) -> int:

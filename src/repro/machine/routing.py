@@ -133,8 +133,17 @@ def sort_network_plan(machine: SpatialMachine, *, descending: bool = False) -> S
     key = ("sort_network", m, descending)
     plan = machine.plan_cache.lookup(key)
     if plan is None:
+        wp = machine.wall_profiler
+        t0 = wp.clock() if wp is not None else 0
         plan = _build_sort_network_plan(machine, m, descending)
         machine.plan_cache[key] = plan
+        if wp is not None:
+            wp.rec("plan_build.sort_network", wp.clock() - t0, messages=plan.messages)
+            wp.alloc(
+                "plan.sort_network",
+                plan.msg_src.nbytes + plan.msg_dst.nbytes
+                + plan.msg_dist.nbytes + plan.msg_rounds.nbytes,
+            )
     return cast(SortNetworkPlan, plan)
 
 
@@ -211,28 +220,29 @@ def _run_network_batched(
         )
     m = plan.m
     descending = plan.descending
-    k = 2
-    while k <= m:
-        j = k // 2
-        while j >= 1:
-            ev = ext.reshape(m // (2 * j), 2, j)
-            pv = idx_payload.reshape(m // (2 * j), 2, j)
-            a, b = ev[:, 0, :], ev[:, 1, :]
-            # lower-lane index of block row g is g·2j + t with t < j ≤ k/2,
-            # so (lo & k) == 0 depends on the row alone
-            up = (np.arange(m // (2 * j), dtype=np.int64) * (2 * j) & k) == 0
-            if descending:
-                up = ~up
-            swap = np.where(up[:, None], a > b, a < b)
-            ta = np.where(swap, b, a)
-            b[...] = np.where(swap, a, b)
-            a[...] = ta
-            pa, pb = pv[:, 0, :], pv[:, 1, :]
-            tp = np.where(swap, pb, pa)
-            pb[...] = np.where(swap, pa, pb)
-            pa[...] = tp
-            j //= 2
-        k *= 2
+    with machine.profile_kernel("sort_network.exchange"):
+        k = 2
+        while k <= m:
+            j = k // 2
+            while j >= 1:
+                ev = ext.reshape(m // (2 * j), 2, j)
+                pv = idx_payload.reshape(m // (2 * j), 2, j)
+                a, b = ev[:, 0, :], ev[:, 1, :]
+                # lower-lane index of block row g is g·2j + t with t < j ≤ k/2,
+                # so (lo & k) == 0 depends on the row alone
+                up = (np.arange(m // (2 * j), dtype=np.int64) * (2 * j) & k) == 0
+                if descending:
+                    up = ~up
+                swap = np.where(up[:, None], a > b, a < b)
+                ta = np.where(swap, b, a)
+                b[...] = np.where(swap, a, b)
+                a[...] = ta
+                pa, pb = pv[:, 0, :], pv[:, 1, :]
+                tp = np.where(swap, pb, pa)
+                pb[...] = np.where(swap, pa, pb)
+                pa[...] = tp
+                j //= 2
+            k *= 2
 
 
 def _run_network_scalar(
@@ -246,36 +256,37 @@ def _run_network_scalar(
     """The scalar reference: recompute each round and pay one ``send`` per
     direction — kept verbatim (independent of the plan cache) so the
     differential suite can catch plan-construction bugs."""
-    k = 2
-    while k <= m:
-        j = k // 2
-        while j >= 1:
-            i = np.arange(m, dtype=np.int64)
-            partner = i ^ j
-            lower = i < partner
-            # direction of each comparator: ascending iff bit k of i is 0
-            up = (i & k) == 0
-            if descending:
-                up = ~up
-            lo = i[lower]
-            hi = partner[lower]
-            # charge only exchanges where both lanes are real processors
-            real = (lo < n) & (hi < n)
-            if real.any():
-                rl, rh = lo[real], hi[real]
-                machine.send(rl, rh, ext[rl])
-                machine.send(rh, rl, ext[rh])
-            a = ext[lo]
-            b = ext[hi]
-            pa = idx_payload[lo]
-            pb = idx_payload[hi]
-            swap = np.where(up[lower], a > b, a < b)
-            ext[lo] = np.where(swap, b, a)
-            ext[hi] = np.where(swap, a, b)
-            idx_payload[lo] = np.where(swap, pb, pa)
-            idx_payload[hi] = np.where(swap, pa, pb)
-            j //= 2
-        k *= 2
+    with machine.profile_kernel("sort_network.scalar"):
+        k = 2
+        while k <= m:
+            j = k // 2
+            while j >= 1:
+                i = np.arange(m, dtype=np.int64)
+                partner = i ^ j
+                lower = i < partner
+                # direction of each comparator: ascending iff bit k of i is 0
+                up = (i & k) == 0
+                if descending:
+                    up = ~up
+                lo = i[lower]
+                hi = partner[lower]
+                # charge only exchanges where both lanes are real processors
+                real = (lo < n) & (hi < n)
+                if real.any():
+                    rl, rh = lo[real], hi[real]
+                    machine.send(rl, rh, ext[rl])
+                    machine.send(rh, rl, ext[rh])
+                a = ext[lo]
+                b = ext[hi]
+                pa = idx_payload[lo]
+                pb = idx_payload[hi]
+                swap = np.where(up[lower], a > b, a < b)
+                ext[lo] = np.where(swap, b, a)
+                ext[hi] = np.where(swap, a, b)
+                idx_payload[lo] = np.where(swap, pb, pa)
+                idx_payload[hi] = np.where(swap, pa, pb)
+                j //= 2
+            k *= 2
 
 
 def bitonic_sort(

@@ -132,6 +132,8 @@ def direct_plan(
     st.machine.plan_cache.count("batched_direct", hit=cache is not None)
     if cache is not None:
         return cache
+    wp = st.machine.wall_profiler
+    t0 = wp.clock() if wp is not None else 0
     offsets, targets = st.tree.children_csr()
     m = len(targets)
     if m == 0:
@@ -164,6 +166,9 @@ def direct_plan(
     pd = st.machine.manhattan(ppar, pchi)
     plan = (par_r, chi_r, ppar, pchi, pd, offs, _family_index(par_r, st.tree.n))
     st._direct_plan = plan
+    if wp is not None:
+        wp.rec("plan_build.direct", wp.clock() - t0, messages=m)
+        wp.alloc("plan.direct", sum(a.nbytes for a in plan[:6]))
     return plan
 
 
@@ -250,6 +255,8 @@ def virtual_bcast_plan(
     st.machine.plan_cache.count("batched_virtual_bcast", hit=cache is not None)
     if cache is not None:
         return cache
+    wp = st.machine.wall_profiler
+    t0 = wp.clock() if wp is not None else 0
     sched = st.virtual_schedule
     rounds = [sched.cur_edges] + [e for e in sched.app_rounds]
     rounds = [e for e in rounds if len(e)]
@@ -283,6 +290,9 @@ def virtual_bcast_plan(
         occ[order[1:]] = sorted_pair[1:] == sorted_pair[:-1]
         plan = (chi, fam, psrc, pchi, pd, occ, offs, _family_index(fam, st.n))
     st._virtual_bcast_plan = plan
+    if wp is not None:
+        wp.rec("plan_build.virtual_bcast", wp.clock() - t0, messages=len(plan[0]))
+        wp.alloc("plan.virtual_bcast", sum(a.nbytes for a in plan[:7]))
     return plan
 
 
@@ -321,6 +331,8 @@ def virtual_reduce_plan(
     st.machine.plan_cache.count("batched_virtual_reduce", hit=cache is not None)
     if cache is not None:
         return cache
+    wp = st.machine.wall_profiler
+    t0 = wp.clock() if wp is not None else 0
     sched = st.virtual_schedule
     vt = sched.vt
 
@@ -368,6 +380,9 @@ def virtual_reduce_plan(
         pd = st.machine.manhattan(pchi, ppar)
         plan = (par, chi, ppar, pchi, pd, offs, n_app, _family_index(fam, st.n))
     st._virtual_reduce_plan = plan
+    if wp is not None:
+        wp.rec("plan_build.virtual_reduce", wp.clock() - t0, messages=len(plan[0]))
+        wp.alloc("plan.virtual_reduce", sum(a.nbytes for a in plan[:6]))
     return plan
 
 

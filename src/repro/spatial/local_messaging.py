@@ -215,7 +215,7 @@ def local_broadcast(st, values, *, mode: str | None = None) -> np.ndarray:
     values = _as_values(st, values)
     mode = _resolve_mode(st, mode)
     batched = st.machine.engine == "batched"
-    with st.machine.phase("local_broadcast"):
+    with st.machine.phase("local_broadcast"), st.machine.profile_kernel("local_broadcast"):
         if batched:
             from repro.spatial import batched_messaging as bm
 
@@ -238,7 +238,7 @@ def local_reduce(st, values, *, op: Op = np.add, identity=0, mode: str | None = 
     values = _as_values(st, values)
     mode = _resolve_mode(st, mode)
     batched = st.machine.engine == "batched"
-    with st.machine.phase("local_reduce"):
+    with st.machine.phase("local_reduce"), st.machine.profile_kernel("local_reduce"):
         if batched:
             from repro.spatial import batched_messaging as bm
 
@@ -261,15 +261,16 @@ def family_broadcast(st, values, families, *, mode: str | None = None) -> np.nda
     values = _as_values(st, values)
     families = np.asarray(families, dtype=bool)
     mode = _resolve_mode(st, mode)
-    if st.machine.engine == "batched":
-        from repro.spatial import batched_messaging as bm
+    with st.machine.profile_kernel("family_broadcast"):
+        if st.machine.engine == "batched":
+            from repro.spatial import batched_messaging as bm
 
+            if mode == "direct":
+                return bm.direct_broadcast(st, values, families)
+            return bm.virtual_broadcast(st, values, families)
         if mode == "direct":
-            return bm.direct_broadcast(st, values, families)
-        return bm.virtual_broadcast(st, values, families)
-    if mode == "direct":
-        return _direct_broadcast(st, values, families)
-    return _virtual_broadcast(st, values, families)
+            return _direct_broadcast(st, values, families)
+        return _virtual_broadcast(st, values, families)
 
 
 def family_reduce(
@@ -292,12 +293,13 @@ def family_reduce(
     values = _as_values(st, values)
     families = np.asarray(families, dtype=bool)
     mode = _resolve_mode(st, mode)
-    if st.machine.engine == "batched":
-        from repro.spatial import batched_messaging as bm
+    with st.machine.profile_kernel("family_reduce"):
+        if st.machine.engine == "batched":
+            from repro.spatial import batched_messaging as bm
 
+            if mode == "direct":
+                return bm.direct_reduce(st, values, op, identity, contribute, families)
+            return bm.virtual_reduce(st, values, op, identity, contribute, families)
         if mode == "direct":
-            return bm.direct_reduce(st, values, op, identity, contribute, families)
-        return bm.virtual_reduce(st, values, op, identity, contribute, families)
-    if mode == "direct":
-        return _direct_reduce(st, values, op, identity, contribute, families)
-    return _virtual_reduce(st, values, op, identity, contribute, families)
+            return _direct_reduce(st, values, op, identity, contribute, families)
+        return _virtual_reduce(st, values, op, identity, contribute, families)

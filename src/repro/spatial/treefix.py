@@ -425,12 +425,16 @@ def _run(st, values, op, identity, direction, seed, max_rounds, coin_bias, sync_
         raise ValidationError(f"treefix supports integer/float values, got {values.dtype}")
     s = _TreefixState(st, payload, identity)
     try:
-        with st.machine.phase(f"treefix_{direction}_contract"):
+        # the scopes' *self* time is the contraction's orchestration glue:
+        # the messaging kernels and machine sections inside report their own
+        with st.machine.phase(f"treefix_{direction}_contract"), \
+                st.machine.profile_kernel("treefix.contract"):
             rounds = _contract(
                 st, s, op, identity, direction, rng, max_rounds,
                 coin_bias=coin_bias, sync_barriers=sync_barriers,
             )
-        with st.machine.phase(f"treefix_{direction}_expand"):
+        with st.machine.phase(f"treefix_{direction}_expand"), \
+                st.machine.profile_kernel("treefix.expand"):
             _uncontract(st, s, op, identity, direction, max_rounds)
         if not (s.active == 1).all():  # pragma: no cover - invariant guard
             raise ConvergenceError("uncontraction left inactive vertices")

@@ -164,10 +164,16 @@ class TelemetryServer:
                 params = parse_qs(parsed.query)
                 limit = None
                 if "limit" in params:
+                    raw = params["limit"][0]
                     try:
-                        limit = max(0, int(params["limit"][0]))
+                        limit = max(0, int(raw))
                     except ValueError:
-                        limit = None
+                        self._send_json(
+                            handler,
+                            {"error": f"limit must be an integer, got {raw!r}"},
+                            status=400,
+                        )
+                        return
                 self._send_json(handler, self.spans(limit))
             else:
                 self._send_json(
@@ -216,6 +222,11 @@ class TelemetryServer:
             tracer = getattr(machine, "tracer", None)
             if tracer is not None:
                 publish_tracer(registry, tracer)
+            wall_profiler = getattr(machine, "wall_profiler", None)
+            if wall_profiler is not None:
+                from repro.analysis.metrics import publish_kernel_profiler
+
+                publish_kernel_profiler(registry, wall_profiler)
         if self.watchdog is not None:
             self.watchdog.publish(registry)
         if self.span_tracer is not None:

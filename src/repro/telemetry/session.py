@@ -61,6 +61,12 @@ class TelemetrySession:
         grace period; ``/health`` reports ``done`` during the hold).
     ring:
         Completed-span ring capacity for ``/spans``.
+    extra_publishers:
+        Extra ``callable(registry)`` hooks forwarded to the
+        :class:`~repro.telemetry.server.TelemetryServer` and run on every
+        ``/metrics`` scrape (e.g.
+        :func:`~repro.analysis.metrics.publish_critical_path` bound to an
+        attached analyzer).
     """
 
     def __init__(
@@ -76,6 +82,7 @@ class TelemetrySession:
         congestion: bool = False,
         hold: float = 0.0,
         ring: int = 1024,
+        extra_publishers=(),
     ) -> None:
         self.machine = machine
         self.hold = float(hold)
@@ -91,6 +98,7 @@ class TelemetrySession:
         self._workload = workload
         self._planned_phases = planned_phases
         self._ring = ring
+        self._extra_publishers = tuple(extra_publishers)
         self._entered = False
 
     # ------------------------------------------------------------------ #
@@ -125,6 +133,7 @@ class TelemetrySession:
                 host=self._host,
                 span_tracer=self.tracer,
                 watchdog=self.watchdog,
+                extra_publishers=self._extra_publishers,
             ).start()
         return self
 

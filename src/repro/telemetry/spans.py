@@ -158,6 +158,7 @@ class SpanTracer(Instrument):
         # cumulative counters (survive ring eviction)
         self.spans_total: dict[str, int] = {}
         self.alerts_total = 0
+        self.completed_top_total = 0
 
     # ------------------------------------------------------------------ #
     # span bookkeeping (callers hold self._lock)
@@ -195,8 +196,16 @@ class SpanTracer(Instrument):
     def _complete(self, span: Span) -> None:
         self.completed.append(span)
         self.spans_total[span.kind] = self.spans_total.get(span.kind, 0) + 1
+        # counted here, not by scanning the ring: progress percentages must
+        # stay monotone after old spans are evicted at ring capacity
+        if span.kind == "phase" and span.level == self._top_level():
+            self.completed_top_total += 1
         if self._jsonl_path is not None and not self._closed:
             self._write_jsonl(span)
+
+    def _top_level(self) -> int:
+        """Nesting level of a top-level phase (1 under a workload root)."""
+        return 1 if self.workload is not None else 0
 
     def _write_jsonl(self, span: Span) -> None:
         if self._jsonl_file is None:
@@ -255,6 +264,12 @@ class SpanTracer(Instrument):
             if not self.batch_spans:
                 return
             wall = self._now()
+            # the engine's own wall_ns annotation (set when a wall profiler
+            # is attached) gives batch spans real width on the wall axis
+            # instead of a zero-width instant
+            wall_start = wall
+            if event.wall_ns is not None:
+                wall_start = max(0.0, wall - event.wall_ns / 1e9)
             parent = self._open[-1] if self._open else None
             batch = Span(
                 id=self._next_id,
@@ -264,7 +279,7 @@ class SpanTracer(Instrument):
                 stack=(parent.stack if parent else ()) + (f"step[{event.step}]",),
                 parent=parent.id if parent else None,
                 depth_start=event.depth_before,
-                wall_start=wall,
+                wall_start=wall_start,
                 depth_end=event.depth_after,
                 wall_end=wall,
                 energy=event.energy,
@@ -288,7 +303,7 @@ class SpanTracer(Instrument):
                             stack=batch.stack + (f"round[{r}]",),
                             parent=batch.id,
                             depth_start=event.depth_before,
-                            wall_start=wall,
+                            wall_start=wall_start,
                             depth_end=event.depth_after,
                             wall_end=wall,
                             energy=int(round_energy[r]),
@@ -352,10 +367,7 @@ class SpanTracer(Instrument):
         with self._lock:
             open_names = [s.name for s in self._open]
             completed_phases = self.spans_total.get("phase", 0)
-            top_level = 1 if (self.workload is not None and self._open) else 0
-            completed_top = sum(
-                1 for s in self.completed if s.kind == "phase" and s.level == top_level
-            )
+            completed_top = self.completed_top_total
         out = {
             "span_stack": open_names,
             "completed_phases": completed_phases,

@@ -297,6 +297,42 @@ class TestCli:
         assert main(["bench", "compare", str(a), str(b),
                      "--max-energy-regress", "30%"]) == 0
 
+    def test_cli_depth_gate_flag(self, tmp_path, capsys):
+        # the depth gate is off by default and opt-in via --max-depth-regress
+        from repro.cli import main
+
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        bench_report().save(a)
+        worse = copy.deepcopy(ROWS)
+        for row in worse:
+            row["depth"] = int(row["depth"] * 1.5)
+        bench_report(worse).save(b)
+        assert main(["bench", "compare", str(a), str(b)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", str(a), str(b),
+                     "--max-depth-regress", "10%"]) == 1
+        out = capsys.readouterr().out
+        assert "depth tolerance exceeded" in out
+
+    def test_cli_wall_gate_flag(self, tmp_path, capsys):
+        # wall metrics gate only when --max-wall-regress is given
+        from repro.cli import main
+
+        rows = [{"op": "sort", "n": 256, "wall_s": 1.0}]
+        a = tmp_path / "BENCH_a.json"
+        b = tmp_path / "BENCH_b.json"
+        bench_report(rows).save(a)
+        worse = copy.deepcopy(rows)
+        worse[0]["wall_s"] = 2.0
+        bench_report(worse).save(b)
+        assert main(["bench", "compare", str(a), str(b)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", str(a), str(b),
+                     "--max-wall-regress", "25%"]) == 1
+        out = capsys.readouterr().out
+        assert "wall tolerance exceeded" in out
+
     def test_cli_migrate(self, tmp_path, capsys):
         from repro.cli import main
 

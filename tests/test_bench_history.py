@@ -1,0 +1,298 @@
+"""Tests for the bench history store, trend rendering, and the perf CLI."""
+
+import copy
+import json
+
+import pytest
+
+from repro.analysis.bench import (
+    HISTORY_SCHEMA,
+    append_history,
+    compare_reports,
+    format_trend,
+    history_rows,
+    history_series,
+    load_history,
+    metric_kind,
+    normalize_bench,
+    sparkline,
+)
+from repro.analysis.report import RunReport
+from repro.errors import ValidationError
+
+ROWS = [
+    {"op": "treefix", "n": 256, "energy": 1000, "depth": 72, "wall_s": 0.5},
+    {"op": "treefix", "n": 1024, "energy": 5000, "depth": 110, "wall_s": 2.0},
+]
+
+
+def bench_report(rows=None, **meta):
+    data = {
+        "schema": "repro.report/v1",
+        "schema_version": 1,
+        "kind": "benchmark",
+        "meta": {"benchmark": "synthetic", **meta},
+        "rows": copy.deepcopy(rows if rows is not None else ROWS),
+    }
+    return RunReport(normalize_bench(data))
+
+
+class TestWallMetricKind:
+    def test_wall_columns(self):
+        assert metric_kind("wall_s") == "wall"
+        assert metric_kind("scalar_s") == "wall"
+        assert metric_kind("batched_s") == "wall"
+        assert metric_kind("wall_ms") == "wall"
+        assert metric_kind("seconds") == "wall"
+        # ratios stay informational even when wall-flavoured
+        assert metric_kind("speedup_ratio") is None
+        assert metric_kind("energy") == "energy"
+        assert metric_kind("op") is None
+
+    def test_wall_gate_opt_in(self):
+        a = bench_report()
+        worse = copy.deepcopy(ROWS)
+        for row in worse:
+            row["wall_s"] *= 2
+        b = bench_report(worse)
+        assert compare_reports(a, b).ok  # off by default: host-dependent
+        cmp = compare_reports(a, b, max_wall_regress="50%")
+        assert not cmp.ok
+        assert all(r.kind == "wall" for r in cmp.regressions)
+
+
+class TestHistoryStore:
+    def test_history_rows_shape(self):
+        entries = history_rows(bench_report(), recorded_unix=123.0, label="abc")
+        assert len(entries) == len(ROWS)
+        first = entries[0]
+        assert first["schema"] == HISTORY_SCHEMA
+        assert first["benchmark"] == "synthetic"
+        assert first["row_key"] == {"op": "treefix", "n": 256}
+        assert first["metrics"] == {"energy": 1000, "depth": 72, "wall_s": 0.5}
+        assert first["kinds"] == {
+            "energy": "energy", "depth": "depth", "wall_s": "wall",
+        }
+        assert first["recorded_unix"] == 123.0
+        assert first["label"] == "abc"
+
+    def test_history_rejects_run_reports(self):
+        run = RunReport({"schema": "repro.report/v1", "schema_version": 1,
+                         "kind": "run", "meta": {}, "totals": {}, "phases": {}})
+        with pytest.raises(ValidationError):
+            history_rows(run, recorded_unix=0.0)
+
+    def test_append_and_load_roundtrip(self, tmp_path):
+        history = tmp_path / "BENCH_HISTORY.jsonl"
+        first = append_history(history, [bench_report()], recorded_unix=1.0)
+        second = append_history(history, [bench_report()], recorded_unix=2.0)
+        assert len(first) == len(second) == len(ROWS)
+        entries = load_history(history)
+        assert len(entries) == 2 * len(ROWS)
+        # append order preserved: all of recording 1 before recording 2
+        stamps = [e["recorded_unix"] for e in entries]
+        assert stamps == sorted(stamps)
+
+    def test_append_accepts_artifact_paths(self, tmp_path):
+        artifact = tmp_path / "BENCH_synthetic.json"
+        bench_report().save(artifact)
+        history = tmp_path / "hist.jsonl"
+        entries = append_history(history, [artifact], recorded_unix=5.0)
+        assert len(entries) == len(ROWS)
+        assert load_history(history)[0]["benchmark"] == "synthetic"
+
+    def test_load_missing_returns_empty(self, tmp_path):
+        assert load_history(tmp_path / "absent.jsonl") == []
+
+    def test_load_rejects_bad_lines(self, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ValidationError):
+            load_history(path)
+        path.write_text(json.dumps({"schema": "other/v9"}) + "\n")
+        with pytest.raises(ValidationError):
+            load_history(path)
+
+    def test_series_grouping(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        for stamp in (1.0, 2.0, 3.0):
+            append_history(history, [bench_report()], recorded_unix=stamp)
+        series = history_series(load_history(history))
+        key = ("synthetic", (("n", 256), ("op", "treefix")), "energy")
+        assert series[key] == [1000, 1000, 1000]
+        only_wall = history_series(load_history(history), metric="wall_s")
+        assert all(k[2] == "wall_s" for k in only_wall)
+
+
+class TestTrend:
+    def test_sparkline(self):
+        assert sparkline([]) == ""
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] == "▁" and line[-1] == "█"
+        assert len(sparkline(list(range(100)), width=20)) == 20
+
+    def test_trend_median_of_k(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        rows = [{"op": "x", "n": 16, "wall_s": 1.0}]
+        # 5 stable recordings, one noisy spike, then latest back at baseline:
+        # median-of-previous-5 absorbs the spike
+        for i, wall in enumerate([1.0, 1.0, 1.0, 1.0, 1.0, 9.0, 1.02]):
+            r = copy.deepcopy(rows)
+            r[0]["wall_s"] = wall
+            append_history(history, [bench_report(r)], recorded_unix=float(i))
+        text, flagged = format_trend(
+            load_history(history), window=5, max_regress="10%"
+        )
+        assert "wall_s" in text
+        assert flagged == []  # +2% vs median(1,1,1,1,9)=1.0 passes
+
+    def test_trend_flags_real_regression(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        rows = [{"op": "x", "n": 16, "wall_s": 1.0}]
+        for i, wall in enumerate([1.0, 1.0, 1.0, 2.0]):
+            r = copy.deepcopy(rows)
+            r[0]["wall_s"] = wall
+            append_history(history, [bench_report(r)], recorded_unix=float(i))
+        text, flagged = format_trend(
+            load_history(history), window=5, max_regress="50%"
+        )
+        assert len(flagged) == 1
+        assert flagged[0]["metric"] == "wall_s"
+        assert flagged[0]["kind"] == "wall"
+        assert flagged[0]["increase"] == pytest.approx(1.0)
+
+    def test_trend_without_gate_never_flags(self, tmp_path):
+        history = tmp_path / "hist.jsonl"
+        for stamp in (1.0, 2.0):
+            append_history(history, [bench_report()], recorded_unix=stamp)
+        text, flagged = format_trend(load_history(history))
+        assert flagged == []
+        assert "synthetic" in text
+
+    def test_trend_empty(self):
+        text, flagged = format_trend([])
+        assert flagged == []
+        assert "no history" in text
+
+
+class TestCliRecordTrend:
+    def test_record_then_trend(self, tmp_path, capsys):
+        from repro.cli import main
+
+        artifact = tmp_path / "BENCH_synthetic.json"
+        bench_report().save(artifact)
+        history = tmp_path / "hist.jsonl"
+        assert main(["bench", "record", str(artifact),
+                     "--history", str(history), "--label", "r1"]) == 0
+        assert main(["bench", "record", str(artifact),
+                     "--history", str(history)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "trend", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "synthetic" in out and "wall_s" in out
+
+    def test_record_discovers_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        bench_report().save(tmp_path / "BENCH_one.json")
+        history = tmp_path / "hist.jsonl"
+        assert main(["bench", "record", "--directory", str(tmp_path),
+                     "--history", str(history)]) == 0
+        assert len(load_history(history)) == len(ROWS)
+
+    def test_record_empty_dir_errors(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["bench", "record", "--directory", str(tmp_path),
+                  "--history", str(tmp_path / "h.jsonl")])
+
+    def test_trend_gate_exit_code(self, tmp_path, capsys):
+        from repro.cli import main
+
+        history = tmp_path / "hist.jsonl"
+        rows = [{"op": "x", "n": 16, "energy": 100}]
+        for i, energy in enumerate([100, 100, 200]):
+            r = copy.deepcopy(rows)
+            r[0]["energy"] = energy
+            append_history(history, [bench_report(r)], recorded_unix=float(i))
+        assert main(["bench", "trend", "--history", str(history)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "trend", "--history", str(history),
+                     "--max-regress", "10%"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSIONS" in out
+
+    def test_trend_missing_history_ok(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "trend",
+                     "--history", str(tmp_path / "absent.jsonl")]) == 0
+        assert "no bench history" in capsys.readouterr().out
+
+
+class TestCliPerf:
+    def test_perf_treefix_bundle_and_history(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_dir = tmp_path / "bundle"
+        history = tmp_path / "hist.jsonl"
+        rc = main(["perf", "treefix", "-n", "256", "--engine", "batched",
+                   "--out", str(out_dir), "--history", str(history)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "critical path: reconstructed depth" in out
+        assert "coverage" in out
+        perf = json.loads((out_dir / "perf.json").read_text())
+        assert perf["schema"] == "repro.perf/v1"
+        assert perf["kernels"]
+        assert perf["critical_path"]["depth"] == perf["totals"]["depth"]
+        trace = json.loads((out_dir / "critical_path.trace.json").read_text())
+        assert any(e.get("ph") == "X" for e in trace)
+        prom = (out_dir / "metrics.prom").read_text()
+        assert "repro_kernel_wall_seconds_total" in prom
+        assert "repro_critical_path_depth" in prom
+        entries = load_history(history)
+        assert len(entries) == 1
+        assert entries[0]["kinds"]["wall_s"] == "wall"
+        assert entries[0]["metrics"]["depth"] == perf["totals"]["depth"]
+
+    def test_perf_scalar_engine(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "treefix", "-n", "128",
+                     "--engine", "scalar"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path: reconstructed depth" in out
+
+    def test_perf_no_critical_path(self, capsys):
+        from repro.cli import main
+
+        assert main(["perf", "treefix", "-n", "128",
+                     "--no-critical-path"]) == 0
+        out = capsys.readouterr().out
+        assert "critical path" not in out
+
+    def test_perf_diff(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = tmp_path / "a"
+        b = tmp_path / "b"
+        for out_dir in (a, b):
+            assert main(["perf", "treefix", "-n", "128",
+                         "--out", str(out_dir)]) == 0
+        capsys.readouterr()
+        assert main(["perf", "diff", str(a / "perf.json"),
+                     str(b / "perf.json")]) == 0
+        out = capsys.readouterr().out
+        assert "total kernel wall" in out
+
+    def test_perf_diff_rejects_non_perf_json(self, tmp_path):
+        from repro.cli import main
+
+        bogus = tmp_path / "x.json"
+        bogus.write_text(json.dumps({"schema": "other"}))
+        with pytest.raises(SystemExit):
+            main(["perf", "diff", str(bogus), str(bogus)])

@@ -1,0 +1,192 @@
+"""Tests for the depth-clock critical-path analyzer (analysis/critical_path.py).
+
+The load-bearing property: the analyzer's replayed clocks must agree with
+the machine's dependency-clock recurrence **exactly** — reconstructed
+depth == machine depth on every workload, both engines — and the path's
+per-hop contributions must telescope to that depth with no gaps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.critical_path import CRITICAL_PATH_SCHEMA, CriticalPathAnalyzer
+from repro.errors import MachineStateError
+from repro.machine import SpatialMachine
+from repro.machine.routing import bitonic_sort
+from repro.spatial import SpatialTree, lca_batch, top_down_treefix, treefix_sum
+from repro.spatial.expression import (
+    evaluate_expression,
+    evaluate_expression_sequential,
+    random_expression,
+)
+from repro.trees import (
+    BinaryLiftingLCA,
+    bottom_up_treefix,
+    prufer_random_tree,
+    star_tree,
+)
+
+ENGINES = ["scalar", "batched"]
+
+
+def _check(analyzer, machine):
+    """The full exactness contract: depth match + telescoping path."""
+    analyzer.verify(machine)
+    assert analyzer.reconstructed_depth == machine.depth
+    hops = analyzer.path()
+    assert sum(h.contribution for h in hops) == machine.depth
+    # hops chain: each hop's pred_clock is the previous hop's clock or 0
+    for prev, cur in zip(hops, hops[1:]):
+        assert cur.pred_clock <= prev.clock
+    if hops:
+        assert hops[0].pred_clock >= 0
+        assert hops[-1].clock == machine.depth
+
+
+class TestWorkloadExactness:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("mode", ["direct", "virtual"])
+    def test_treefix_bottom_up(self, engine, mode):
+        tree = prufer_random_tree(300, seed=3) if mode == "direct" else star_tree(300)
+        st = SpatialTree.build(tree, seed=0, mode=mode, engine=engine)
+        analyzer = st.machine.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 100, size=tree.n)
+        out = treefix_sum(st, values, seed=3)
+        assert np.array_equal(out, bottom_up_treefix(tree, values))
+        _check(analyzer, st.machine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_treefix_top_down(self, engine):
+        tree = prufer_random_tree(256, seed=4)
+        st = SpatialTree.build(tree, seed=0, engine=engine)
+        analyzer = st.machine.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 100, size=tree.n)
+        top_down_treefix(st, values, seed=4)
+        _check(analyzer, st.machine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_lca(self, engine):
+        tree = prufer_random_tree(256, seed=5)
+        st = SpatialTree.build(tree, seed=0, engine=engine)
+        analyzer = st.machine.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(5)
+        us = rng.permutation(tree.n)[:128]
+        vs = rng.permutation(tree.n)[:128]
+        answers = lca_batch(st, us, vs, seed=5)
+        assert np.array_equal(answers, BinaryLiftingLCA(tree).query_batch(us, vs))
+        _check(analyzer, st.machine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_expression(self, engine):
+        tree, ops, leaf_vals = random_expression(200, seed=6)
+        st = SpatialTree.build(tree, seed=0, engine=engine)
+        analyzer = st.machine.attach(CriticalPathAnalyzer())
+        got = evaluate_expression(st, ops, leaf_vals, seed=6)
+        expect = evaluate_expression_sequential(tree, ops, leaf_vals)
+        assert int(got[tree.root]) == int(expect[tree.root])
+        _check(analyzer, st.machine)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_bitonic_sort(self, engine):
+        m = SpatialMachine(256, engine=engine)
+        analyzer = m.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 1000, size=256).astype(np.int64)
+        with m.phase("sort"):
+            sorted_keys, _ = bitonic_sort(m, keys)
+        assert np.array_equal(sorted_keys, np.sort(keys))
+        _check(analyzer, m)
+
+    def test_engines_agree_on_blame(self):
+        # identical accounting ⇒ identical critical-path attribution
+        tree = prufer_random_tree(300, seed=8)
+        rng = np.random.default_rng(8)
+        values = rng.integers(0, 100, size=tree.n)
+        blames = []
+        for engine in ENGINES:
+            st = SpatialTree.build(tree, seed=0, engine=engine)
+            analyzer = st.machine.attach(CriticalPathAnalyzer())
+            treefix_sum(st, values, seed=8)
+            _check(analyzer, st.machine)
+            blames.append(analyzer.blame(top_k=5))
+        assert blames[0]["depth"] == blames[1]["depth"]
+        assert blames[0]["phases"] == blames[1]["phases"]
+
+
+class TestAnalyzerMechanics:
+    def test_attach_requires_fresh_machine(self):
+        # the machine isolates instrument exceptions: the mid-run attach is
+        # rejected into instrument_errors (with a warning), not propagated
+        m = SpatialMachine(64)
+        m.send(np.array([0, 1]), np.array([2, 3]))
+        with pytest.warns(RuntimeWarning, match="must attach before"):
+            m.attach(CriticalPathAnalyzer())
+        assert any(
+            isinstance(exc, MachineStateError)
+            for _, _, exc in m.instrument_errors
+        )
+
+    def test_verify_detects_missed_steps(self):
+        # attach, run, detach, run more: the replay is now stale
+        m = SpatialMachine(64)
+        analyzer = m.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(0)
+        m.send(rng.integers(0, 64, 8), rng.integers(0, 64, 8))
+        m.detach(analyzer)
+        m.send(rng.integers(0, 64, 8), rng.integers(0, 64, 8))
+        with pytest.raises(MachineStateError):
+            analyzer.verify(m)
+
+    def test_blame_shape(self):
+        m = SpatialMachine(64)
+        analyzer = m.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(1)
+        with m.phase("p"):
+            m.send(rng.integers(0, 64, 32), rng.integers(0, 64, 32))
+        blame = analyzer.blame(top_k=3)
+        assert blame["schema"] == CRITICAL_PATH_SCHEMA
+        assert blame["depth"] == m.depth
+        assert len(blame["rounds"]) <= 3
+        assert len(blame["cells"]) <= 3
+        assert sum(e["contribution"] for e in blame["phases"]) == m.depth
+        assert all(e["phase"] == "p" for e in blame["phases"])
+
+    def test_empty_machine(self):
+        m = SpatialMachine(16)
+        analyzer = m.attach(CriticalPathAnalyzer())
+        assert analyzer.reconstructed_depth == 0
+        assert analyzer.path() == []
+        analyzer.verify(m)
+
+    def test_chrome_trace_events(self):
+        m = SpatialMachine(64)
+        analyzer = m.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(2)
+        with m.phase("p"):
+            m.send(rng.integers(0, 64, 16), rng.integers(0, 64, 16))
+        events = analyzer.chrome_trace_events()
+        meta = [e for e in events if e["ph"] == "M"]
+        slices = [e for e in events if e["ph"] == "X"]
+        assert any(e["name"] == "thread_name" for e in meta)
+        assert len(slices) == len(analyzer.path())
+        # slices tile [0, depth] on the depth-clock axis
+        assert sum(e["dur"] for e in slices) == m.depth
+        for e in slices:
+            assert e["cat"] == "critical_path"
+
+    def test_publish_critical_path(self):
+        from repro.analysis.metrics import MetricsRegistry, publish_critical_path
+
+        m = SpatialMachine(64)
+        analyzer = m.attach(CriticalPathAnalyzer())
+        rng = np.random.default_rng(3)
+        with m.phase("p"):
+            m.send(rng.integers(0, 64, 16), rng.integers(0, 64, 16))
+        registry = MetricsRegistry()
+        publish_critical_path(registry, analyzer)
+        text = registry.render_prometheus()
+        assert "repro_critical_path_depth" in text
+        assert "repro_critical_path_hops" in text
+        assert 'repro_critical_path_phase_depth_total{phase="p"}' in text

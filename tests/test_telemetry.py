@@ -175,6 +175,59 @@ class TestSpanTracer:
         assert prog["percent"] == 50.0
         m.detach(tracer)
 
+    def test_ring_evicts_oldest(self):
+        m = SpatialMachine(16)
+        tracer = m.attach(SpanTracer(workload="w", ring=3))
+        for i in range(6):
+            with m.phase(f"p{i}"):
+                pass
+        names = [s.name for s in tracer.completed]
+        assert names == ["p3", "p4", "p5"]  # oldest evicted, capacity held
+        assert len(tracer) == 3
+        assert tracer.spans_total["phase"] == 6  # cumulative survives eviction
+        m.detach(tracer)
+
+    def test_progress_monotone_after_eviction(self):
+        # completed-top-level counting must not rely on the ring: once old
+        # spans are evicted the percentage has to keep climbing, not reset
+        m = SpatialMachine(16)
+        tracer = m.attach(SpanTracer(workload="w", ring=2, planned_phases=8))
+        percents = []
+        for i in range(8):
+            with m.phase(f"p{i}"):
+                pass
+            percents.append(tracer.progress()["percent"])
+        assert percents == sorted(percents)
+        assert percents[-1] == 100.0
+        assert tracer.progress()["completed_top_level_phases"] == 8
+        m.detach(tracer)
+
+    def test_batch_span_wall_width_from_event(self):
+        # with a wall profiler attached the engine annotates events with
+        # wall_ns; batch spans then get real width on the wall axis
+        from repro.machine import KernelWallProfiler
+
+        m = SpatialMachine(64)
+        m.attach(KernelWallProfiler())
+        tracer = m.attach(SpanTracer(workload="w"))
+        rng = np.random.default_rng(0)
+        with m.phase("p"):
+            m.send(rng.integers(0, 64, 32), rng.integers(0, 64, 32))
+        m.detach(tracer)
+        batches = [s for s in tracer.completed if s.kind == "batch"]
+        assert batches
+        assert all(s.wall_end > s.wall_start for s in batches)
+
+    def test_batch_span_zero_width_without_profiler(self):
+        m = SpatialMachine(64)
+        tracer = m.attach(SpanTracer(workload="w"))
+        rng = np.random.default_rng(0)
+        with m.phase("p"):
+            m.send(rng.integers(0, 64, 32), rng.integers(0, 64, 32))
+        m.detach(tracer)
+        batches = [s for s in tracer.completed if s.kind == "batch"]
+        assert all(s.wall_end == s.wall_start for s in batches)
+
 
 class TestWatchdog:
     @pytest.mark.parametrize("engine", ["scalar", "batched"])
@@ -386,6 +439,39 @@ class TestServerAndSession:
             assert json.loads(health)["status"] == "running"
             _, _, body = _get(server.url + "/metrics")
             assert "repro_telemetry_uptime_seconds" in body
+
+    def test_unknown_endpoint_404_lists_routes(self):
+        with TelemetryServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/definitely/not/here")
+            assert err.value.code == 404
+            payload = json.loads(err.value.read().decode())
+            assert "/metrics" in payload["endpoints"]
+
+    def test_spans_bad_limit_is_400(self):
+        with TelemetryServer(port=0) as server:
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(server.url + "/spans?limit=banana")
+            assert err.value.code == 400
+            payload = json.loads(err.value.read().decode())
+            assert "limit" in payload["error"]
+            # well-formed limits still serve (including 0 and negatives
+            # clamped to 0)
+            status, _, body = _get(server.url + "/spans?limit=0")
+            assert status == 200 and json.loads(body)["count"] == 0
+
+    def test_session_extra_publishers(self):
+        m = SpatialMachine(64)
+
+        def publish_custom(registry):
+            registry.gauge("repro_custom_probe", "test hook").set(42)
+
+        with TelemetrySession(
+            m, port=0, workload="w", watchdog_sample=0,
+            extra_publishers=(publish_custom,),
+        ) as tel:
+            _, _, body = _get(tel.url + "/metrics")
+        assert "repro_custom_probe 42" in body
 
     def test_mark_done_flips_health(self):
         with TelemetryServer(port=0) as server:
