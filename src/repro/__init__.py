@@ -22,7 +22,8 @@ Package map (bottom-up):
 
 __version__ = "1.0.0"
 
-from repro import analysis, curves, layout, machine, spatial, trees
+from repro import analysis, contracts, curves, layout, machine, spatial, trees
+from repro.contracts import ContractFrame, CostContract, cost_contract
 from repro.layout import TreeLayout
 from repro.machine import SpatialMachine
 from repro.spatial import SpatialTree, create_light_first_layout, lca_batch, treefix_sum
@@ -30,6 +31,10 @@ from repro.trees import Tree
 
 __all__ = [
     "analysis",
+    "contracts",
+    "ContractFrame",
+    "CostContract",
+    "cost_contract",
     "curves",
     "layout",
     "machine",

@@ -90,6 +90,43 @@ def lca_depth(n: int) -> float:
     return log2n(n) ** 2
 
 
+def treefix_depth_general(n: int) -> float:
+    """Lemma 12: O(log² n) depth w.h.p. for treefix on arbitrary-degree trees.
+
+    Single-argument variant of :func:`treefix_depth` (the general-tree case)
+    so cost contracts can bind a ``predictor(n)`` without keyword plumbing.
+    """
+    return log2n(n) ** 2
+
+
+def sort_network_rounds(n: int) -> float:
+    """§II-A / Batcher: a bitonic sorting network on ``n`` lanes has
+    O(log² n) compare-exchange rounds."""
+    return log2n(n) ** 2
+
+
+def sort_network_depth(n: int) -> float:
+    """§II-A: each bitonic round moves keys at most √n hops on the grid, so
+    the network finishes in O(√n log² n) depth (log² n rounds, √n per round).
+    """
+    return math.sqrt(_check_n(n)) * log2n(n) ** 2
+
+
+def sort_network_energy(n: int) -> float:
+    """§II-A: sorting energy Θ(n^{3/2}) — each of the O(log² n) rounds moves
+    n keys, dominated by the O(√n)-distance rounds; matches :func:`sort_energy`
+    but named for the bitonic-network implementation in
+    :mod:`repro.machine.routing`."""
+    return float(_check_n(n)) ** 1.5 * log2n(n)
+
+
+def layout_creation_depth(n: int) -> float:
+    """Theorem 4: O(√n log n) depth w.h.p. for creating a light-first layout
+    (Euler tour + list ranking + sort-network permutation; the grid-diameter
+    √n term dominates the polylog round structure)."""
+    return math.sqrt(_check_n(n)) * log2n(n)
+
+
 def pram_simulation_energy(p: int, m: int, steps: int) -> float:
     """§II-A: O(p (√p + √m) T_p) energy for simulating a PRAM."""
     return p * (math.sqrt(p) + math.sqrt(m)) * steps

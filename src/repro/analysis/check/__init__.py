@@ -1,0 +1,81 @@
+"""Whole-program static analysis for the spatial-computer model
+(``repro check``).
+
+Where :mod:`repro.analysis.lint` checks one file at a time, this package
+analyzes ``src/repro`` as a program: it builds a call graph
+(:mod:`.callgraph`), infers machine-effect signatures and data-dependence
+taint per function (:mod:`.effects`), validates ``@cost_contract``
+declarations against :mod:`repro.analysis.bounds` (:mod:`.contracts`),
+classifies every ledger phase as plan-safe or data-dependent
+(:mod:`.plan_safety`, feeding ROADMAP item 1's plan-replay work), and
+renders findings as text/JSON/SARIF (:mod:`.render`).  Findings carry
+stable ``CHECKxxx`` codes and honour ``# repro: noqa[CHECKxxx]``.
+"""
+
+from repro.analysis.check.callgraph import (
+    FunctionInfo,
+    ProgramIndex,
+    StaticContract,
+    build_index,
+    build_index_from_source,
+)
+from repro.analysis.check.checker import (
+    CHECK_CATALOG,
+    CheckResult,
+    check_paths,
+    check_source,
+    format_check,
+)
+from repro.analysis.check.contracts import PREDICTOR_LOOP_BUDGETS
+from repro.analysis.check.effects import (
+    PLAN_BACKED_CALLS,
+    FunctionEffects,
+    Summary,
+    compute_summaries,
+    function_effects,
+    infer_taint,
+)
+from repro.analysis.check.plan_safety import (
+    PLAN_SAFETY_SCHEMA,
+    VERDICT_DATA_DEPENDENT,
+    VERDICT_PLAN_SAFE,
+    PhaseRecord,
+    classify_phases,
+    plan_safety_report,
+)
+from repro.analysis.check.render import (
+    FINDINGS_SCHEMA,
+    findings_to_json,
+    findings_to_sarif,
+    merge_sarif,
+)
+
+__all__ = [
+    "CHECK_CATALOG",
+    "FINDINGS_SCHEMA",
+    "PLAN_BACKED_CALLS",
+    "PLAN_SAFETY_SCHEMA",
+    "PREDICTOR_LOOP_BUDGETS",
+    "VERDICT_DATA_DEPENDENT",
+    "VERDICT_PLAN_SAFE",
+    "CheckResult",
+    "FunctionEffects",
+    "FunctionInfo",
+    "PhaseRecord",
+    "ProgramIndex",
+    "StaticContract",
+    "Summary",
+    "build_index",
+    "build_index_from_source",
+    "check_paths",
+    "check_source",
+    "classify_phases",
+    "compute_summaries",
+    "findings_to_json",
+    "findings_to_sarif",
+    "format_check",
+    "function_effects",
+    "infer_taint",
+    "merge_sarif",
+    "plan_safety_report",
+]

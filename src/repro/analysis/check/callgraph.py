@@ -1,0 +1,246 @@
+"""Whole-program function index and name-based call resolution.
+
+``repro check`` analyzes the package as a *program*, not file by file: it
+parses every module under the given paths, indexes each function definition
+(including nested ``def``s — closures like list ranking's ``msg`` helper
+charge the machine on behalf of their enclosing phase), extracts
+``@cost_contract`` declarations from the AST, and resolves call sites by
+name.
+
+Resolution is intentionally name-based (the codebase is a single package
+with disciplined naming): a call ``f(...)`` resolves to a definition named
+``f`` in the same module, else to the unique definition named ``f``
+anywhere in the program, else to nothing.  Machine-effect intrinsics
+(``send``/``send_batch``/``send_plan``/collectives/...) take precedence
+over definitions and are handled by :mod:`repro.analysis.check.effects`.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.lint.core import LintFinding, iter_python_files, package_relpath
+
+#: keyword arguments accepted by ``@cost_contract``
+CONTRACT_KWARGS = frozenset({"energy", "depth", "slack", "phase", "plan_safe"})
+
+
+@dataclass(frozen=True)
+class StaticContract:
+    """A ``@cost_contract`` declaration as read from the AST."""
+
+    energy: str | None = None
+    depth: str | None = None
+    slack: float = 64.0
+    phase: str | None = None
+    plan_safe: bool | None = None
+    lineno: int = 0
+    col: int = 0
+    problems: tuple[str, ...] = ()
+
+    def predictor_names(self) -> dict[str, str]:
+        names: dict[str, str] = {}
+        if self.energy is not None:
+            names["energy"] = self.energy
+        if self.depth is not None:
+            names["depth"] = self.depth
+        return names
+
+
+@dataclass
+class FunctionInfo:
+    """One analyzed definition (module functions, methods, nested defs)."""
+
+    module: str  # package-relative module path, e.g. "spatial/treefix.py"
+    path: str  # path as given (for findings)
+    qualname: str  # e.g. "list_rank.<locals>.msg"
+    name: str  # final component, used for call resolution
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    contract: StaticContract | None = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}::{self.qualname}"
+
+    @property
+    def display(self) -> str:
+        return f"{self.module}::{self.qualname}"
+
+
+@dataclass
+class ModuleInfo:
+    module: str
+    path: str
+    tree: ast.Module
+    source: str
+
+
+@dataclass
+class ProgramIndex:
+    """Parsed program: modules, functions, and name-resolution tables."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    by_name: dict[str, list[FunctionInfo]] = field(default_factory=dict)
+    by_module_name: dict[tuple[str, str], list[FunctionInfo]] = field(default_factory=dict)
+    parse_errors: list[LintFinding] = field(default_factory=list)
+
+    def add_module(self, source: str, path: str) -> None:
+        module = package_relpath(path)
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            self.parse_errors.append(
+                LintFinding(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code="CHECK001",
+                    message=f"syntax error: {exc.msg}",
+                )
+            )
+            return
+        self.modules[module] = ModuleInfo(module=module, path=str(path), tree=tree, source=source)
+        for info in _index_functions(module, str(path), tree):
+            self.functions[info.key] = info
+            self.by_name.setdefault(info.name, []).append(info)
+            self.by_module_name.setdefault((module, info.name), []).append(info)
+
+    def resolve(self, module: str, name: str) -> FunctionInfo | None:
+        """Resolve a called name to a definition (same module, else unique)."""
+        local = self.by_module_name.get((module, name))
+        if local:
+            return local[0]
+        candidates = self.by_name.get(name)
+        if candidates and len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def contracted(self) -> list[FunctionInfo]:
+        return [f for f in self.functions.values() if f.contract is not None]
+
+
+def build_index(paths: Iterable[str]) -> ProgramIndex:
+    """Parse every ``.py`` file under ``paths`` into a :class:`ProgramIndex`."""
+    index = ProgramIndex()
+    for file in iter_python_files(paths):
+        index.add_module(Path(file).read_text(), str(file))
+    return index
+
+
+def build_index_from_source(source: str, path: str = "repro/spatial/fixture.py") -> ProgramIndex:
+    """Single-module index for fixtures (the test hook, mirroring lint_source)."""
+    index = ProgramIndex()
+    index.add_module(source, path)
+    return index
+
+
+def _index_functions(
+    module: str, path: str, tree: ast.Module
+) -> Iterable[FunctionInfo]:
+    def visit(node: ast.AST, prefix: str) -> Iterable[FunctionInfo]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                qual = f"{prefix}{child.name}"
+                yield FunctionInfo(
+                    module=module,
+                    path=path,
+                    qualname=qual,
+                    name=child.name,
+                    node=child,
+                    contract=_extract_contract(child),
+                )
+                yield from visit(child, f"{qual}.<locals>.")
+            elif isinstance(child, ast.ClassDef):
+                yield from visit(child, f"{prefix}{child.name}.")
+            else:
+                yield from visit(child, prefix)
+
+    return visit(tree, "")
+
+
+def _decorator_is_contract(dec: ast.expr) -> bool:
+    target = dec.func if isinstance(dec, ast.Call) else dec
+    if isinstance(target, ast.Attribute):
+        return target.attr == "cost_contract"
+    return isinstance(target, ast.Name) and target.id == "cost_contract"
+
+
+def _extract_contract(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> StaticContract | None:
+    for dec in node.decorator_list:
+        if not _decorator_is_contract(dec):
+            continue
+        problems: list[str] = []
+        values: dict[str, object] = {}
+        if not isinstance(dec, ast.Call):
+            return StaticContract(
+                lineno=dec.lineno,
+                col=dec.col_offset + 1,
+                problems=("@cost_contract must be called with keyword arguments",),
+            )
+        if dec.args:
+            problems.append("@cost_contract takes keyword arguments only")
+        for kw in dec.keywords:
+            if kw.arg is None:
+                problems.append("@cost_contract does not accept **kwargs")
+                continue
+            if kw.arg not in CONTRACT_KWARGS:
+                problems.append(f"unknown @cost_contract argument {kw.arg!r}")
+                continue
+            if not isinstance(kw.value, ast.Constant):
+                problems.append(f"@cost_contract {kw.arg}= must be a literal constant")
+                continue
+            values[kw.arg] = kw.value.value
+        for arg in ("energy", "depth", "phase"):
+            v = values.get(arg)
+            if v is not None and not isinstance(v, str):
+                problems.append(f"@cost_contract {arg}= must be a string")
+                values[arg] = None
+        slack = values.get("slack", 64.0)
+        if not isinstance(slack, (int, float)) or isinstance(slack, bool) or slack <= 0:
+            problems.append("@cost_contract slack= must be a positive number")
+            slack = 64.0
+        plan_safe = values.get("plan_safe")
+        if plan_safe is not None and not isinstance(plan_safe, bool):
+            problems.append("@cost_contract plan_safe= must be a bool")
+            plan_safe = None
+        if values.get("energy") is None and values.get("depth") is None and values.get("phase") is None:
+            problems.append("@cost_contract needs at least one of energy=, depth=, phase=")
+        return StaticContract(
+            energy=values.get("energy"),  # type: ignore[arg-type]
+            depth=values.get("depth"),  # type: ignore[arg-type]
+            slack=float(slack),
+            phase=values.get("phase"),  # type: ignore[arg-type]
+            plan_safe=plan_safe,
+            lineno=dec.lineno,
+            col=dec.col_offset + 1,
+            problems=tuple(problems),
+        )
+    return None
+
+
+def phase_name_of(call: ast.Call) -> str:
+    """Phase name from a ``machine.phase(...)`` call.
+
+    Literal strings pass through; f-strings become wildcards keeping their
+    constant parts (``f"treefix_{d}_contract"`` → ``treefix_*_contract``);
+    anything else is ``<dynamic>``.
+    """
+    if call.args:
+        a = call.args[0]
+        if isinstance(a, ast.Constant) and isinstance(a.value, str):
+            return a.value
+        if isinstance(a, ast.JoinedStr):
+            parts = []
+            for v in a.values:
+                if isinstance(v, ast.Constant):
+                    parts.append(str(v.value))
+                else:
+                    parts.append("*")
+            return "".join(parts) or "*"
+    return "<dynamic>"

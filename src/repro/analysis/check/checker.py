@@ -1,0 +1,139 @@
+"""Driver for ``repro check``: run every analysis, apply noqa, summarize.
+
+The driver glues the pieces together: build the program index, compute
+effect summaries to fixpoint, run the phase-discipline/contract/hot-loop/
+plan-safety checks, filter findings through the lint core's
+``# repro: noqa[CHECKxxx]`` suppression (same syntax, same per-line
+semantics), and produce the plan-safety report plus counters for the
+``repro_check_*`` metric families.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.analysis.check.callgraph import (
+    ProgramIndex,
+    build_index,
+    build_index_from_source,
+)
+from repro.analysis.check.contracts import contract_findings, hot_loop_findings
+from repro.analysis.check.effects import compute_summaries
+from repro.analysis.check.plan_safety import (
+    VERDICT_DATA_DEPENDENT,
+    classify_phases,
+    plan_safety_findings,
+    plan_safety_report,
+)
+from repro.analysis.lint.core import LintFinding, suppressions
+
+#: stable catalog of whole-program check codes: code → (name, description)
+CHECK_CATALOG: dict[str, tuple[str, str]] = {
+    "CHECK001": (
+        "syntax-error",
+        "file could not be parsed; the whole-program analysis skipped it",
+    ),
+    "CHECK002": (
+        "phase-escape",
+        "a charging effect is reachable from a contracted entry point outside "
+        "any ledger phase",
+    ),
+    "CHECK003": (
+        "contract-shape",
+        "the charge-loop nesting exceeds the declared bounds predictor's "
+        "polylog round budget",
+    ),
+    "CHECK004": (
+        "contract-binding",
+        "a @cost_contract declaration is malformed or names an unusable "
+        "bounds predictor",
+    ),
+    "CHECK005": (
+        "scalar-send-hot-loop",
+        "a scalar send runs inside a data loop and is eligible for batching",
+    ),
+    "CHECK006": (
+        "false-plan-safe-claim",
+        "an entry point claims plan_safe=True but reaches data-dependent "
+        "communication",
+    ),
+}
+
+
+@dataclass
+class CheckResult:
+    """Everything one ``repro check`` run produced."""
+
+    findings: list[LintFinding]
+    report: dict[str, Any]
+    stats: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def _apply_noqa(index: ProgramIndex, findings: Iterable[LintFinding]) -> list[LintFinding]:
+    maps = {m.path: suppressions(m.source) for m in index.modules.values()}
+    out = []
+    for f in findings:
+        allowed = maps.get(f.path, {}).get(f.line, ...)
+        if allowed is None:
+            continue  # blanket suppression
+        if allowed is not ... and f.code in allowed:
+            continue
+        out.append(f)
+    return sorted(out)
+
+
+def check_index(index: ProgramIndex) -> CheckResult:
+    effects, summaries = compute_summaries(index)
+    phases = classify_phases(index, effects, summaries)
+    findings: list[LintFinding] = list(index.parse_errors)
+    findings.extend(contract_findings(index, summaries))
+    findings.extend(hot_loop_findings(index, summaries))
+    findings.extend(plan_safety_findings(index, summaries, phases))
+    findings = _apply_noqa(index, findings)
+    report = plan_safety_report(index, effects, summaries)
+    stats = {
+        "files": len(index.modules) + len(index.parse_errors),
+        "functions": len(index.functions),
+        "entry_points": len(index.contracted()),
+        "phases": len(phases),
+        "data_dependent_phases": sum(1 for p in phases.values() if p.data_dependent),
+        "findings_by_code": dict(sorted(Counter(f.code for f in findings).items())),
+        "entry_verdicts": {
+            row["function"]: row["verdict"] for row in report["entry_points"]
+        },
+    }
+    return CheckResult(findings=findings, report=report, stats=stats)
+
+
+def check_paths(paths: Iterable[str]) -> CheckResult:
+    """Whole-program check of every ``.py`` file under ``paths``."""
+    return check_index(build_index(paths))
+
+
+def check_source(source: str, path: str = "repro/spatial/fixture.py") -> CheckResult:
+    """Check a source string as a single-module program (the test hook)."""
+    return check_index(build_index_from_source(source, path))
+
+
+def format_check(result: CheckResult) -> str:
+    """Human-readable summary: findings, then phase verdicts, then totals."""
+    lines = [str(f) for f in result.findings]
+    if not lines:
+        lines.append("no findings")
+    lines.append("")
+    totals = result.report["totals"]
+    lines.append(
+        f"plan-safety: {totals['plan_safe']} plan-safe / "
+        f"{totals['data_dependent']} data-dependent phase(s), "
+        f"{totals['entry_points']} contracted entry point(s)"
+    )
+    for row in result.report["phases"]:
+        if row["verdict"] == VERDICT_DATA_DEPENDENT:
+            lines.append(f"  data-dependent: {row['name']}")
+    return "\n".join(lines)

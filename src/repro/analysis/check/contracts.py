@@ -1,0 +1,192 @@
+"""Static validation of ``@cost_contract`` declarations.
+
+Two checks run against the interprocedural summaries:
+
+* **CHECK004 — contract binding**: the declared predictor names must exist
+  in :mod:`repro.analysis.bounds` and be callable as ``predictor(n)`` (the
+  runtime instrument evaluates them at ``machine.n``); malformed decorator
+  arguments are reported here too.
+* **CHECK003 — contract shape**: the function's *charge-loop depth* (the
+  weighted nesting of Python loops around any reachable charging call;
+  loops over n-scaled iterables weigh double because they are data loops,
+  not round loops) must fit the declared predictor's polylog round budget.
+  A ``log n`` bound admits one level of round loops, ``log² n`` two, the
+  √n-dominated bounds (sort network, layout creation) three-to-four —
+  exceeding the budget means the implementation's loop structure cannot
+  match the claimed asymptotic shape.
+"""
+
+from __future__ import annotations
+
+import inspect
+
+from repro.analysis.check.callgraph import ProgramIndex
+from repro.analysis.check.effects import Summary
+from repro.analysis.lint.core import LintFinding
+
+#: loop-nest budget per predictor: how many nested charge loops the bound's
+#: round structure admits (see module docstring; weights: round loop 1,
+#: n-scaled data loop 2)
+PREDICTOR_LOOP_BUDGETS: dict[str, int] = {
+    # O(log n) round structures
+    "log2n": 1,
+    "collective_depth": 1,
+    "collective_energy": 1,
+    # rank-slot rounds nest one level inside the virtual-tree sweep
+    "local_messaging_depth": 2,
+    "local_messaging_energy": 2,
+    # O(log n) Las Vegas round loops (+ the base-case walk / expand sweep)
+    "list_ranking_depth": 2,
+    "list_ranking_energy": 2,
+    # O(log² n) contraction rounds over families
+    "treefix_depth": 2,
+    "treefix_depth_general": 2,
+    "treefix_energy": 2,
+    # layer sweep × per-layer range-tree rounds
+    "lca_depth": 3,
+    "lca_energy": 3,
+    # Batcher network: two nested stage loops (+ one slack level)
+    "sort_network_rounds": 2,
+    "sort_network_depth": 3,
+    "sort_network_energy": 3,
+    "sort_energy": 3,
+    # the §IV pipeline composes euler tours, list ranking, and the network
+    "layout_creation_depth": 4,
+    "layout_creation_energy": 4,
+}
+
+
+def _eligible_predictor(name: str) -> str | None:
+    """Error message when ``name`` is not a usable ``predictor(n)``."""
+    from repro.analysis import bounds
+
+    fn = getattr(bounds, name, None)
+    if fn is None or not callable(fn):
+        return f"unknown bounds predictor {name!r}"
+    try:
+        sig = inspect.signature(fn)
+    except (TypeError, ValueError):  # pragma: no cover - stdlib callables
+        return None
+    required = [
+        p
+        for p in sig.parameters.values()
+        if p.default is inspect.Parameter.empty
+        and p.kind
+        in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+            inspect.Parameter.KEYWORD_ONLY,
+        )
+    ]
+    if len(required) != 1 or required[0].kind is inspect.Parameter.KEYWORD_ONLY:
+        return f"bounds predictor {name!r} is not callable as {name}(n)"
+    return None
+
+
+def contract_findings(
+    index: ProgramIndex, summaries: dict[str, Summary]
+) -> list[LintFinding]:
+    """CHECK002/CHECK003/CHECK004 findings for every contracted entry point."""
+    findings: list[LintFinding] = []
+    for info in index.contracted():
+        contract = info.contract
+        assert contract is not None
+        s = summaries[info.key]
+
+        for problem in contract.problems:
+            findings.append(
+                LintFinding(
+                    path=info.path,
+                    line=contract.lineno,
+                    col=contract.col,
+                    code="CHECK004",
+                    message=f"{info.qualname}: {problem}",
+                )
+            )
+        budget: int | None = None
+        budget_name: str | None = None
+        for metric, name in contract.predictor_names().items():
+            problem_msg = _eligible_predictor(name)
+            if problem_msg is not None:
+                findings.append(
+                    LintFinding(
+                        path=info.path,
+                        line=contract.lineno,
+                        col=contract.col,
+                        code="CHECK004",
+                        message=f"{info.qualname}: {metric}= {problem_msg}",
+                    )
+                )
+                continue
+            b = PREDICTOR_LOOP_BUDGETS.get(name)
+            if b is not None and (budget is None or (metric == "depth")):
+                # the depth predictor, when present, governs the shape check
+                budget, budget_name = b, name
+
+        chain = s.any_unphased()
+        if chain is not None:
+            findings.append(
+                LintFinding(
+                    path=info.path,
+                    line=info.node.lineno,
+                    col=info.node.col_offset + 1,
+                    code="CHECK002",
+                    message=(
+                        f"{info.qualname}: charging effect reachable outside any "
+                        f"ledger phase (via {' -> '.join(chain)}); wrap it in "
+                        "machine.phase(...) or declare phase= on the contract"
+                    ),
+                )
+            )
+
+        if budget is not None and s.max_charge_depth > budget:
+            findings.append(
+                LintFinding(
+                    path=info.path,
+                    line=info.node.lineno,
+                    col=info.node.col_offset + 1,
+                    code="CHECK003",
+                    message=(
+                        f"{info.qualname}: charge-loop depth {s.max_charge_depth} "
+                        f"exceeds the round budget {budget} of declared predictor "
+                        f"{budget_name}; the loop nest cannot match the claimed bound"
+                    ),
+                )
+            )
+    return findings
+
+
+def hot_loop_findings(index: ProgramIndex, summaries: dict[str, Summary]) -> list[LintFinding]:
+    """CHECK005: scalar ``send`` loops eligible for batching, graded by depth.
+
+    Local sites are flagged where the ``.send`` sits inside a loop over an
+    n-scaled iterable; call sites are flagged when they pull a callee's
+    top-level scalar send into such a loop (the interprocedural case the
+    per-file REPRO003 lint cannot see).
+    """
+    findings: list[LintFinding] = []
+    seen: set[tuple[str, int]] = set()
+    for key, info in index.functions.items():
+        s = summaries[key]
+        for depth, chain in s.hot_scalar:
+            # the chain head is always a site in this function: either the
+            # scalar send itself or the call that pulls one into a data loop
+            line = int(chain[0].rsplit(":", 1)[1])
+            if (info.path, line) in seen:
+                continue
+            seen.add((info.path, line))
+            grade = "hot" if depth >= 2 else "warm"
+            via = f" (via {' -> '.join(chain[1:])})" if len(chain) > 1 else ""
+            findings.append(
+                LintFinding(
+                    path=info.path,
+                    line=line,
+                    col=1,
+                    code="CHECK005",
+                    message=(
+                        f"{info.qualname}: scalar send inside {depth} data loop(s) "
+                        f"[{grade}]{via}; batch with send_batch/send_plan"
+                    ),
+                )
+            )
+    return findings

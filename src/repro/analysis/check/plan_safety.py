@@ -1,0 +1,213 @@
+"""Plan-safety classification of ledger phases (``repro.plan-safety/v1``).
+
+ROADMAP item 1 (whole-workload plan compilation) needs to know, *before*
+attempting replay, which phases communicate along a schedule that can be
+recorded and re-issued.  A phase is **plan-safe** when every charge inside
+it is either plan-backed (``send_plan``, collectives, the data-oblivious
+sort network, rank-slot local messaging) or an ad-hoc charge under control
+flow that does not depend on data (message payloads, RNG draws, register
+contents).  It is **data-dependent** when an ad-hoc charge sits under
+tainted control — its message set cannot be known without running.
+
+This is exactly the asymmetry between the paper's treefix contraction and
+random-mate list ranking as implemented here: both loop a random number of
+rounds, but treefix re-issues cached *plans* (replayable), while list
+ranking describes fresh ``send_batch`` message sets from coin flips every
+round (not replayable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.analysis.check.callgraph import ProgramIndex
+from repro.analysis.check.effects import FunctionEffects, Summary
+from repro.analysis.lint.core import LintFinding
+
+PLAN_SAFETY_SCHEMA = "repro.plan-safety/v1"
+
+VERDICT_PLAN_SAFE = "plan-safe"
+VERDICT_DATA_DEPENDENT = "data-dependent"
+
+
+@dataclass
+class PhaseRecord:
+    """Aggregated classification of one phase name across the program."""
+
+    name: str
+    sites: list[str] = field(default_factory=list)
+    charge_kinds: set[str] = field(default_factory=set)
+    reasons: list[str] = field(default_factory=list)
+    nested: set[str] = field(default_factory=set)
+    data_dependent: bool = False
+
+    @property
+    def verdict(self) -> str:
+        return VERDICT_DATA_DEPENDENT if self.data_dependent else VERDICT_PLAN_SAFE
+
+
+def classify_phases(
+    index: ProgramIndex,
+    effects: dict[str, FunctionEffects],
+    summaries: dict[str, Summary],
+) -> dict[str, PhaseRecord]:
+    """Classify every ``with machine.phase(...)`` scope in the program."""
+    phases: dict[str, PhaseRecord] = {}
+    for key, info in index.functions.items():
+        for scope in effects[key].phase_scopes:
+            rec = phases.setdefault(scope.name, PhaseRecord(name=scope.name))
+            rec.sites.append(f"{info.module}:{info.qualname}:{scope.lineno}")
+            for ev in scope.charges:
+                rec.charge_kinds.add(ev.kind)
+                if ev.kind in ("scalar", "adhoc") and ev.tainted:
+                    rec.data_dependent = True
+                    rec.reasons.append(
+                        f"ad-hoc {ev.name} under data-dependent control at "
+                        f"{info.module}:{ev.lineno}"
+                    )
+            for call in scope.calls:
+                callee = index.resolve(info.module, call.name)
+                if callee is None or callee.key == key:
+                    continue
+                cs = summaries[callee.key]
+                if cs.unphased_scalar is not None:
+                    rec.charge_kinds.add("scalar")
+                if cs.unphased_adhoc is not None:
+                    rec.charge_kinds.add("adhoc")
+                if cs.unphased_plan is not None:
+                    rec.charge_kinds.add("plan")
+                if cs.unphased_adhoc_tainted is not None:
+                    rec.data_dependent = True
+                    rec.reasons.append(
+                        f"{call.name}() charges ad-hoc under data-dependent "
+                        f"control (via {' -> '.join(cs.unphased_adhoc_tainted)})"
+                    )
+                elif call.tainted and cs.unphased_adhoc is not None:
+                    rec.data_dependent = True
+                    rec.reasons.append(
+                        f"{call.name}() called under data-dependent control and "
+                        f"charges ad-hoc (via {' -> '.join(cs.unphased_adhoc)})"
+                    )
+                rec.nested |= cs.reachable_phases
+    for rec in phases.values():
+        rec.nested.discard(rec.name)
+    return phases
+
+
+def entry_verdicts(
+    index: ProgramIndex,
+    summaries: dict[str, Summary],
+    phases: dict[str, PhaseRecord],
+) -> list[dict[str, Any]]:
+    """Per contracted entry point: reachable phases and the replay verdict."""
+    rows: list[dict[str, Any]] = []
+    for info in sorted(index.contracted(), key=lambda f: f.key):
+        assert info.contract is not None
+        s = summaries[info.key]
+        reachable = set(s.reachable_phases)
+        if info.contract.phase is not None:
+            reachable.add(info.contract.phase)
+        data_dep = sorted(
+            name
+            for name in reachable
+            if name in phases and phases[name].data_dependent
+        )
+        loose = s.unphased_adhoc_tainted
+        verdict = (
+            VERDICT_DATA_DEPENDENT if (data_dep or loose) else VERDICT_PLAN_SAFE
+        )
+        rows.append(
+            {
+                "function": info.display,
+                "line": info.node.lineno,
+                "contract": {
+                    "energy": info.contract.energy,
+                    "depth": info.contract.depth,
+                    "slack": info.contract.slack,
+                    "phase": info.contract.phase,
+                    "plan_safe": info.contract.plan_safe,
+                },
+                "claim_plan_safe": info.contract.plan_safe,
+                "reachable_phases": sorted(reachable),
+                "data_dependent_phases": data_dep,
+                "unphased_data_dependent_charges": list(loose) if loose else [],
+                "verdict": verdict,
+            }
+        )
+    return rows
+
+
+def plan_safety_report(
+    index: ProgramIndex,
+    effects: dict[str, FunctionEffects],
+    summaries: dict[str, Summary],
+) -> dict[str, Any]:
+    """Build the ``repro.plan-safety/v1`` document."""
+    phases = classify_phases(index, effects, summaries)
+    entries = entry_verdicts(index, summaries, phases)
+    phase_rows = [
+        {
+            "name": rec.name,
+            "verdict": rec.verdict,
+            "sites": sorted(rec.sites),
+            "charge_kinds": sorted(rec.charge_kinds),
+            "reasons": sorted(set(rec.reasons)),
+            "nested_phases": sorted(rec.nested),
+        }
+        for rec in sorted(phases.values(), key=lambda r: r.name)
+    ]
+    data_dep = sum(1 for r in phase_rows if r["verdict"] == VERDICT_DATA_DEPENDENT)
+    return {
+        "schema": PLAN_SAFETY_SCHEMA,
+        "phases": phase_rows,
+        "entry_points": entries,
+        "totals": {
+            "phases": len(phase_rows),
+            "plan_safe": len(phase_rows) - data_dep,
+            "data_dependent": data_dep,
+            "entry_points": len(entries),
+        },
+    }
+
+
+def plan_safety_findings(
+    index: ProgramIndex,
+    summaries: dict[str, Summary],
+    phases: dict[str, PhaseRecord],
+) -> list[LintFinding]:
+    """CHECK006: entry points whose ``plan_safe=True`` claim does not hold."""
+    findings: list[LintFinding] = []
+    for row_info in index.contracted():
+        contract = row_info.contract
+        assert contract is not None
+        if contract.plan_safe is not True:
+            continue
+        s = summaries[row_info.key]
+        reachable = set(s.reachable_phases)
+        if contract.phase is not None:
+            reachable.add(contract.phase)
+        bad = sorted(
+            name for name in reachable if name in phases and phases[name].data_dependent
+        )
+        loose = s.unphased_adhoc_tainted
+        if not bad and loose is None:
+            continue
+        why = (
+            f"reaches data-dependent phase(s) {', '.join(bad)}"
+            if bad
+            else f"has data-dependent ad-hoc charges ({' -> '.join(loose or ())})"
+        )
+        findings.append(
+            LintFinding(
+                path=row_info.path,
+                line=contract.lineno,
+                col=contract.col,
+                code="CHECK006",
+                message=(
+                    f"{row_info.qualname} claims plan_safe=True but {why}; "
+                    "plan replay cannot reproduce its message sets"
+                ),
+            )
+        )
+    return findings

@@ -1,0 +1,103 @@
+"""Finding renderers shared by ``repro check`` and ``repro lint``.
+
+Text output is the lint core's ``path:line:col: CODE message`` format;
+JSON is a small schema-versioned document; SARIF 2.1.0 targets CI
+code-scanning upload.  :func:`merge_sarif` combines the runs of several
+documents so CI can upload one artifact for both tools.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.analysis.lint.core import LintFinding
+
+FINDINGS_SCHEMA = "repro.findings/v1"
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = "https://json.schemastore.org/sarif-2.1.0.json"
+
+#: codes rendered at SARIF level "error"; everything else is "warning"
+ERROR_CODES = frozenset({"CHECK001", "CHECK002", "CHECK003", "CHECK004", "CHECK006", "REPRO000"})
+
+
+def findings_to_json(
+    findings: Iterable[LintFinding], *, tool: str
+) -> dict[str, Any]:
+    return {
+        "schema": FINDINGS_SCHEMA,
+        "tool": tool,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "code": f.code,
+                "message": f.message,
+            }
+            for f in findings
+        ],
+    }
+
+
+def sarif_level(code: str) -> str:
+    return "error" if code in ERROR_CODES else "warning"
+
+
+def findings_to_sarif(
+    findings: Iterable[LintFinding],
+    *,
+    tool: str,
+    rules: dict[str, tuple[str, str]],
+) -> dict[str, Any]:
+    """One SARIF 2.1.0 document with a single run.
+
+    ``rules`` maps code → (name, description) for the driver's rule table;
+    codes appearing in findings but missing from the table still render.
+    """
+    findings = list(findings)
+    used = {f.code for f in findings}
+    rule_rows = []
+    for code in sorted(used | set(rules)):
+        name, description = rules.get(code, (code.lower(), ""))
+        rule_rows.append(
+            {
+                "id": code,
+                "name": name,
+                "shortDescription": {"text": description or name},
+                "defaultConfiguration": {"level": sarif_level(code)},
+            }
+        )
+    results = [
+        {
+            "ruleId": f.code,
+            "level": sarif_level(f.code),
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path.replace("\\", "/")},
+                        "region": {"startLine": f.line, "startColumn": f.col},
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": {"name": tool, "rules": rule_rows}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def merge_sarif(docs: Iterable[dict[str, Any]]) -> dict[str, Any]:
+    """Combine several SARIF documents into one (concatenating their runs)."""
+    runs: list[Any] = []
+    for doc in docs:
+        runs.extend(doc.get("runs", []))
+    return {"$schema": SARIF_SCHEMA_URI, "version": SARIF_VERSION, "runs": runs}

@@ -127,19 +127,22 @@ def package_relpath(path: str) -> str:
 
 
 def suppressions(source: str) -> dict[int, set[str] | None]:
-    """Per-line noqa map: line → None (all rules) or a set of codes."""
+    """Per-line noqa map: line → None (all rules) or a set of codes.
+
+    Codes are comma-separated (``# repro: noqa[REPRO001,CHECK005]`` — any
+    tool's codes mix freely) and several noqa comments on one line merge;
+    a blanket ``# repro: noqa`` wins over code lists.
+    """
     out: dict[int, set[str] | None] = {}
     for lineno, line in enumerate(source.splitlines(), start=1):
-        m = _NOQA_RE.search(line)
-        if not m:
-            continue
-        if m.group(1) is None:
-            out[lineno] = None
-        else:
+        for m in _NOQA_RE.finditer(line):
+            if m.group(1) is None:
+                out[lineno] = None
+                break
             codes = {c.strip() for c in m.group(1).split(",") if c.strip()}
             existing = out.get(lineno)
             if existing is None and lineno in out:
-                continue  # blanket noqa already wins
+                break  # blanket noqa already wins
             out[lineno] = codes | (existing or set())
     return out
 

@@ -471,3 +471,57 @@ def publish_critical_path(registry: MetricsRegistry, analyzer) -> None:
         contribution.labels(phase=entry["phase"] or "(none)").inc(
             entry["contribution"]
         )
+
+
+def publish_check(registry: MetricsRegistry, result) -> None:
+    """``repro_check_*`` families from a static-analysis run.
+
+    Accepts a :class:`repro.analysis.check.CheckResult`; publishes finding
+    counts per code, phase plan-safety verdicts, and analyzed-program size.
+    """
+    stats = result.stats
+    registry.gauge(
+        "repro_check_functions", "functions indexed by the whole-program checker"
+    ).set(stats.get("functions", 0))
+    registry.gauge(
+        "repro_check_entry_points", "entry points carrying a @cost_contract"
+    ).set(stats.get("entry_points", 0))
+    findings = registry.counter(
+        "repro_check_findings_total", "static-analysis findings per code", ("code",)
+    )
+    for code, count in sorted(stats.get("findings_by_code", {}).items()):
+        findings.labels(code=code).inc(count)
+    phases = registry.gauge(
+        "repro_check_phases", "ledger phases per plan-safety verdict", ("verdict",)
+    )
+    totals = result.report.get("totals", {})
+    phases.labels(verdict="plan-safe").set(totals.get("plan_safe", 0))
+    phases.labels(verdict="data-dependent").set(totals.get("data_dependent", 0))
+
+
+def publish_contracts(registry: MetricsRegistry) -> None:
+    """``repro_check_contract_*`` families from the runtime contract monitor.
+
+    Reads the bounded frame history recorded by
+    :func:`repro.contracts.cost_contract` wrappers: call counts and the
+    worst measured/predicted ratio per entry point and metric (a flat
+    worst-ratio across growing n confirms the declared asymptotic shape).
+    """
+    from repro.contracts import contract_stats
+
+    calls = registry.counter(
+        "repro_check_contract_calls_total",
+        "monitored calls of contracted entry points",
+        ("function",),
+    )
+    worst = registry.gauge(
+        "repro_check_contract_worst_ratio",
+        "worst measured/predicted ratio over the recorded frames",
+        ("function", "metric"),
+    )
+    for function, row in sorted(contract_stats().items()):
+        calls.labels(function=function).inc(int(row.get("calls", 0)))
+        for key, value in sorted(row.items()):
+            if key.startswith("worst_") and key.endswith("_ratio"):
+                metric = key[len("worst_") : -len("_ratio")]
+                worst.labels(function=function, metric=metric).set(value)

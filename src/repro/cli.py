@@ -23,7 +23,11 @@ Subcommands:
   bundle (``perf.json``, Perfetto critical-path trace, Prometheus text).
   ``perf diff`` compares two saved ``perf.json`` bundles.
 * ``lint``    — model-discipline AST lint (``REPROxxx`` rules) over
-  source paths; nonzero exit on findings.
+  source paths; nonzero exit on findings; ``--format json|sarif`` for CI.
+* ``check``   — whole-program effect & cost-contract checker
+  (``CHECKxxx`` codes): interprocedural phase discipline, contract
+  shape/binding vs ``bounds.py``, scalar-send hot loops, and the
+  ``repro.plan-safety/v1`` phase classification (``--plan-safety``).
 * ``bench``   — benchmark artifact workflows: ``bench compare`` is the
   perf regression gate (nonzero exit on energy/depth/wall regression),
   ``bench record`` appends artifacts to the ``BENCH_HISTORY.jsonl``
@@ -820,7 +824,20 @@ def cmd_perf_diff(args) -> int:
     return 0
 
 
+def _emit_rendered(payload: str, out: str | None) -> None:
+    if out:
+        from pathlib import Path
+
+        Path(out).write_text(payload + "\n")
+        print(f"wrote {out}")
+    else:
+        print(payload)
+
+
 def cmd_lint(args) -> int:
+    import json
+
+    from repro.analysis.check import findings_to_json, findings_to_sarif
     from repro.analysis.lint import format_findings, lint_paths, rule_catalog
 
     if args.list_rules:
@@ -831,8 +848,81 @@ def cmd_lint(args) -> int:
         print(format_table(rows))
         return 0
     findings = lint_paths(args.paths or ["src"])
-    print(format_findings(findings))
+    if args.format == "text":
+        print(format_findings(findings))
+    elif args.format == "json":
+        _emit_rendered(
+            json.dumps(findings_to_json(findings, tool="repro-lint"), indent=2),
+            args.out,
+        )
+    else:  # sarif
+        rules = {r["code"]: (r["name"], r["description"]) for r in rule_catalog()}
+        doc = findings_to_sarif(findings, tool="repro-lint", rules=rules)
+        _emit_rendered(json.dumps(doc, indent=2), args.out)
     return 1 if findings else 0
+
+
+def cmd_check(args) -> int:
+    import json
+
+    from repro.analysis.check import (
+        CHECK_CATALOG,
+        check_paths,
+        findings_to_json,
+        findings_to_sarif,
+        format_check,
+        merge_sarif,
+    )
+
+    if args.list_rules:
+        rows = [
+            {"code": code, "name": name, "description": description}
+            for code, (name, description) in sorted(CHECK_CATALOG.items())
+        ]
+        print(format_table(rows))
+        return 0
+
+    paths = args.paths or ["src/repro"]
+    result = check_paths(paths)
+    lint_findings = []
+    lint_rules: dict[str, tuple[str, str]] = {}
+    if args.with_lint:
+        from repro.analysis.lint import lint_paths, rule_catalog
+
+        lint_findings = lint_paths(paths)
+        lint_rules = {r["code"]: (r["name"], r["description"]) for r in rule_catalog()}
+
+    if args.plan_safety:
+        from pathlib import Path
+
+        Path(args.plan_safety).write_text(json.dumps(result.report, indent=2) + "\n")
+        print(f"wrote {args.plan_safety}")
+
+    if args.format == "text":
+        lines = [format_check(result)]
+        if lint_findings:
+            lines.append("")
+            lines.append("lint findings:")
+            lines.extend(str(f) for f in lint_findings)
+        _emit_rendered("\n".join(lines), args.out)
+    elif args.format == "json":
+        doc = findings_to_json(
+            list(result.findings) + list(lint_findings), tool="repro-check"
+        )
+        doc["plan_safety"] = result.report
+        doc["stats"] = result.stats
+        _emit_rendered(json.dumps(doc, indent=2), args.out)
+    else:  # sarif
+        docs = [
+            findings_to_sarif(result.findings, tool="repro-check", rules=CHECK_CATALOG)
+        ]
+        if args.with_lint:
+            docs.append(
+                findings_to_sarif(lint_findings, tool="repro-lint", rules=lint_rules)
+            )
+        doc = merge_sarif(docs) if len(docs) > 1 else docs[0]
+        _emit_rendered(json.dumps(doc, indent=2), args.out)
+    return 1 if (result.findings or lint_findings) else 0
 
 
 def cmd_bench(args) -> int:
@@ -1103,7 +1193,27 @@ def build_parser() -> argparse.ArgumentParser:
                    help="files or directories to lint (default: src)")
     p.add_argument("--list-rules", action="store_true",
                    help="print the rule catalog and exit")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                   help="output format (sarif targets CI code scanning)")
+    p.add_argument("--out", help="write json/sarif output to this file")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "check",
+        help="whole-program effect & cost-contract checker (CHECKxxx codes)",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to check (default: src/repro)")
+    p.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                   help="output format (sarif targets CI code scanning)")
+    p.add_argument("--out", help="write the rendered output to this file")
+    p.add_argument("--plan-safety",
+                   help="write the repro.plan-safety/v1 report JSON to this file")
+    p.add_argument("--with-lint", action="store_true",
+                   help="also run the per-file REPROxxx lint (merged output)")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the CHECKxxx catalog and exit")
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("bench", help="benchmark artifact workflows (perf gate)")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)

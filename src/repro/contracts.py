@@ -1,0 +1,295 @@
+"""Runtime cost contracts binding workload entry points to paper bounds.
+
+:func:`cost_contract` decorates a workload entry point with the names of the
+:mod:`repro.analysis.bounds` predictors for its energy and depth.  The
+decorator is a thin instrument:
+
+* it snapshots the machine's ledger around the call and records a
+  :class:`ContractFrame` (measured vs. predicted, bounded history) so the
+  metrics layer can expose ``repro_check_contract_*`` families;
+* when enforcement is enabled (``REPRO_ENFORCE_CONTRACTS=1`` in the
+  environment or :func:`set_enforcement`) it raises
+  :class:`~repro.errors.ContractViolationError` if a measured cost exceeds
+  ``slack`` times the predicted leading-order bound — monitoring stays the
+  default because absolute constants depend on the curve and tree shape;
+* when ``phase=`` is given and the machine has no active ledger phase, the
+  call is wrapped in ``machine.phase(phase)`` so charging stays phase
+  disciplined even for bare calls (callers that already opened a phase are
+  left untouched, preserving their accounting).
+
+The declared contract is stored on the wrapper as ``__cost_contract__`` and
+is what the static checker (:mod:`repro.analysis.check`) reads from the AST:
+the predictor names must exist in ``bounds.py`` and the function body's
+charge-loop structure must be consistent with the predictor's polylog round
+budget.  ``plan_safe`` is the author's claim about plan-replay safety of the
+phases the entry point owns; the static classifier verifies it.
+
+This module lives at the package top level (not under ``repro.analysis``)
+so that ``spatial/`` and ``machine/`` modules can import it without cycles;
+the bounds predictors are resolved lazily at call time.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import threading
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from functools import wraps
+from typing import Any, ParamSpec, TypeVar
+
+from repro.errors import ContractViolationError, ValidationError
+
+P = ParamSpec("P")
+R = TypeVar("R")
+
+ENFORCE_ENV = "REPRO_ENFORCE_CONTRACTS"
+MAX_FRAMES = 256
+
+_lock = threading.Lock()
+_frames: deque[ContractFrame] = deque(maxlen=MAX_FRAMES)
+_enforce_override: bool | None = None
+
+
+@dataclass(frozen=True)
+class CostContract:
+    """Static description of a cost contract attached to an entry point."""
+
+    function: str
+    energy: str | None = None
+    depth: str | None = None
+    slack: float = 64.0
+    phase: str | None = None
+    plan_safe: bool | None = None
+
+    def predictor_names(self) -> dict[str, str]:
+        """Mapping of ledger metric -> bounds predictor name."""
+        names: dict[str, str] = {}
+        if self.energy is not None:
+            names["energy"] = self.energy
+        if self.depth is not None:
+            names["depth"] = self.depth
+        return names
+
+
+@dataclass(frozen=True)
+class ContractFrame:
+    """One monitored call of a contracted entry point."""
+
+    function: str
+    n: int
+    measured: dict[str, float]
+    predicted: dict[str, float]
+
+    def ratio(self, metric: str) -> float | None:
+        pred = self.predicted.get(metric)
+        if pred is None:
+            return None
+        return self.measured.get(metric, 0.0) / max(pred, 1.0)
+
+
+def enforcement_enabled() -> bool:
+    """True when contract violations raise instead of only being recorded."""
+    if _enforce_override is not None:
+        return _enforce_override
+    return os.environ.get(ENFORCE_ENV, "").strip() in {"1", "true", "yes", "on"}
+
+
+def set_enforcement(flag: bool | None) -> None:
+    """Force enforcement on/off; ``None`` defers to ``REPRO_ENFORCE_CONTRACTS``."""
+    global _enforce_override
+    _enforce_override = flag
+
+
+def contract_frames() -> list[ContractFrame]:
+    """Recent monitoring frames (bounded to the last ``MAX_FRAMES`` calls)."""
+    with _lock:
+        return list(_frames)
+
+
+def reset_contract_frames() -> None:
+    with _lock:
+        _frames.clear()
+
+
+def contract_stats() -> dict[str, dict[str, float]]:
+    """Per-function aggregate of the recorded frames.
+
+    Returns ``{function: {"calls": c, "worst_energy_ratio": r, ...}}`` for
+    the metrics publisher; ratios are measured / predicted (leading-order,
+    so a flat ratio as n grows confirms the asymptotic shape).
+    """
+    stats: dict[str, dict[str, float]] = {}
+    for frame in contract_frames():
+        row = stats.setdefault(frame.function, {"calls": 0.0})
+        row["calls"] += 1.0
+        for metric in frame.predicted:
+            ratio = frame.ratio(metric)
+            if ratio is None or not math.isfinite(ratio):
+                continue
+            key = f"worst_{metric}_ratio"
+            row[key] = max(row.get(key, 0.0), ratio)
+    return stats
+
+
+def _looks_like_machine(obj: Any) -> bool:
+    return (
+        obj is not None
+        and hasattr(obj, "snapshot")
+        and hasattr(obj, "phase")
+        and hasattr(obj, "phase_stack")
+        and hasattr(obj, "n")
+    )
+
+
+def _resolve_machine(args: tuple[Any, ...], kwargs: dict[str, Any]) -> Any | None:
+    """Find the SpatialMachine a call charges against.
+
+    Checks, in order: an explicit ``machine=`` keyword, the first two
+    positional arguments, and a ``.machine`` attribute on them (covers
+    ``SpatialTree``-first signatures).  Returns ``None`` when the machine is
+    created inside the callee (e.g. ``create_light_first_layout`` without
+    ``machine=``); the wrapper then reads totals off ``result.machine``.
+    """
+    candidates = [kwargs.get("machine"), *args[:2]]
+    for obj in candidates:
+        if _looks_like_machine(obj):
+            return obj
+    for obj in candidates:
+        inner = getattr(obj, "machine", None)
+        if _looks_like_machine(inner):
+            return inner
+    return None
+
+
+def _resolve_predictor(name: str) -> Callable[[int], float] | None:
+    # Imported lazily: spatial/ and machine/ modules apply this decorator at
+    # import time, and importing repro.analysis there would be a cycle.
+    from repro.analysis import bounds
+
+    fn = getattr(bounds, name, None)
+    return fn if callable(fn) else None
+
+
+def _predictions(contract: CostContract, n: int) -> dict[str, float]:
+    predicted: dict[str, float] = {}
+    for metric, name in contract.predictor_names().items():
+        fn = _resolve_predictor(name)
+        if fn is None:
+            if enforcement_enabled():
+                raise ContractViolationError(
+                    f"{contract.function}: cost contract names unknown bounds "
+                    f"predictor {name!r} for {metric}"
+                )
+            continue
+        predicted[metric] = float(fn(n))
+    return predicted
+
+
+def _measure(pre: dict[str, float] | None, post: dict[str, float]) -> dict[str, float]:
+    if pre is None:
+        return {k: float(v) for k, v in post.items()}
+    return {k: float(post[k]) - float(pre.get(k, 0.0)) for k in post}
+
+
+def _record(frame: ContractFrame) -> None:
+    with _lock:
+        _frames.append(frame)
+
+
+def _enforce(contract: CostContract, frame: ContractFrame) -> None:
+    for metric, predicted in frame.predicted.items():
+        allowed = contract.slack * max(predicted, 1.0)
+        measured = frame.measured.get(metric, 0.0)
+        if measured > allowed:
+            raise ContractViolationError(
+                f"{contract.function}: measured {metric} {measured:.1f} exceeds "
+                f"{contract.slack:g}x the {contract.predictor_names()[metric]} "
+                f"bound ({predicted:.1f}) at n={frame.n}"
+            )
+
+
+def cost_contract(
+    *,
+    energy: str | None = None,
+    depth: str | None = None,
+    slack: float = 64.0,
+    phase: str | None = None,
+    plan_safe: bool | None = None,
+) -> Callable[[Callable[P, R]], Callable[P, R]]:
+    """Declare the paper bound a workload entry point must respect.
+
+    ``energy`` and ``depth`` name single-argument predictors in
+    :mod:`repro.analysis.bounds` evaluated at ``machine.n``; ``slack`` is the
+    constant-factor allowance used when enforcement is on.  ``phase`` makes
+    the wrapper open that ledger phase when the caller has not opened one;
+    ``plan_safe`` is the author's plan-replay claim checked by
+    ``repro check``.
+    """
+    if energy is None and depth is None and phase is None:
+        raise ValidationError("cost_contract needs at least one of energy=, depth=, phase=")
+    if slack <= 0:
+        raise ValidationError(f"cost_contract slack must be positive, got {slack}")
+    for name in (energy, depth):
+        if name is not None and (not isinstance(name, str) or not name.isidentifier()):
+            raise ValidationError(f"cost_contract predictor must be an identifier, got {name!r}")
+
+    def decorate(fn: Callable[P, R]) -> Callable[P, R]:
+        contract = CostContract(
+            function=f"{fn.__module__}.{fn.__qualname__}",
+            energy=energy,
+            depth=depth,
+            slack=slack,
+            phase=phase,
+            plan_safe=plan_safe,
+        )
+
+        @wraps(fn)
+        def wrapper(*args: P.args, **kwargs: P.kwargs) -> R:
+            machine = _resolve_machine(args, kwargs)
+            cm = None
+            if phase is not None and machine is not None and not machine.phase_stack:
+                cm = machine.phase(phase)
+                cm.__enter__()
+            pre = dict(machine.snapshot()) if machine is not None else None
+            try:
+                result = fn(*args, **kwargs)
+            finally:
+                if cm is not None:
+                    cm.__exit__(None, None, None)
+            if machine is None:
+                machine = _resolve_machine((result,), {})
+                if machine is None:
+                    return result
+            post = dict(machine.snapshot())
+            frame = ContractFrame(
+                function=contract.function,
+                n=int(machine.n),
+                measured=_measure(pre, post),
+                predicted=_predictions(contract, int(machine.n)),
+            )
+            _record(frame)
+            if enforcement_enabled():
+                _enforce(contract, frame)
+            return result
+
+        wrapper.__cost_contract__ = contract  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate
+
+
+__all__ = [
+    "ENFORCE_ENV",
+    "MAX_FRAMES",
+    "ContractFrame",
+    "CostContract",
+    "contract_frames",
+    "contract_stats",
+    "cost_contract",
+    "enforcement_enabled",
+    "reset_contract_frames",
+    "set_enforcement",
+]

@@ -46,6 +46,18 @@ class SanitizerError(ReproError):
     """
 
 
+class ContractViolationError(ReproError):
+    """A runtime cost-contract check failed.
+
+    Raised by the :func:`repro.contracts.cost_contract` instrument when
+    enforcement is enabled and a decorated workload's measured energy or
+    depth exceeds ``slack`` times the declared :mod:`repro.analysis.bounds`
+    predictor.  Enforcement is opt-in (``REPRO_ENFORCE_CONTRACTS=1`` or
+    :func:`repro.contracts.set_enforcement`); by default contracts only
+    record monitoring frames.
+    """
+
+
 class ConvergenceError(ReproError):
     """A Las Vegas algorithm failed to converge within its iteration safety cap.
 

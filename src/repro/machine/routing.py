@@ -35,11 +35,13 @@ from typing import cast
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ValidationError
 from repro.machine.machine import SpatialMachine
 from repro.utils import as_index_array, check_in_range, next_power_of_two
 
 
+@cost_contract(energy="sort_network_energy", depth="sort_network_depth", phase="permute", plan_safe=True)
 def permute(machine: SpatialMachine, values: np.ndarray, destinations: np.ndarray) -> np.ndarray:
     """Send ``values[i]`` from processor ``i`` to processor ``destinations[i]``.
 
@@ -289,6 +291,7 @@ def _run_network_scalar(
             k *= 2
 
 
+@cost_contract(energy="sort_network_energy", depth="sort_network_depth", phase="bitonic_sort", plan_safe=True)
 def bitonic_sort(
     machine: SpatialMachine,
     keys: np.ndarray,

@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ConvergenceError, ValidationError
 from repro.spatial.local_messaging import family_broadcast, family_reduce
 from repro.utils import as_index_array, ceil_log2, resolve_rng
@@ -101,6 +102,7 @@ def _apply_pending(a, b, op, P):
     return slope, intercept
 
 
+@cost_contract(energy="treefix_energy", depth="treefix_depth_general", plan_safe=False)
 def evaluate_expression(st, ops, leaf_values, *, seed=None, max_rounds=None) -> np.ndarray:
     """Evaluate an expression tree on the machine; returns per-vertex values.
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ValidationError
 from repro.layout.embedding import TreeLayout
 from repro.layout.orders import is_light_first
@@ -106,6 +107,7 @@ def _euler_succ(tree: Tree, child_sort_key: np.ndarray | None) -> tuple[np.ndarr
     return succ, owner
 
 
+@cost_contract(energy="layout_creation_energy", depth="layout_creation_depth", plan_safe=False)
 def create_light_first_layout(
     tree: Tree,
     *,

@@ -29,12 +29,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ValidationError
 from repro.machine.collectives import barrier
 from repro.spatial.subtree_cover import SpatialCover, build_cover, compute_ranges, range_broadcast
 from repro.utils import as_index_array, check_in_range
 
 
+@cost_contract(energy="lca_energy", depth="lca_depth", plan_safe=True)
 def lca_batch(st, us, vs, *, seed=None, return_cover: bool = False):
     """Answer ``LCA(us[i], vs[i])`` for all i on the machine.
 

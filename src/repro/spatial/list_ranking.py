@@ -23,6 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ConvergenceError, ValidationError
 from repro.machine.machine import SpatialMachine
 from repro.utils import as_index_array, ceil_log2, resolve_rng
@@ -59,6 +60,7 @@ def ranks_from_head(ranks: np.ndarray, weights: np.ndarray | None = None) -> np.
     return total - ranks
 
 
+@cost_contract(energy="list_ranking_energy", depth="list_ranking_depth", plan_safe=False)
 def list_rank(
     machine: SpatialMachine,
     succ,

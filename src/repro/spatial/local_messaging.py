@@ -31,6 +31,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ValidationError
 
 Op = Callable[[np.ndarray, np.ndarray], np.ndarray]
@@ -200,6 +201,7 @@ def _virtual_reduce(st, values, op, identity, contribute, families) -> np.ndarra
 # --------------------------------------------------------------------- #
 
 
+@cost_contract(energy="local_messaging_energy", depth="local_messaging_depth", plan_safe=True)
 def local_broadcast(st, values, *, mode: str | None = None) -> np.ndarray:
     """Every child receives its parent's value; the root keeps its own.
 
@@ -227,6 +229,7 @@ def local_broadcast(st, values, *, mode: str | None = None) -> np.ndarray:
         return _virtual_broadcast(st, values, None)
 
 
+@cost_contract(energy="local_messaging_energy", depth="local_messaging_depth", plan_safe=True)
 def local_reduce(st, values, *, op: Op = np.add, identity=0, mode: str | None = None) -> np.ndarray:
     """Every parent receives the reduction of its children's values.
 

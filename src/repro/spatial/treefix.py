@@ -50,6 +50,7 @@ from collections.abc import Callable
 
 import numpy as np
 
+from repro.contracts import cost_contract
 from repro.errors import ConvergenceError, ValidationError
 from repro.spatial.local_messaging import family_broadcast, family_reduce
 from repro.utils import ceil_log2, resolve_rng
@@ -444,6 +445,7 @@ def _run(st, values, op, identity, direction, seed, max_rounds, coin_bias, sync_
         s.release()
 
 
+@cost_contract(energy="treefix_energy", depth="treefix_depth_general", plan_safe=True)
 def treefix_sum(
     st,
     values,
@@ -469,6 +471,7 @@ def treefix_sum(
     return _run(st, values, op, identity, "bottom_up", seed, max_rounds, coin_bias, sync_barriers)
 
 
+@cost_contract(energy="treefix_energy", depth="treefix_depth_general", plan_safe=True)
 def top_down_treefix(
     st,
     values,

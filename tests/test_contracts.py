@@ -1,0 +1,206 @@
+"""Tests for the runtime cost-contract instrument (:mod:`repro.contracts`):
+frame recording, phase wrapping, machine resolution, opt-in enforcement,
+the stats aggregate, and the decorated workload entry points."""
+
+from contextlib import contextmanager
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import MetricsRegistry, publish_contracts
+from repro.contracts import (
+    ENFORCE_ENV,
+    contract_frames,
+    contract_stats,
+    cost_contract,
+    enforcement_enabled,
+    reset_contract_frames,
+    set_enforcement,
+)
+from repro.errors import ContractViolationError, ValidationError
+from repro.machine import SpatialMachine
+from repro.spatial import SpatialTree
+from repro.spatial.treefix import treefix_sum
+from repro.trees import prufer_random_tree
+
+
+@pytest.fixture(autouse=True)
+def clean_contract_state():
+    reset_contract_frames()
+    set_enforcement(None)
+    yield
+    reset_contract_frames()
+    set_enforcement(None)
+
+
+class FakeMachine:
+    """Just enough surface for the wrapper: ledger snapshot + phases."""
+
+    def __init__(self, n=16):
+        self.n = n
+        self.energy = 0.0
+        self.depth = 0.0
+        self.phase_stack = []
+        self.opened = []
+
+    def snapshot(self):
+        return {"energy": self.energy, "depth": self.depth}
+
+    @contextmanager
+    def phase(self, name):
+        self.phase_stack.append(name)
+        self.opened.append(name)
+        try:
+            yield
+        finally:
+            self.phase_stack.pop()
+
+
+# log2n(16) = 4, so slack=2.0 allows a measured energy of at most 8
+@cost_contract(energy="log2n", depth="log2n", slack=2.0, phase="work")
+def spend(machine, cost):
+    machine.energy += cost
+    return cost
+
+
+class TestDecoratorValidation:
+    def test_needs_a_claim(self):
+        with pytest.raises(ValidationError):
+            cost_contract()
+
+    def test_rejects_nonpositive_slack(self):
+        with pytest.raises(ValidationError):
+            cost_contract(energy="log2n", slack=0.0)
+
+    def test_rejects_non_identifier_predictor(self):
+        with pytest.raises(ValidationError):
+            cost_contract(energy="not a name")
+
+    def test_contract_stored_on_wrapper(self):
+        contract = spend.__cost_contract__
+        assert contract.energy == "log2n"
+        assert contract.phase == "work"
+        assert contract.predictor_names() == {"energy": "log2n", "depth": "log2n"}
+
+
+class TestMonitoring:
+    def test_frame_recorded_per_call(self):
+        m = FakeMachine()
+        spend(m, 3.0)
+        spend(m, 2.0)
+        frames = contract_frames()
+        assert len(frames) == 2
+        assert frames[0].function.endswith("spend")
+        assert frames[0].n == 16
+        assert frames[0].measured["energy"] == 3.0  # deltas, not totals
+        assert frames[1].measured["energy"] == 2.0
+        assert frames[0].predicted["energy"] == 4.0
+        assert frames[0].ratio("energy") == pytest.approx(3.0 / 4.0)
+
+    def test_bare_call_opens_the_declared_phase(self):
+        m = FakeMachine()
+        spend(m, 1.0)
+        assert m.opened == ["work"]
+        assert m.phase_stack == []  # closed again on exit
+
+    def test_callers_phase_is_left_untouched(self):
+        m = FakeMachine()
+        with m.phase("outer"):
+            spend(m, 1.0)
+        assert m.opened == ["outer"]  # no nested "work" phase
+
+    def test_machine_resolved_from_result(self):
+        @cost_contract(energy="log2n")
+        def make(n):
+            holder = SimpleNamespace(machine=FakeMachine(n))
+            holder.machine.energy = 3.0
+            return holder
+
+        make(16)
+        (frame,) = contract_frames()
+        assert frame.measured["energy"] == 3.0  # totals: no pre-call snapshot
+
+    def test_no_machine_anywhere_records_nothing(self):
+        @cost_contract(energy="log2n")
+        def pure(x):
+            return x + 1
+
+        assert pure(1) == 2
+        assert contract_frames() == []
+
+    def test_stats_aggregate_worst_ratio(self):
+        m = FakeMachine()
+        spend(m, 2.0)
+        spend(m, 6.0)
+        stats = contract_stats()
+        (row,) = stats.values()
+        assert row["calls"] == 2.0
+        assert row["worst_energy_ratio"] == pytest.approx(6.0 / 4.0)
+
+
+class TestEnforcement:
+    def test_monitoring_is_the_default(self):
+        assert not enforcement_enabled()
+        m = FakeMachine()
+        spend(m, 100.0)  # way past slack x bound, but only recorded
+        assert len(contract_frames()) == 1
+
+    def test_violation_raises_when_enabled(self):
+        set_enforcement(True)
+        m = FakeMachine()
+        spend(m, 7.9)  # under 2.0 x log2n(16) = 8
+        with pytest.raises(ContractViolationError, match="exceeds"):
+            spend(m, 100.0)
+
+    def test_env_var_enables(self, monkeypatch):
+        monkeypatch.setenv(ENFORCE_ENV, "1")
+        assert enforcement_enabled()
+        set_enforcement(False)  # explicit override beats the environment
+        assert not enforcement_enabled()
+
+    def test_unknown_predictor_raises_only_when_enforced(self):
+        @cost_contract(energy="no_such_bound")
+        def f(machine):
+            return None
+
+        m = FakeMachine()
+        f(m)  # monitoring: silently skipped
+        set_enforcement(True)
+        with pytest.raises(ContractViolationError, match="no_such_bound"):
+            f(m)
+
+
+class TestDecoratedEntryPoints:
+    def test_treefix_sum_records_and_respects_its_bound(self):
+        set_enforcement(True)  # generous default slack must hold
+        tree = prufer_random_tree(64, seed=3)
+        st = SpatialTree.build(tree)
+        vals = np.arange(64)
+        treefix_sum(st, vals, seed=1)
+        frames = [f for f in contract_frames() if f.function.endswith("treefix_sum")]
+        assert frames
+        frame = frames[-1]
+        assert frame.measured["energy"] > 0
+        assert 0 < frame.ratio("energy") <= 64.0
+
+    def test_routing_contract_opens_phase_for_bare_calls(self):
+        from repro.machine.routing import permute
+
+        m = SpatialMachine(16)
+        assert not m.phase_stack
+        perm = np.random.default_rng(0).permutation(16)
+        permute(m, np.arange(16), perm)
+        frames = [f for f in contract_frames() if f.function.endswith("permute")]
+        assert frames and frames[-1].measured["depth"] > 0
+
+
+class TestMetricsPublisher:
+    def test_publish_contracts_renders_families(self):
+        m = FakeMachine()
+        spend(m, 3.0)
+        registry = MetricsRegistry()
+        publish_contracts(registry)
+        text = registry.render_prometheus()
+        assert "repro_check_contract_calls_total" in text
+        assert 'metric="energy"' in text

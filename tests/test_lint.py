@@ -14,6 +14,7 @@ from repro.analysis.lint import (
     rule,
     rule_catalog,
 )
+from repro.analysis.lint.core import suppressions
 from repro.errors import ValidationError
 
 
@@ -166,6 +167,48 @@ class TestSuppression:
             "    print(x)\n"
         )
         assert codes(src) == ["REPRO007"]
+
+    def test_comma_separated_codes_suppress_each(self):
+        src = (
+            "def f(m, x):\n"
+            "    m.ledger.charge(1, 1); print(x)  # repro: noqa[REPRO005,REPRO007]\n"
+        )
+        assert codes(src) == []
+
+    def test_comma_list_suppresses_only_listed(self):
+        src = (
+            "def f(m, x):\n"
+            "    m.ledger.charge(1, 1); print(x)  # repro: noqa[REPRO005]\n"
+        )
+        assert codes(src) == ["REPRO007"]
+
+    def test_multiple_noqa_comments_on_one_line_merge(self):
+        src = (
+            "def f(m, x):\n"
+            "    m.ledger.charge(1, 1); print(x)"
+            "  # repro: noqa[REPRO005]  # repro: noqa[REPRO007]\n"
+        )
+        assert codes(src) == []
+
+    def test_other_tools_codes_mix_freely(self):
+        # CHECKxxx codes ride in the same comment without breaking REPRO ones
+        src = "def f(x):\n    print(x)  # repro: noqa[CHECK005, REPRO007]\n"
+        assert codes(src) == []
+
+    def test_blanket_wins_regardless_of_order(self):
+        for comment in (
+            "# repro: noqa  # repro: noqa[REPRO001]",
+            "# repro: noqa[REPRO001]  # repro: noqa",
+        ):
+            src = f"def f(x):\n    print(x)  {comment}\n"
+            assert codes(src) == [], comment
+
+    def test_suppressions_map_shape(self):
+        src = (
+            "a = 1  # repro: noqa[REPRO001] # repro: noqa[CHECK002]\n"
+            "b = 2  # repro: noqa\n"
+        )
+        assert suppressions(src) == {1: {"REPRO001", "CHECK002"}, 2: None}
 
 
 class TestFramework:
