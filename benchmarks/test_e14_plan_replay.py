@@ -1,0 +1,106 @@
+"""E14 — Warm plan replay vs cold batched execution.
+
+Regenerates: wall-clock speedup of replaying a recorded whole-workload
+plan (`repro.plans`, straight-line ``send_plan`` issue) over the cold
+batched live path for treefix and the full layout-creation pipeline at
+n=2^16 (the ISSUE 9 acceptance workloads), with bit-identical
+energy/depth/message/step totals asserted in-run.
+
+Timing methodology mirrors E13: one prewarm run per path touches every
+allocation and plan cache, then cold (live ``prepared.execute()``) and
+warm (``execute_plan`` of the already-decoded plan on a reused machine)
+are re-run best-of-3 interleaved. ``execute_plan`` itself raises
+:class:`~repro.errors.PlanDivergenceError` if replayed totals drift
+from the recorded ones, so every timed warm run is also a correctness
+check; layout creation additionally validates its 64 recorded RNG
+epochs against the redrawn coin trace on every replay. Energy/depth
+land in the gated columns; the speedup ratio floors are conservative
+regression tripwires for the contended CI host.
+"""
+
+import time
+
+from repro.analysis import format_table
+from repro.machine.machine import SpatialMachine
+from repro.plans import execute_plan, get_workload, record
+
+N = 1 << 16
+ROUNDS = 3
+#: hard regression floors on warm-replay speedup (see module docstring)
+MIN_SPEEDUP = {"treefix": 2.5, "layout_creation": 1.3}
+
+
+def _timed_pair(workload, shape, seed):
+    """Best-of-ROUNDS wall-clock for cold live vs warm replay, interleaved."""
+    res = record(workload, n=N, seed=seed, shape=shape)
+    plan = res.plan
+    prep = get_workload(workload).prepare(
+        n=N, seed=seed, shape=shape, engine="batched"
+    )
+    prep.execute()  # prewarm cold path (allocations + plan caches)
+    machine = SpatialMachine(N, curve=plan.curve, side=plan.side, engine="batched")
+    execute_plan(plan, machine)  # prewarm warm path
+    best = {"cold": float("inf"), "warm": float("inf")}
+    for _ in range(ROUNDS):
+        prep.machine.reset_costs()
+        t0 = time.perf_counter()
+        prep.execute()
+        best["cold"] = min(best["cold"], time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        totals = execute_plan(plan, machine)
+        best["warm"] = min(best["warm"], time.perf_counter() - t0)
+    # bit-identical accounting: live batched run == recorded == replayed
+    snap = prep.machine.snapshot()
+    live_totals = {
+        "energy": snap["energy"],
+        "depth": snap["depth"],
+        "messages": snap["messages"],
+        "steps": prep.machine.steps,
+    }
+    assert live_totals == plan.totals == totals
+    return best["cold"], best["warm"], totals, plan
+
+
+def test_e14_plan_replay_speedup(benchmark, report):
+    """Tentpole acceptance: warm replay of treefix + layout creation at
+    n=2^16 beats the cold batched path with bit-identical
+    energy/depth/message/step totals (the in-run assert is live ==
+    recorded == replayed; the regression gate pins the absolute totals
+    via the energy/depth kinds)."""
+
+    def run():
+        rows = []
+        for workload, shape in [
+            ("treefix", "prufer"),
+            ("layout_creation", "prufer"),
+        ]:
+            tc, tw, totals, plan = _timed_pair(workload, shape, seed=10)
+            rows.append(
+                {
+                    "workload": workload,
+                    "n": N,
+                    "cold_s": round(tc, 3),
+                    "warm_s": round(tw, 3),
+                    "speedup_ratio": round(tc / tw, 2),
+                    "step_ops": plan.step_count,
+                    "epochs": plan.epoch_count,
+                    "energy": totals["energy"],
+                    "depth": totals["depth"],
+                    "messages": totals["messages"],
+                    "steps": totals["steps"],
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1)
+    report(
+        "e14_plan_replay",
+        "E14: warm plan replay vs cold batched execution, n=2^16\n"
+        + format_table(rows),
+        data=rows,
+        metric_kinds={"energy": "energy", "depth": "depth"},
+    )
+    for row in rows:
+        assert row["speedup_ratio"] >= MIN_SPEEDUP[row["workload"]], rows
+    # layout creation replays through the speculation oracle, not around it
+    assert rows[1]["epochs"] > 0

@@ -365,6 +365,44 @@ def publish_plan_cache(registry: MetricsRegistry, plan_cache) -> None:
         miss_family.labels(plan=family).inc(count)
 
 
+def publish_plan_store(registry: MetricsRegistry, store) -> None:
+    """Persistent plan-store effectiveness: per-workload hit / miss /
+    eviction counters of the LRU memory layer plus on-disk footprint.
+
+    Accepts a :class:`~repro.plans.store.PlanStore`; the memory layer
+    shares the machine plan cache's counting surface, so the counter
+    families read the same way as ``repro_plan_cache_*``.
+    """
+    mem = store.memory
+    registry.gauge(
+        "repro_plan_store_size", "plans held by the store's in-memory LRU layer"
+    ).set(len(mem))
+    registry.gauge(
+        "repro_plan_store_disk_bytes", "bytes of plan artifacts on disk"
+    ).set(store.total_bytes())
+    hit_family = registry.counter(
+        "repro_plan_store_hits_total",
+        "plan-store lookups served from the memory layer",
+        ("workload",),
+    )
+    miss_family = registry.counter(
+        "repro_plan_store_misses_total",
+        "plan-store lookups that went to disk (or found nothing)",
+        ("workload",),
+    )
+    evict_family = registry.counter(
+        "repro_plan_store_evictions_total",
+        "plans evicted from the memory layer by LRU pressure",
+        ("workload",),
+    )
+    for family, count in sorted(mem.hits.items()):
+        hit_family.labels(workload=family).inc(count)
+    for family, count in sorted(mem.misses.items()):
+        miss_family.labels(workload=family).inc(count)
+    for family, count in sorted(mem.evictions.items()):
+        evict_family.labels(workload=family).inc(count)
+
+
 def publish_tracer(registry: MetricsRegistry, tracer) -> None:
     """Whole-run XY-routing congestion figures."""
     registry.gauge(

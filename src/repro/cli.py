@@ -991,6 +991,83 @@ def cmd_bench(args) -> int:
     raise SystemExit(f"unknown bench subcommand {args.bench_command!r}")
 
 
+def _parse_size(text: str) -> int:
+    """Parse a byte budget like ``65536``, ``64K``, ``16M`` or ``1G``."""
+    text = text.strip()
+    scale = {"K": 1 << 10, "M": 1 << 20, "G": 1 << 30}.get(text[-1:].upper())
+    try:
+        if scale is not None:
+            return int(float(text[:-1]) * scale)
+        return int(text)
+    except ValueError:
+        raise SystemExit(f"cannot parse size {text!r} (use bytes or K/M/G suffix)")
+
+
+def cmd_plan(args) -> int:
+    from repro.plans import PlanStore, get_workload, record, replay
+
+    store = PlanStore(args.store)
+    if args.plan_command == "record":
+        spec = get_workload(args.workload)
+        shape = args.shape or spec.default_shape
+        res = record(
+            args.workload, n=args.n, seed=args.seed, shape=shape,
+            curve=args.curve, engine=args.engine, mode=args.mode, store=store,
+        )
+        d = res.plan.describe()
+        print(f"[recorded {args.workload} n={args.n} shape={shape} seed={args.seed} "
+              f"-> {res.path}]")
+        print(f"  step-ops={d['step_ops']} epochs={d['epochs']} messages={d['messages']} "
+              f"energy={d['energy']} depth={d['depth']}")
+        if d["speculative"]:
+            print(f"  speculative phases: {', '.join(d['speculative'])}")
+        return 0
+    if args.plan_command == "replay":
+        spec = get_workload(args.workload)
+        shape = args.shape or spec.default_shape
+        key = (args.workload, args.n, args.curve, shape)
+        res = replay(
+            key, store=store, engine=args.engine,
+            verify=args.verify, fallback=not args.no_fallback,
+        )
+        tag = "fallback (live re-record)" if res.fallback else "replayed"
+        print(f"[{tag} {args.workload} n={args.n} shape={shape}"
+              f"{' · verified vs scalar oracle' if res.verified else ''}]")
+        t = res.totals
+        print(f"  energy={t['energy']} depth={t['depth']} "
+              f"messages={t['messages']} steps={t['steps']}")
+        return 0
+    if args.plan_command == "ls":
+        rows = store.ls()
+        if not rows:
+            print(f"[no plan artifacts under {store.root}]")
+            return 0
+        table = []
+        for row in rows:
+            if "error" in row:
+                table.append({"path": row["path"], "key": "<unreadable>",
+                              "schema": "-", "KiB": "-"})
+                continue
+            table.append({
+                "path": row["path"],
+                "key": "/".join(str(p) for p in row["key"]),
+                "schema": row["schema"],
+                "KiB": f"{row['nbytes'] / 1024:.1f}",
+            })
+        print(format_table(table))
+        return 0
+    if args.plan_command == "gc":
+        budget = _parse_size(args.max_bytes)
+        before = store.total_bytes()
+        deleted = store.gc(max_bytes=budget)
+        print(f"[gc: {before} -> {store.total_bytes()} bytes "
+              f"(budget {budget}), deleted {len(deleted)} artifact(s)]")
+        for path in deleted:
+            print(f"  - {path}")
+        return 0
+    raise SystemExit(f"unknown plan subcommand {args.plan_command!r}")
+
+
 def cmd_report(args) -> int:
     from repro.analysis.report import RunReport, diff_reports, format_diff, format_report
 
@@ -1265,6 +1342,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pm.add_argument("directory", nargs="?", default="benchmarks/results")
     pm.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "plan",
+        help="whole-workload plan compiler: record runs, replay them as "
+             "straight-line send plans (repro.workload-plan/v1)",
+    )
+    plan_sub = p.add_subparsers(dest="plan_command", required=True)
+
+    def _add_plan_key_args(pp, *, with_seed: bool) -> None:
+        from repro.plans.workloads import WORKLOADS
+
+        pp.add_argument("workload", choices=sorted(WORKLOADS))
+        pp.add_argument("--n", type=int, default=1024)
+        pp.add_argument("--shape", default=None,
+                        help="tree-shape / input class (default: per workload)")
+        pp.add_argument("--curve", default="hilbert", choices=available_curves())
+        if with_seed:
+            pp.add_argument("--seed", type=int, required=True,
+                            help="explicit seed; the whole instance (tree, "
+                                 "inputs, coins) derives from it")
+        pp.add_argument("--store", default=".repro-plans", metavar="DIR",
+                        help="plan store directory (default .repro-plans)")
+
+    pp = plan_sub.add_parser(
+        "record", help="run a workload live and persist its plan artifact"
+    )
+    _add_plan_key_args(pp, with_seed=True)
+    pp.add_argument("--engine", default="batched", choices=["scalar", "batched"])
+    pp.add_argument("--mode", default="auto", choices=["auto", "direct", "virtual"])
+    pp.set_defaults(fn=cmd_plan)
+    pp = plan_sub.add_parser(
+        "replay",
+        help="re-execute a stored plan as straight-line vectorized sends",
+    )
+    _add_plan_key_args(pp, with_seed=False)
+    pp.add_argument("--engine", default="batched", choices=["scalar", "batched"])
+    pp.add_argument("--verify", action="store_true",
+                    help="also run the scalar-engine oracle and require "
+                         "bit-identical results and totals")
+    pp.add_argument("--no-fallback", action="store_true",
+                    help="raise on speculative divergence instead of falling "
+                         "back to live execution")
+    pp.set_defaults(fn=cmd_plan)
+    pp = plan_sub.add_parser("ls", help="list stored plan artifacts")
+    pp.add_argument("--store", default=".repro-plans", metavar="DIR")
+    pp.set_defaults(fn=cmd_plan)
+    pp = plan_sub.add_parser(
+        "gc", help="delete oldest artifacts until the store fits a byte budget"
+    )
+    pp.add_argument("--store", default=".repro-plans", metavar="DIR")
+    pp.add_argument("--max-bytes", required=True, metavar="SIZE",
+                    help="byte budget (supports K/M/G suffixes)")
+    pp.set_defaults(fn=cmd_plan)
 
     p = sub.add_parser("report", help="pretty-print or diff saved run reports")
     p.add_argument("paths", nargs="*", help="report file(s) written by --report")

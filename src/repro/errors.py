@@ -66,3 +66,65 @@ class ConvergenceError(ReproError):
     guard against broken randomness with a generous cap and raise this error
     if the cap is hit, rather than looping forever.
     """
+
+
+class PlanError(ReproError):
+    """Base class for workload-plan recording, storage and replay failures.
+
+    The :mod:`repro.plans` subsystem *never* silently replays the wrong
+    thing: every way an artifact can be stale, corrupt or mismatched maps
+    to a typed subclass below, so callers can distinguish "re-record"
+    (:class:`PlanNotFoundError`, :class:`PlanDivergenceError`) from
+    "reject the artifact" (:class:`PlanIntegrityError`,
+    :class:`PlanSchemaError`, :class:`PlanKeyError`).
+    """
+
+
+class PlanStoreError(PlanError):
+    """A persistent plan artifact could not be read or written."""
+
+
+class PlanNotFoundError(PlanStoreError, KeyError):
+    """No stored plan exists for the requested key."""
+
+    def __str__(self) -> str:  # KeyError quotes its arg; keep the message
+        return PlanStoreError.__str__(self)
+
+
+class PlanIntegrityError(PlanStoreError):
+    """A stored plan artifact is truncated or its content hash mismatches."""
+
+
+class PlanSchemaError(PlanStoreError):
+    """A stored plan artifact carries an unsupported schema version."""
+
+
+class PlanKeyError(PlanError):
+    """A plan does not apply to the requested workload instance.
+
+    Raised when a loaded artifact's key, tree digest or input digest does
+    not match what the caller is about to replay — replaying it anyway
+    would charge the wrong costs and return the wrong results.
+    """
+
+
+class PlanDivergenceError(PlanError):
+    """A replay diverged from the recorded execution.
+
+    For plan-safe workloads this means a corrupt plan or an accounting bug
+    (the totals cross-check failed); for speculative workloads it normally
+    means the live execution would have taken different data-dependent
+    rounds, and callers fall back to live execution
+    (see :class:`PlanSpeculationError`).
+    """
+
+
+class PlanSpeculationError(PlanDivergenceError):
+    """An epoch-bounded speculative replay failed its coin-trace validation.
+
+    Raised by the replay executor when a recorded RNG epoch's coin-flip
+    digest does not match the redrawn trace — the recorded data-dependent
+    rounds (random-mate list ranking) are not the rounds a live run would
+    take. The standard response is falling back to live batched execution
+    and re-recording the plan.
+    """

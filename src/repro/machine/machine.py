@@ -28,7 +28,7 @@ import warnings
 from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Protocol
 
 import numpy as np
 
@@ -365,6 +365,37 @@ def advance_clocks_batch(
     return BatchClockAdvance(rounds=rounds, max_clock=max_clock)
 
 
+class PlanRecorderHook(Protocol):
+    """What the machine needs from an attached workload-plan recorder.
+
+    The concrete implementation lives in :mod:`repro.plans.recorder`; the
+    machine only ever calls these three hooks, keeping the dependency
+    pointing from ``repro.plans`` to ``repro.machine`` and not back. The
+    recorder is *not* an :class:`Instrument`: recording must capture the
+    trusted-plan flags (``exclusive``/``src_occ``/``paired``) and survive
+    the batched engine's ledger-only fast path, neither of which the
+    :class:`StepEvent` stream carries.
+    """
+
+    def on_machine_step(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        rounds: np.ndarray | None,
+        dist: np.ndarray,
+        *,
+        exclusive: bool,
+        src_occ: np.ndarray | None,
+        paired: bool,
+        combiner: str | None,
+        plan_ref: tuple[object, ...] | None,
+    ) -> None: ...
+
+    def on_phase_enter(self, name: str) -> None: ...
+
+    def on_phase_exit(self, name: str) -> None: ...
+
+
 #: sentinel distinguishing a stored ``None`` plan from a cache miss
 _PLAN_MISS = object()
 
@@ -487,6 +518,9 @@ class SpatialMachine:
         #: memoized replay plans (e.g. sort networks) keyed by the caller;
         #: depends only on the placement, so it survives :meth:`reset_costs`
         self.plan_cache = PlanCache()
+        #: attached workload-plan recorder (see :class:`PlanRecorderHook`);
+        #: set/cleared by :class:`repro.plans.WorkloadPlanRecorder`
+        self.plan_recorder: PlanRecorderHook | None = None
         self.n = int(n)
         self.curve = resolve_curve(curve)
         self.side = self.curve.validate_side(side) if side else self.curve.min_side(n)
@@ -742,6 +776,13 @@ class SpatialMachine:
             if wp is not None:
                 t2 = wp.clock()
                 wp.rec("send.clock_advance", t2 - t1)
+            rec = self.plan_recorder
+            if rec is not None:
+                rec.on_machine_step(
+                    rs, rd, None, dist,
+                    exclusive=False, src_occ=None, paired=False,
+                    combiner=combiner, plan_ref=None,
+                )
             if self._instruments:
                 rs.setflags(write=False)
                 rd.setflags(write=False)
@@ -896,6 +937,7 @@ class SpatialMachine:
         exclusive: bool = False,
         src_occ: np.ndarray | None = None,
         paired: bool = False,
+        plan_ref: tuple[object, ...] | None = None,
     ) -> np.ndarray | None:
         """Trusted replay of a cached, pre-validated message plan.
 
@@ -918,6 +960,13 @@ class SpatialMachine:
         the cached sort-network plans — fusing each pair into one clock
         update. Under the scalar engine this falls back to the validated
         :meth:`send_batch` path.
+
+        ``plan_ref`` (optional) names the *cached* plan these arrays came
+        from — e.g. ``("sort_network", m, descending)`` — purely as
+        metadata for an attached workload-plan recorder: the recorder
+        stores the reference instead of materializing the (potentially
+        huge) message arrays, and replay resolves it through the machine's
+        plan cache. It changes no accounting.
         """
         if self.engine != "batched":
             return self.send_batch(
@@ -926,6 +975,7 @@ class SpatialMachine:
         return self._send_batched(
             src, dst, values, rounds, combiner, dist,
             all_remote=True, exclusive=exclusive, src_occ=src_occ, paired=paired,
+            plan_ref=plan_ref,
         )
 
     def _send_batched(
@@ -941,6 +991,7 @@ class SpatialMachine:
         exclusive: bool = False,
         src_occ: np.ndarray | None = None,
         paired: bool = False,
+        plan_ref: tuple[object, ...] | None = None,
     ) -> np.ndarray | None:
         """Vectorized engine behind :meth:`send_batch` (``engine="batched"``).
 
@@ -1002,6 +1053,13 @@ class SpatialMachine:
             t2 = wp.clock()
             wp.rec("batch.clock_advance", t2 - t1)
             t1 = t2
+        rec = self.plan_recorder
+        if rec is not None and len(rs):
+            rec.on_machine_step(
+                rs, rd, roffsets, dist,
+                exclusive=exclusive, src_occ=src_occ, paired=paired,
+                combiner=combiner, plan_ref=plan_ref,
+            )
         instruments = self._instruments
         if self._ledger_fast_path:
             # the always-attached ledger only reads energy/messages — skip
@@ -1145,11 +1203,17 @@ class SpatialMachine:
         working.
         """
         self._phase_stack.append(name)
+        rec = self.plan_recorder
+        if rec is not None:
+            rec.on_phase_enter(name)
         self._emit("on_phase_enter", name, self.depth)
         try:
             yield self.ledger.phases.get(name)
         finally:
             self._phase_stack.pop()
+            rec = self.plan_recorder
+            if rec is not None:
+                rec.on_phase_exit(name)
             self._emit("on_phase_exit", name, self.depth)
 
     @property

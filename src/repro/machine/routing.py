@@ -211,6 +211,9 @@ def _run_network_batched(
     strided views — no index arrays at all.
     """
     if plan.messages:
+        # the plan_ref lets a workload-plan recorder store this replay as a
+        # reference into the machine's plan cache instead of materializing
+        # the Θ(n log² n)-message arrays into the artifact
         machine.send_plan(
             plan.msg_src,
             plan.msg_dst,
@@ -219,6 +222,7 @@ def _run_network_batched(
             dist=plan.msg_dist,
             exclusive=True,
             paired=True,
+            plan_ref=("sort_network", plan.m, plan.descending),
         )
     m = plan.m
     descending = plan.descending

@@ -1,0 +1,370 @@
+"""Whole-workload plan recording (``repro.workload-plan/v1``).
+
+The paper's workloads are structurally fixed once ``(workload, n, curve,
+tree-shape class)`` is fixed: treefix, layout creation, batched LCA and the
+sort network always exchange the same message sets for the same instance.
+:class:`WorkloadPlanRecorder` exploits this by capturing one execution —
+the ordered phase sequence, every CSR dependency round with its trusted
+clock-kernel flags, the pre-gathered distances, and the results — into a
+:class:`WorkloadPlan` artifact that :func:`repro.plans.replay.replay`
+re-executes as a straight-line sequence of vectorized
+:meth:`~repro.machine.SpatialMachine.send_plan` calls.
+
+Data-dependent phases (random-mate list ranking) are handled by
+*epoch-bounded speculation*: every per-round RNG draw is recorded as an
+:class:`EpochOp` carrying a digest of the coin-flip trace. Replay redraws
+the coins from the plan's seed and validates each epoch *before* issuing
+that round's message steps — the recorded rounds are exactly the rounds a
+live run would take iff every digest matches, because all data dependence
+in the ranking flows from the coins. On a mismatch the replay aborts with
+:class:`~repro.errors.PlanSpeculationError` and the caller falls back to
+live execution (and re-records).
+
+The recorder hooks the machine directly (``machine.plan_recorder``), not
+the :class:`~repro.machine.instrumentation.StepEvent` stream: events are
+skipped on the batched engine's ledger-only fast path and do not carry the
+``exclusive``/``src_occ``/``paired`` plan flags, both of which recording
+must preserve bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import MachineStateError, ValidationError
+from repro.machine.machine import SpatialMachine
+
+PLAN_SCHEMA = "repro.workload-plan/v1"
+
+#: step-flag bits (serialized into the artifact's ``step_flags`` column)
+FLAG_EXCLUSIVE = 1
+FLAG_PAIRED = 2
+FLAG_HAS_OCC = 4
+
+
+def coin_digest(coins: np.ndarray) -> str:
+    """Canonical digest of one epoch's coin-flip trace (bool array)."""
+    return hashlib.sha256(np.ascontiguousarray(coins, dtype=bool).tobytes()).hexdigest()
+
+
+def array_digest(*arrays: np.ndarray | None, scalars: tuple[Any, ...] = ()) -> str:
+    """Order-sensitive digest over arrays + scalar context (dtype included)."""
+    h = hashlib.sha256()
+    for s in scalars:
+        h.update(repr(s).encode())
+        h.update(b"\x00")
+    for a in arrays:
+        if a is None:
+            h.update(b"<none>")
+            continue
+        arr = np.ascontiguousarray(a)
+        h.update(arr.dtype.str.encode())
+        h.update(str(arr.shape).encode())
+        h.update(arr.tobytes())
+        h.update(b"\x01")
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class PhaseEnterOp:
+    """Replay re-enters ``machine.phase(name)`` here."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class PhaseExitOp:
+    """Replay closes the matching phase context here."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StepOp:
+    """One charged bulk send, materialized: replay issues it verbatim
+    through :meth:`~repro.machine.SpatialMachine.send_plan`."""
+
+    src: np.ndarray
+    dst: np.ndarray
+    rounds: np.ndarray  # CSR offsets [0, ..., len(src)], all rounds non-empty
+    dist: np.ndarray
+    occ: np.ndarray | None
+    exclusive: bool
+    paired: bool
+    combiner: str | None
+
+    @property
+    def messages(self) -> int:
+        return int(len(self.src))
+
+    @property
+    def energy(self) -> int:
+        return int(self.dist.sum())
+
+
+@dataclass(frozen=True)
+class PlanRefOp:
+    """A charged send backed by a *machine-cached* plan, stored by
+    reference: replay rebuilds the cached plan (deterministic, placement-
+    only) instead of materializing its arrays into the artifact. The
+    recorded totals double as a consistency check at replay time."""
+
+    family: str  # e.g. "sort_network"
+    params: tuple[Any, ...]  # remaining cache-key components, e.g. (m, descending)
+    rounds: int
+    messages: int
+    energy: int
+
+
+@dataclass(frozen=True)
+class EpochOp:
+    """One data-dependent RNG epoch: ``k`` coins at ``bias`` drawn under
+    phase-stack context ``context``; replay must redraw the same trace."""
+
+    context: str
+    k: int
+    bias: float
+    digest: str
+
+
+PlanOp = PhaseEnterOp | PhaseExitOp | StepOp | PlanRefOp | EpochOp
+
+
+@dataclass
+class WorkloadPlan:
+    """A recorded whole-workload execution, ready for storage and replay.
+
+    ``key`` — ``(workload, n, curve, shape)`` — names the structural class;
+    ``tree_digest``/``input_digest`` pin the exact instance (replaying
+    against different inputs raises :class:`~repro.errors.PlanKeyError`
+    rather than silently returning the wrong results).
+    """
+
+    workload: str
+    n: int
+    curve: str
+    side: int
+    metric: str
+    mode: str
+    engine: str
+    shape: str
+    seed: int
+    tree_digest: str
+    input_digest: str
+    totals: dict[str, int]  # energy, depth, messages, steps
+    speculative: tuple[str, ...]  # phases flagged data-dependent at record time
+    ops: list[PlanOp]
+    results: dict[str, np.ndarray]
+    result_scalars: dict[str, Any] = field(default_factory=dict)
+    schema: str = PLAN_SCHEMA
+
+    @property
+    def key(self) -> tuple[str, int, str, str]:
+        return (self.workload, self.n, self.curve, self.shape)
+
+    @property
+    def step_count(self) -> int:
+        return sum(1 for op in self.ops if isinstance(op, (StepOp, PlanRefOp)))
+
+    @property
+    def epoch_count(self) -> int:
+        return sum(1 for op in self.ops if isinstance(op, EpochOp))
+
+    @property
+    def messages(self) -> int:
+        return sum(
+            op.messages for op in self.ops if isinstance(op, (StepOp, PlanRefOp))
+        )
+
+    def nbytes(self) -> int:
+        """Rough in-memory footprint of the materialized arrays."""
+        total = 0
+        for op in self.ops:
+            if isinstance(op, StepOp):
+                total += op.src.nbytes + op.dst.nbytes + op.dist.nbytes + op.rounds.nbytes
+                if op.occ is not None:
+                    total += op.occ.nbytes
+        for arr in self.results.values():
+            total += arr.nbytes
+        return total
+
+    def describe(self) -> dict[str, Any]:
+        """Summary row for ``repro plan ls`` and the store listing."""
+        return {
+            "workload": self.workload,
+            "n": self.n,
+            "curve": self.curve,
+            "shape": self.shape,
+            "seed": self.seed,
+            "mode": self.mode,
+            "step_ops": self.step_count,
+            "epochs": self.epoch_count,
+            "messages": self.messages,
+            "energy": self.totals.get("energy", 0),
+            "depth": self.totals.get("depth", 0),
+            "speculative": list(self.speculative),
+        }
+
+
+class WorkloadPlanRecorder:
+    """Capture one workload execution on ``machine`` into a plan.
+
+    Use as a context manager around the workload call::
+
+        with WorkloadPlanRecorder(machine) as rec:
+            result = treefix_sum(st, values, seed=seed)
+        plan = rec.build(workload="treefix", ..., results={"out": result})
+
+    Implements the machine's
+    :class:`~repro.machine.machine.PlanRecorderHook` protocol; the
+    algorithm-side hooks (:meth:`epoch`, :meth:`mark_speculative`) are
+    called by the data-dependent kernels via ``machine.plan_recorder``.
+    """
+
+    def __init__(self, machine: SpatialMachine) -> None:
+        self.machine = machine
+        self.ops: list[PlanOp] = []
+        self.speculative: set[str] = set()
+        self._active = False
+
+    # -- lifecycle ----------------------------------------------------- #
+
+    def __enter__(self) -> WorkloadPlanRecorder:
+        if self.machine.plan_recorder is not None:
+            raise MachineStateError("machine already has a plan recorder attached")
+        self.machine.plan_recorder = self
+        self._active = True
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.machine.plan_recorder = None
+        self._active = False
+
+    # -- machine hooks (PlanRecorderHook) ------------------------------ #
+
+    def on_phase_enter(self, name: str) -> None:
+        self.ops.append(PhaseEnterOp(name))
+
+    def on_phase_exit(self, name: str) -> None:
+        self.ops.append(PhaseExitOp(name))
+
+    def on_machine_step(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        rounds: np.ndarray | None,
+        dist: np.ndarray,
+        *,
+        exclusive: bool,
+        src_occ: np.ndarray | None,
+        paired: bool,
+        combiner: str | None,
+        plan_ref: tuple[object, ...] | None,
+    ) -> None:
+        if plan_ref is not None:
+            family, *params = plan_ref
+            self.ops.append(
+                PlanRefOp(
+                    family=str(family),
+                    params=tuple(params),
+                    rounds=1 if rounds is None else int(len(rounds) - 1),
+                    messages=int(len(src)),
+                    energy=int(dist.sum()),
+                )
+            )
+            return
+        k = len(src)
+        offs = (
+            np.array([0, k], dtype=np.int64)
+            if rounds is None
+            else np.array(rounds, dtype=np.int64, copy=True)
+        )
+        self.ops.append(
+            StepOp(
+                src=np.array(src, dtype=np.int64, copy=True),
+                dst=np.array(dst, dtype=np.int64, copy=True),
+                rounds=offs,
+                dist=np.array(dist, dtype=np.int64, copy=True),
+                occ=None if src_occ is None else np.array(src_occ, dtype=np.int64, copy=True),
+                exclusive=bool(exclusive),
+                paired=bool(paired),
+                combiner=combiner,
+            )
+        )
+
+    # -- algorithm hooks ------------------------------------------------ #
+
+    def epoch(self, coins: np.ndarray, *, bias: float) -> None:
+        """Record one data-dependent RNG epoch (a per-round coin draw).
+
+        The context is the phase stack *above* the drawing phase, so the
+        two embedded list-ranking passes of layout creation get independent
+        replay oracles (each re-seeds from the workload seed).
+        """
+        stack = self.machine.phase_stack
+        context = "/".join(stack[:-1]) if len(stack) > 1 else ""
+        self.ops.append(
+            EpochOp(
+                context=context,
+                k=int(len(coins)),
+                bias=float(bias),
+                digest=coin_digest(coins),
+            )
+        )
+
+    def mark_speculative(self) -> None:
+        """Flag the innermost active phase as data-dependent (speculative)."""
+        stack = self.machine.phase_stack
+        if not stack:
+            raise MachineStateError("mark_speculative called outside any phase")
+        self.speculative.add(stack[-1])
+
+    # -- assembly ------------------------------------------------------- #
+
+    def build(
+        self,
+        *,
+        workload: str,
+        shape: str,
+        seed: int,
+        mode: str,
+        tree_digest: str,
+        input_digest: str,
+        results: dict[str, np.ndarray],
+        result_scalars: dict[str, Any] | None = None,
+    ) -> WorkloadPlan:
+        """Assemble the plan from the recorded ops + the machine's totals."""
+        if not isinstance(seed, (int, np.integer)):
+            raise ValidationError(
+                f"plan recording needs an explicit integer seed, got {seed!r} "
+                "(replay must be able to redraw speculative epochs)"
+            )
+        m = self.machine
+        snap = m.snapshot()
+        return WorkloadPlan(
+            workload=workload,
+            n=m.n,
+            curve=m.curve.name,
+            side=m.side,
+            metric=m.metric,
+            mode=mode,
+            engine=m.engine,
+            shape=shape,
+            seed=int(seed),
+            tree_digest=tree_digest,
+            input_digest=input_digest,
+            totals={
+                "energy": snap["energy"],
+                "depth": snap["depth"],
+                "messages": snap["messages"],
+                "steps": m.steps,
+            },
+            speculative=tuple(sorted(self.speculative)),
+            ops=list(self.ops),
+            results={k: np.array(v, copy=True) for k, v in results.items()},
+            result_scalars=dict(result_scalars or {}),
+        )

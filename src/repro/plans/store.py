@@ -1,0 +1,544 @@
+"""Persistent, integrity-checked storage for workload plans.
+
+Artifact container (``*.plan``)::
+
+    REPROPLAN1\\n                      ← magic
+    {"schema": ..., "key": [...],     ← one JSON header line
+     "sha256": ..., "nbytes": ...}\\n
+    <npz payload, exactly nbytes>     ← numpy savez of the encoded plan
+
+The header is readable without touching the (potentially large) payload,
+so listing a store is cheap. The payload hash makes truncation and
+bit-flips detectable (:class:`~repro.errors.PlanIntegrityError`) before
+any array is trusted, the schema string gates format evolution
+(:class:`~repro.errors.PlanSchemaError`), and the embedded key lets a
+load reject an artifact that was renamed onto the wrong slot
+(:class:`~repro.errors.PlanKeyError`). Writes go through a temp file +
+``os.replace`` so concurrent recorders can never expose a half-written
+artifact.
+
+:class:`PlanStore` fronts a directory of such artifacts with an LRU
+in-memory layer (:class:`LRUPlanCache`) that extends the machine's
+:class:`~repro.machine.machine.PlanCache` counting surface — the same
+hit/miss bookkeeping, plus evictions — published as
+``repro_plan_store_{hits,misses,evictions}_total``
+(:func:`repro.analysis.metrics.publish_plan_store`).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import (
+    PlanIntegrityError,
+    PlanKeyError,
+    PlanNotFoundError,
+    PlanSchemaError,
+    PlanStoreError,
+)
+from repro.machine.machine import PlanCache
+from repro.plans.recorder import (
+    FLAG_EXCLUSIVE,
+    FLAG_HAS_OCC,
+    FLAG_PAIRED,
+    PLAN_SCHEMA,
+    EpochOp,
+    PhaseEnterOp,
+    PhaseExitOp,
+    PlanOp,
+    PlanRefOp,
+    StepOp,
+    WorkloadPlan,
+)
+
+MAGIC = b"REPROPLAN1\n"
+
+#: ops_kind codes in the serialized op stream
+_K_PHASE_ENTER = 0
+_K_PHASE_EXIT = 1
+_K_STEP = 2
+_K_PLANREF = 3
+_K_EPOCH = 4
+
+
+# --------------------------------------------------------------------------- #
+# plan <-> npz encoding
+# --------------------------------------------------------------------------- #
+
+
+def _encode_plan(plan: WorkloadPlan) -> dict[str, np.ndarray]:
+    """Flatten a plan into named arrays suitable for ``np.savez``.
+
+    Variable-length per-step arrays are concatenated with CSR-style offset
+    tables; everything non-array (phase names, epochs, plan refs, scalars)
+    rides in one JSON blob stored as a ``uint8`` array.
+    """
+    ops_kind: list[int] = []
+    ops_arg: list[int] = []
+    phase_names: list[str] = []
+    epochs: list[dict[str, Any]] = []
+    planrefs: list[dict[str, Any]] = []
+    steps: list[StepOp] = []
+    combiners: list[str | None] = []
+
+    for op in plan.ops:
+        if isinstance(op, PhaseEnterOp):
+            ops_kind.append(_K_PHASE_ENTER)
+            ops_arg.append(len(phase_names))
+            phase_names.append(op.name)
+        elif isinstance(op, PhaseExitOp):
+            ops_kind.append(_K_PHASE_EXIT)
+            ops_arg.append(len(phase_names))
+            phase_names.append(op.name)
+        elif isinstance(op, StepOp):
+            ops_kind.append(_K_STEP)
+            ops_arg.append(len(steps))
+            steps.append(op)
+            combiners.append(op.combiner)
+        elif isinstance(op, PlanRefOp):
+            ops_kind.append(_K_PLANREF)
+            ops_arg.append(len(planrefs))
+            planrefs.append(
+                {
+                    "family": op.family,
+                    "params": list(op.params),
+                    "rounds": op.rounds,
+                    "messages": op.messages,
+                    "energy": op.energy,
+                }
+            )
+        elif isinstance(op, EpochOp):
+            ops_kind.append(_K_EPOCH)
+            ops_arg.append(len(epochs))
+            epochs.append(
+                {"context": op.context, "k": op.k, "bias": op.bias, "digest": op.digest}
+            )
+        else:  # pragma: no cover - exhaustive over PlanOp
+            raise PlanStoreError(f"cannot serialize op of type {type(op).__name__}")
+
+    empty = np.zeros(0, dtype=np.int64)
+    arrays: dict[str, np.ndarray] = {
+        "ops_kind": np.asarray(ops_kind, dtype=np.int8),
+        "ops_arg": np.asarray(ops_arg, dtype=np.int64),
+        "step_src": np.concatenate([s.src for s in steps]) if steps else empty,
+        "step_dst": np.concatenate([s.dst for s in steps]) if steps else empty,
+        "step_dist": np.concatenate([s.dist for s in steps]) if steps else empty,
+        "step_offsets": np.cumsum([0] + [len(s.src) for s in steps], dtype=np.int64),
+        "step_rounds": np.concatenate([s.rounds for s in steps]) if steps else empty,
+        "step_rounds_offsets": np.cumsum(
+            [0] + [len(s.rounds) for s in steps], dtype=np.int64
+        ),
+        "step_occ": (
+            np.concatenate([s.occ for s in steps if s.occ is not None])
+            if any(s.occ is not None for s in steps)
+            else empty
+        ),
+        "step_occ_offsets": np.cumsum(
+            [0] + [0 if s.occ is None else len(s.occ) for s in steps], dtype=np.int64
+        ),
+        "step_flags": np.asarray(
+            [
+                (FLAG_EXCLUSIVE if s.exclusive else 0)
+                | (FLAG_PAIRED if s.paired else 0)
+                | (FLAG_HAS_OCC if s.occ is not None else 0)
+                for s in steps
+            ],
+            dtype=np.int8,
+        ),
+    }
+    for i, (name, arr) in enumerate(sorted(plan.results.items())):
+        arrays[f"result_{i}"] = arr
+
+    meta = {
+        "schema": plan.schema,
+        "workload": plan.workload,
+        "n": plan.n,
+        "curve": plan.curve,
+        "side": plan.side,
+        "metric": plan.metric,
+        "mode": plan.mode,
+        "engine": plan.engine,
+        "shape": plan.shape,
+        "seed": plan.seed,
+        "tree_digest": plan.tree_digest,
+        "input_digest": plan.input_digest,
+        "totals": plan.totals,
+        "speculative": list(plan.speculative),
+        "phase_names": phase_names,
+        "combiners": combiners,
+        "epochs": epochs,
+        "planrefs": planrefs,
+        "result_names": [name for name, _ in sorted(plan.results.items())],
+        "result_scalars": plan.result_scalars,
+    }
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+    )
+    return arrays
+
+
+def _decode_plan(arrays: Any) -> WorkloadPlan:
+    """Inverse of :func:`_encode_plan`; raises on structural nonsense."""
+    try:
+        meta = json.loads(bytes(np.asarray(arrays["meta"], dtype=np.uint8)).decode())
+        ops_kind = np.asarray(arrays["ops_kind"])
+        ops_arg = np.asarray(arrays["ops_arg"])
+        step_src = np.asarray(arrays["step_src"])
+        step_dst = np.asarray(arrays["step_dst"])
+        step_dist = np.asarray(arrays["step_dist"])
+        step_offsets = np.asarray(arrays["step_offsets"])
+        step_rounds = np.asarray(arrays["step_rounds"])
+        step_rounds_offsets = np.asarray(arrays["step_rounds_offsets"])
+        step_occ = np.asarray(arrays["step_occ"])
+        step_occ_offsets = np.asarray(arrays["step_occ_offsets"])
+        step_flags = np.asarray(arrays["step_flags"])
+    except KeyError as exc:
+        raise PlanIntegrityError(f"plan payload is missing array {exc}") from exc
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PlanIntegrityError(f"plan payload metadata is corrupt: {exc}") from exc
+
+    phase_names = meta["phase_names"]
+    combiners = meta["combiners"]
+    epochs = meta["epochs"]
+    planrefs = meta["planrefs"]
+
+    ops: list[PlanOp] = []
+    step_idx = 0
+    try:
+        for kind, arg in zip(ops_kind.tolist(), ops_arg.tolist()):
+            if kind == _K_PHASE_ENTER:
+                ops.append(PhaseEnterOp(phase_names[arg]))
+            elif kind == _K_PHASE_EXIT:
+                ops.append(PhaseExitOp(phase_names[arg]))
+            elif kind == _K_STEP:
+                a, b = int(step_offsets[arg]), int(step_offsets[arg + 1])
+                ra, rb = int(step_rounds_offsets[arg]), int(step_rounds_offsets[arg + 1])
+                oa, ob = int(step_occ_offsets[arg]), int(step_occ_offsets[arg + 1])
+                flags = int(step_flags[arg])
+                ops.append(
+                    StepOp(
+                        src=step_src[a:b],
+                        dst=step_dst[a:b],
+                        rounds=step_rounds[ra:rb],
+                        dist=step_dist[a:b],
+                        occ=step_occ[oa:ob] if flags & FLAG_HAS_OCC else None,
+                        exclusive=bool(flags & FLAG_EXCLUSIVE),
+                        paired=bool(flags & FLAG_PAIRED),
+                        combiner=combiners[arg],
+                    )
+                )
+                step_idx += 1
+            elif kind == _K_PLANREF:
+                pr = planrefs[arg]
+                ops.append(
+                    PlanRefOp(
+                        family=pr["family"],
+                        params=tuple(pr["params"]),
+                        rounds=int(pr["rounds"]),
+                        messages=int(pr["messages"]),
+                        energy=int(pr["energy"]),
+                    )
+                )
+            elif kind == _K_EPOCH:
+                ep = epochs[arg]
+                ops.append(
+                    EpochOp(
+                        context=ep["context"],
+                        k=int(ep["k"]),
+                        bias=float(ep["bias"]),
+                        digest=ep["digest"],
+                    )
+                )
+            else:
+                raise PlanIntegrityError(f"unknown op kind {kind} in plan payload")
+    except (IndexError, KeyError) as exc:
+        raise PlanIntegrityError(f"plan op stream is inconsistent: {exc}") from exc
+
+    results = {
+        name: np.asarray(arrays[f"result_{i}"])
+        for i, name in enumerate(meta["result_names"])
+    }
+    return WorkloadPlan(
+        workload=meta["workload"],
+        n=int(meta["n"]),
+        curve=meta["curve"],
+        side=int(meta["side"]),
+        metric=meta["metric"],
+        mode=meta["mode"],
+        engine=meta["engine"],
+        shape=meta["shape"],
+        seed=int(meta["seed"]),
+        tree_digest=meta["tree_digest"],
+        input_digest=meta["input_digest"],
+        totals={k: int(v) for k, v in meta["totals"].items()},
+        speculative=tuple(meta["speculative"]),
+        ops=ops,
+        results=results,
+        result_scalars=meta["result_scalars"],
+        schema=meta["schema"],
+    )
+
+
+# --------------------------------------------------------------------------- #
+# file container
+# --------------------------------------------------------------------------- #
+
+
+def save_plan(plan: WorkloadPlan, path: str | os.PathLike[str]) -> Path:
+    """Serialize ``plan`` to ``path`` atomically; returns the final path."""
+    path = Path(path)
+    buf = io.BytesIO()
+    np.savez(buf, **_encode_plan(plan))
+    payload = buf.getvalue()
+    header = {
+        "schema": plan.schema,
+        "key": list(plan.key),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+        "nbytes": len(payload),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(json.dumps(header, sort_keys=True).encode() + b"\n")
+            fh.write(payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)  # atomic: readers see old or new, never half
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # repro: noqa[REPRO009] - best-effort cleanup; original error propagates
+            pass
+        raise
+    return path
+
+
+def read_plan_header(path: str | os.PathLike[str]) -> dict[str, Any]:
+    """Read and validate just the magic + header line (cheap listing)."""
+    path = Path(path)
+    if not path.exists():
+        raise PlanNotFoundError(f"no plan artifact at {path}")
+    with open(path, "rb") as fh:
+        magic = fh.read(len(MAGIC))
+        if magic != MAGIC:
+            raise PlanIntegrityError(f"{path}: bad magic {magic!r}")
+        line = fh.readline()
+    if not line.endswith(b"\n"):
+        raise PlanIntegrityError(f"{path}: truncated header")
+    try:
+        header = json.loads(line.decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PlanIntegrityError(f"{path}: unreadable header: {exc}") from exc
+    for field in ("schema", "key", "sha256", "nbytes"):
+        if field not in header:
+            raise PlanIntegrityError(f"{path}: header missing {field!r}")
+    return header
+
+
+def load_plan(
+    path: str | os.PathLike[str],
+    *,
+    expected_key: tuple[str, int, str, str] | None = None,
+) -> WorkloadPlan:
+    """Load, integrity-check and decode a plan artifact.
+
+    Raises :class:`~repro.errors.PlanIntegrityError` on truncation or
+    content-hash mismatch, :class:`~repro.errors.PlanSchemaError` on an
+    unsupported schema, and :class:`~repro.errors.PlanKeyError` when the
+    artifact's key does not match ``expected_key``.
+    """
+    path = Path(path)
+    # one read of the whole artifact: header and payload must come from the
+    # same snapshot, or a concurrent atomic re-record could interleave two
+    # artifacts (header of one, payload of the other)
+    if not path.exists():
+        raise PlanNotFoundError(f"no plan artifact at {path}")
+    data = path.read_bytes()
+    if data[: len(MAGIC)] != MAGIC:
+        raise PlanIntegrityError(f"{path}: bad magic {data[:len(MAGIC)]!r}")
+    header_end = data.find(b"\n", len(MAGIC))
+    if header_end < 0:
+        raise PlanIntegrityError(f"{path}: truncated header")
+    try:
+        header = json.loads(data[len(MAGIC):header_end].decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise PlanIntegrityError(f"{path}: unreadable header: {exc}") from exc
+    for field in ("schema", "key", "sha256", "nbytes"):
+        if field not in header:
+            raise PlanIntegrityError(f"{path}: header missing {field!r}")
+    if header["schema"] != PLAN_SCHEMA:
+        raise PlanSchemaError(
+            f"{path}: schema {header['schema']!r} is not supported "
+            f"(expected {PLAN_SCHEMA!r}); re-record the plan"
+        )
+    payload = data[header_end + 1 :]
+    if len(payload) != int(header["nbytes"]):
+        raise PlanIntegrityError(
+            f"{path}: payload is {len(payload)} bytes, header says {header['nbytes']} "
+            "(truncated or trailing garbage)"
+        )
+    digest = hashlib.sha256(payload).hexdigest()
+    if digest != header["sha256"]:
+        raise PlanIntegrityError(f"{path}: payload hash mismatch (bit rot or tampering)")
+    key = tuple(header["key"])
+    if expected_key is not None and key != tuple(expected_key):
+        raise PlanKeyError(
+            f"{path}: artifact is keyed {key}, expected {tuple(expected_key)}"
+        )
+    try:
+        with np.load(io.BytesIO(payload), allow_pickle=False) as arrays:
+            plan = _decode_plan(arrays)
+    except PlanStoreError:
+        raise
+    except Exception as exc:  # zipfile/np.load raise a zoo of types on corruption
+        raise PlanIntegrityError(f"{path}: payload does not decode: {exc}") from exc
+    if plan.key != key:
+        raise PlanIntegrityError(
+            f"{path}: header key {key} disagrees with payload key {plan.key}"
+        )
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# store
+# --------------------------------------------------------------------------- #
+
+
+class LRUPlanCache(PlanCache):
+    """A bounded :class:`~repro.machine.machine.PlanCache` with LRU
+    eviction and an ``evictions`` counter per family (published as
+    ``repro_plan_store_evictions_total``)."""
+
+    def __init__(self, capacity: int = 8) -> None:
+        super().__init__()
+        if capacity < 1:
+            raise PlanStoreError(f"LRU capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.evictions: dict[str, int] = {}
+
+    def lookup(self, key: object) -> object | None:
+        found = super().lookup(key)
+        if key in self:  # refresh recency (dicts preserve insertion order)
+            value = super().__getitem__(key)
+            super().__delitem__(key)
+            super().__setitem__(key, value)
+        return found
+
+    def __setitem__(self, key: object, value: object) -> None:
+        if key in self:
+            super().__delitem__(key)
+        super().__setitem__(key, value)
+        while len(self) > self.capacity:
+            victim = next(iter(self))
+            book = self.evictions
+            fam = self._family(victim)
+            book[fam] = book.get(fam, 0) + 1
+            super().__delitem__(victim)
+
+
+def _slug(text: str) -> str:
+    return "".join(c if c.isalnum() or c in "-_" else "-" for c in text)
+
+
+class PlanStore:
+    """Disk-backed plan store with an LRU memory layer.
+
+    Artifacts live under ``root`` as ``<workload>-n<n>-<curve>-<shape>.plan``
+    — one slot per structural key; recording the same key twice atomically
+    replaces the artifact. The memory layer counts hits/misses/evictions
+    per workload family on the same surface as the machine's plan cache.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], *, capacity: int = 8) -> None:
+        self.root = Path(root)
+        self.memory = LRUPlanCache(capacity)
+
+    def path_for(self, key: tuple[str, int, str, str]) -> Path:
+        workload, n, curve, shape = key
+        return self.root / f"{_slug(workload)}-n{int(n)}-{_slug(curve)}-{_slug(shape)}.plan"
+
+    def put(self, plan: WorkloadPlan) -> Path:
+        """Persist ``plan`` (atomic) and install it in the memory layer."""
+        path = save_plan(plan, self.path_for(plan.key))
+        self.memory[plan.key] = plan
+        return path
+
+    def get(self, key: tuple[str, int, str, str]) -> WorkloadPlan:
+        """Fetch a plan by key: memory first, then disk (counted).
+
+        Raises :class:`~repro.errors.PlanNotFoundError` when no artifact
+        exists; storage errors from a corrupt artifact propagate.
+        """
+        cached = self.memory.lookup(key)
+        if cached is not None:
+            return cached  # type: ignore[return-value]
+        path = self.path_for(key)
+        if not path.exists():
+            raise PlanNotFoundError(f"no stored plan for key {key} under {self.root}")
+        plan = load_plan(path, expected_key=key)
+        self.memory[key] = plan
+        return plan
+
+    def contains(self, key: tuple[str, int, str, str]) -> bool:
+        return key in self.memory or self.path_for(key).exists()
+
+    def ls(self) -> list[dict[str, Any]]:
+        """Header summaries of every artifact on disk, sorted by path."""
+        rows = []
+        for path in sorted(self.root.glob("*.plan")):
+            try:
+                header = read_plan_header(path)
+            except PlanStoreError as exc:
+                rows.append({"path": str(path), "error": str(exc)})
+                continue
+            rows.append(
+                {
+                    "path": str(path),
+                    "key": tuple(header["key"]),
+                    "schema": header["schema"],
+                    "nbytes": int(header["nbytes"]),
+                    "mtime": path.stat().st_mtime,
+                }
+            )
+        return rows
+
+    def gc(self, *, max_bytes: int) -> list[Path]:
+        """Delete oldest artifacts until the store fits ``max_bytes``.
+
+        Returns the deleted paths (oldest first). The memory layer drops
+        the corresponding keys so a later :meth:`get` misses honestly.
+        """
+        entries = []
+        for path in self.root.glob("*.plan"):
+            st = path.stat()
+            entries.append((st.st_mtime, st.st_size, path))
+        entries.sort()
+        total = sum(size for _, size, _ in entries)
+        deleted: list[Path] = []
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                header = read_plan_header(path)
+                key = tuple(header["key"])
+            except PlanStoreError:
+                key = None
+            path.unlink()
+            if key is not None and key in self.memory:
+                del self.memory[key]
+            total -= size
+            deleted.append(path)
+        return deleted
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.root.glob("*.plan"))

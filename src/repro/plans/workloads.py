@@ -1,0 +1,273 @@
+"""Recordable whole-workload definitions.
+
+A *workload* here is one of the paper's end-to-end algorithms packaged so
+that the entire run is reproducible from ``(workload, shape, n, seed,
+curve)`` alone: the tree, the inputs and every random draw derive from
+those five values. That is what lets a stored plan be replayed later — or
+checked against a fresh scalar-oracle run — in a different process, with
+nothing but the artifact.
+
+Each :class:`WorkloadSpec` knows how to *prepare* a run: build the
+instance (tree + layout + machine, or bare machine), derive the inputs
+from the seed, and hand back a :class:`PreparedRun` whose ``execute()``
+performs the workload on that machine. Recording wraps ``execute()`` in a
+:class:`~repro.plans.recorder.WorkloadPlanRecorder`; verification runs the
+same ``PreparedRun`` on a scalar-engine machine and compares.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.layout.embedding import TreeLayout
+from repro.machine.machine import SpatialMachine
+from repro.machine.routing import bitonic_sort
+from repro.plans.recorder import array_digest
+from repro.spatial.context import SpatialTree
+from repro.spatial.layout_creation import create_light_first_layout
+from repro.spatial.lca import lca_batch
+from repro.spatial.list_ranking import list_rank
+from repro.spatial.treefix import top_down_treefix, treefix_sum
+from repro.trees.generators import (
+    caterpillar_tree,
+    decision_tree_shape,
+    path_tree,
+    prufer_random_tree,
+    random_attachment_tree,
+    random_binary_tree,
+    star_tree,
+)
+from repro.trees.tree import Tree
+
+#: tree-shape classes a plan key may name (mirrors the CLI's tree kinds;
+#: the *class* is part of the key, the seed pins the concrete instance)
+TREE_SHAPES: dict[str, Callable[[int, int], Tree]] = {
+    "path": lambda n, seed: path_tree(n),
+    "star": lambda n, seed: star_tree(n),
+    "caterpillar": lambda n, seed: caterpillar_tree(n),
+    "binary": lambda n, seed: random_binary_tree(n, seed=seed),
+    "random": lambda n, seed: random_attachment_tree(n, seed=seed),
+    "prufer": lambda n, seed: prufer_random_tree(n, seed=seed),
+    "decision": lambda n, seed: decision_tree_shape(n, seed=seed),
+}
+
+#: input classes for the machine-only workloads
+SORT_SHAPES = ("uniform", "sorted", "reverse")
+LIST_SHAPES = ("chain",)
+
+
+def make_tree(shape: str, n: int, seed: int) -> Tree:
+    try:
+        factory = TREE_SHAPES[shape]
+    except KeyError:
+        raise ValidationError(
+            f"unknown tree shape {shape!r}; choose from {sorted(TREE_SHAPES)}"
+        ) from None
+    return factory(n, seed)
+
+
+def tree_digest(tree: Tree | None) -> str:
+    """Content digest pinning the exact tree instance ('-' for none)."""
+    if tree is None:
+        return "-"
+    parents = np.ascontiguousarray(tree.parents, dtype=np.int64)
+    return hashlib.sha256(parents.tobytes()).hexdigest()
+
+
+def input_digest(inputs: dict[str, np.ndarray], *, workload: str, shape: str) -> str:
+    names = sorted(inputs)
+    return array_digest(*(inputs[k] for k in names), scalars=(workload, shape, *names))
+
+
+def _input_rng(seed: int) -> np.random.Generator:
+    # a stream separate from the workload's own resolve_rng(seed) draws,
+    # so input generation never perturbs the algorithms' coin sequences
+    return np.random.default_rng([int(seed), 0x1A7E57])
+
+
+@dataclass
+class PreparedRun:
+    """One concrete, executable workload instance (machine + inputs)."""
+
+    machine: SpatialMachine
+    tree: Tree | None
+    inputs: dict[str, np.ndarray]
+    #: resolved messaging mode ("direct"/"virtual" for tree workloads,
+    #: "-" for machine-only ones) — pinned into the plan so the scalar
+    #: verification run exercises the identical code path
+    mode: str
+    _exec: Callable[[], tuple[dict[str, np.ndarray], dict[str, Any]]] = field(repr=False)
+
+    def execute(self) -> tuple[dict[str, np.ndarray], dict[str, Any]]:
+        """Run the workload; returns (array results, scalar results)."""
+        return self._exec()
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named, recordable workload with seed-derivable instances."""
+
+    name: str
+    uses_tree: bool
+    default_shape: str
+    shapes: tuple[str, ...]
+    description: str
+    _prepare: Callable[..., PreparedRun] = field(repr=False)
+
+    def prepare(
+        self,
+        *,
+        shape: str,
+        n: int,
+        seed: int,
+        curve: str = "hilbert",
+        engine: str = "batched",
+        mode: str = "auto",
+        strict: bool | str = False,
+    ) -> PreparedRun:
+        if shape not in self.shapes:
+            raise ValidationError(
+                f"workload {self.name!r} does not know shape {shape!r}; "
+                f"choose from {sorted(self.shapes)}"
+            )
+        return self._prepare(
+            shape=shape, n=n, seed=seed, curve=curve, engine=engine,
+            mode=mode, strict=strict,
+        )
+
+
+def _tree_setup(shape, n, seed, curve, engine, mode, strict):
+    tree = make_tree(shape, n, seed)
+    layout = TreeLayout.build(tree, order="light_first", curve=curve)
+    machine = layout.machine(engine=engine, strict=strict)
+    st = SpatialTree(layout, machine=machine, mode=mode)
+    return tree, machine, st
+
+
+def _prepare_treefix(direction: str):
+    fn = treefix_sum if direction == "bottom_up" else top_down_treefix
+
+    def prepare(*, shape, n, seed, curve, engine, mode, strict):
+        tree, machine, st = _tree_setup(shape, n, seed, curve, engine, mode, strict)
+        values = _input_rng(seed).integers(0, 1 << 20, size=n).astype(np.int64)
+
+        def execute():
+            out = fn(st, values, seed=seed)
+            scalars = {
+                "contraction_rounds": int(getattr(st, "last_contraction_rounds", -1))
+            }
+            return {"out": np.asarray(out)}, scalars
+
+        return PreparedRun(machine, tree, {"values": values}, st.mode, execute)
+
+    return prepare
+
+
+def _prepare_lca(*, shape, n, seed, curve, engine, mode, strict):
+    tree, machine, st = _tree_setup(shape, n, seed, curve, engine, mode, strict)
+    rng = _input_rng(seed)
+    us = rng.integers(0, n, size=n, dtype=np.int64)
+    vs = rng.integers(0, n, size=n, dtype=np.int64)
+
+    def execute():
+        answers = lca_batch(st, us, vs, seed=seed)
+        return {"answers": np.asarray(answers)}, {}
+
+    return PreparedRun(machine, tree, {"us": us, "vs": vs}, st.mode, execute)
+
+
+def _prepare_layout_creation(*, shape, n, seed, curve, engine, mode, strict):
+    tree = make_tree(shape, n, seed)
+    machine = SpatialMachine(n, curve=curve, engine=engine, strict=strict)
+
+    def execute():
+        res = create_light_first_layout(tree, seed=seed, machine=machine)
+        scalars = {
+            "list_rank_rounds": [int(r) for r in res.list_rank_rounds],
+        }
+        return {"position": np.asarray(res.layout.position)}, scalars
+
+    return PreparedRun(machine, tree, {}, "-", execute)
+
+
+def _prepare_sort(*, shape, n, seed, curve, engine, mode, strict):
+    machine = SpatialMachine(n, curve=curve, engine=engine, strict=strict)
+    keys = _input_rng(seed).integers(0, 4 * n + 4, size=n, dtype=np.int64)
+    if shape == "sorted":
+        keys = np.sort(keys)
+    elif shape == "reverse":
+        keys = np.sort(keys)[::-1].copy()
+
+    def execute():
+        sorted_keys, _ = bitonic_sort(machine, keys)
+        return {"sorted": np.asarray(sorted_keys)}, {}
+
+    return PreparedRun(machine, None, {"keys": keys}, "-", execute)
+
+
+def _prepare_list_rank(*, shape, n, seed, curve, engine, mode, strict):
+    machine = SpatialMachine(n, curve=curve, engine=engine, strict=strict)
+    order = _input_rng(seed).permutation(n).astype(np.int64)
+    succ = np.full(n, -1, dtype=np.int64)
+    succ[order[:-1]] = order[1:]
+
+    def execute():
+        res = list_rank(machine, succ, seed=seed)
+        scalars = {"rounds": int(res.rounds), "base_size": int(res.base_size)}
+        return {"ranks": np.asarray(res.ranks)}, scalars
+
+    return PreparedRun(machine, None, {"succ": succ}, "-", execute)
+
+
+_TREE_SHAPE_NAMES = tuple(sorted(TREE_SHAPES))
+
+WORKLOADS: dict[str, WorkloadSpec] = {
+    spec.name: spec
+    for spec in (
+        WorkloadSpec(
+            "treefix", True, "prufer", _TREE_SHAPE_NAMES,
+            "bottom-up treefix sum over the subtree of every vertex (§V)",
+            _prepare_treefix("bottom_up"),
+        ),
+        WorkloadSpec(
+            "treefix_top_down", True, "prufer", _TREE_SHAPE_NAMES,
+            "top-down treefix along every root-to-vertex path (§V-D)",
+            _prepare_treefix("top_down"),
+        ),
+        WorkloadSpec(
+            "layout_creation", True, "prufer", _TREE_SHAPE_NAMES,
+            "light-first layout creation pipeline (§IV, Theorem 4)",
+            _prepare_layout_creation,
+        ),
+        WorkloadSpec(
+            "lca", True, "prufer", _TREE_SHAPE_NAMES,
+            "batched lowest-common-ancestor queries (§VI)",
+            _prepare_lca,
+        ),
+        WorkloadSpec(
+            "sort", False, "uniform", SORT_SHAPES,
+            "bitonic sort of one key per processor (Θ(n^{3/2}) budget item)",
+            _prepare_sort,
+        ),
+        WorkloadSpec(
+            "list_rank", False, "chain", LIST_SHAPES,
+            "random-mate list ranking of a scattered linked list (§IV, Thm 5)",
+            _prepare_list_rank,
+        ),
+    )
+}
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    try:
+        return WORKLOADS[name]
+    except KeyError:
+        raise ValidationError(
+            f"unknown workload {name!r}; choose from {sorted(WORKLOADS)}"
+        ) from None

@@ -121,6 +121,11 @@ def list_rank(
         slowdown = 1.0 / max(1e-6, 4 * coin_bias * (1 - coin_bias))
         max_rounds = int(slowdown * (40 * max(1, ceil_log2(max(2, k))) + 40))
     rng = resolve_rng(seed)
+    # epoch-bounded speculation hook: an attached workload-plan recorder
+    # gets told (a) which phases are data-dependent and (b) the digest of
+    # every per-round coin draw, so a stored plan can be replayed exactly
+    # while the redrawn coin trace validates (see repro.plans)
+    rec = getattr(machine, "plan_recorder", None)
 
     def msg(src_elems: np.ndarray, dst_elems: np.ndarray, rounds=None) -> None:
         machine.send_batch(elem_proc[src_elems], elem_proc[dst_elems], rounds=rounds)
@@ -146,6 +151,8 @@ def list_rank(
     # --- contraction ---
     rounds = 0
     with machine.phase("list_rank_contract"):
+        if rec is not None:
+            rec.mark_speculative()
         while int(active.sum()) > base_threshold:
             if rounds >= max_rounds:
                 raise ConvergenceError(
@@ -155,6 +162,8 @@ def list_rank(
             rounds += 1
             act = np.flatnonzero(active)
             coins = rng.random(size=k) < coin_bias  # True = heads
+            if rec is not None:
+                rec.epoch(coins, bias=coin_bias)
             # every active element with a predecessor reports its coin
             reporters = act[pred[act] >= 0]
             if len(reporters):
@@ -190,6 +199,8 @@ def list_rank(
         raise ValidationError("succ must describe exactly one list (one tail)")
     base_size = len(act)
     with machine.phase("list_rank_base"):
+        if rec is not None:
+            rec.mark_speculative()
         cur = int(tail[0])
         ranks[cur] = w[cur]
         while pred[cur] >= 0:
@@ -201,6 +212,8 @@ def list_rank(
     # --- uncontraction: reverse rounds, each removed element asks its
     # recorded successor for its (now final) rank ---
     with machine.phase("list_rank_expand"):
+        if rec is not None:
+            rec.mark_speculative()
         for r in range(rounds, 0, -1):
             us = np.flatnonzero(removal_round == r)
             if len(us) == 0:

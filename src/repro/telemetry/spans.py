@@ -49,8 +49,9 @@ from repro.machine.instrumentation import Instrument, StepEvent
 #: span JSONL schema identifier; bump on breaking changes
 SPAN_SCHEMA = "repro.spans/v1"
 
-#: span kinds, outermost to innermost (``alert`` is out-of-band)
-SPAN_KINDS = ("workload", "phase", "batch", "round", "alert")
+#: span kinds, outermost to innermost (``alert`` is out-of-band;
+#: ``replay`` wraps a stored workload-plan re-execution, see repro.plans)
+SPAN_KINDS = ("workload", "replay", "phase", "batch", "round", "alert")
 
 
 @dataclass

@@ -12,6 +12,7 @@ from repro.analysis.metrics import (
     Histogram,
     MetricsRegistry,
     publish_machine,
+    publish_plan_store,
     publish_profiler,
     publish_tracer,
 )
@@ -194,12 +195,35 @@ class TestPublishers:
         # the distance histogram carries every message
         assert f"repro_message_distance_count {m.messages}" in text
 
-    def test_all_publishers_share_one_registry(self):
+    def test_publish_plan_store(self, tmp_path):
+        from repro.plans import PlanStore, record
+
+        store = PlanStore(tmp_path / "plans", capacity=2)
+        for n in (8, 12, 16):  # third put evicts the first from memory
+            record("sort", n=n, seed=1, shape="uniform", store=store)
+        key = ("sort", 16, "hilbert", "uniform")
+        store.get(key)  # memory hit
+        store.get(("sort", 8, "hilbert", "uniform"))  # disk reload = miss
+        reg = MetricsRegistry()
+        publish_plan_store(reg, store)
+        text = reg.render_prometheus()
+        assert "repro_plan_store_size 2" in text
+        assert f"repro_plan_store_disk_bytes {store.total_bytes()}" in text
+        assert 'repro_plan_store_hits_total{workload="sort"} 1' in text
+        assert 'repro_plan_store_misses_total{workload="sort"} 1' in text
+        assert 'repro_plan_store_evictions_total{workload="sort"} 2' in text
+
+    def test_all_publishers_share_one_registry(self, tmp_path):
+        from repro.plans import PlanStore, record
+
         m, prof = self._run()
+        store = PlanStore(tmp_path / "plans")
+        record("sort", n=8, seed=1, shape="uniform", store=store)
         reg = MetricsRegistry()
         publish_machine(reg, m)
         publish_tracer(reg, m.tracer)
         publish_profiler(reg, prof)
+        publish_plan_store(reg, store)
         names = [f.name for f in reg.families]
         assert len(names) == len(set(names))
         assert reg.render_prometheus().count("# TYPE") == len(names)

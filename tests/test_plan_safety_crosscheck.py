@@ -1,0 +1,137 @@
+"""Cross-check: the static plan-safety report vs. the dynamic recorder.
+
+Two independent subsystems claim to know which phases are plan-safe:
+``repro check --plan-safety`` proves it statically from effect signatures,
+and :class:`~repro.plans.WorkloadPlanRecorder` observes it dynamically
+(phases that draw per-round coins call ``mark_speculative``). This battery
+pins the two views together so they cannot drift apart silently:
+
+* every phase the recorder marks speculative must be ``data-dependent``
+  in the static report (a recorder-speculative phase the checker calls
+  plan-safe would replay stale rounds without epoch validation);
+* every recorded phase the recorder does *not* mark must be provably
+  ``plan-safe`` (a data-dependent phase the recorder misses would replay
+  without any oracle at all);
+* plans whose phases are all statically plan-safe carry zero epochs —
+  their replays never consult the coin oracle.
+
+Report phase names may be wildcarded (``treefix_*_contract``), so matching
+is fnmatch in both directions.
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatch
+
+import pytest
+
+from repro.analysis.check import check_paths
+from repro.plans import WORKLOADS, record
+from repro.plans.recorder import EpochOp, PhaseEnterOp
+
+CASES = [
+    ("treefix", "prufer"),
+    ("treefix_top_down", "caterpillar"),
+    ("lca", "binary"),
+    ("sort", "uniform"),
+    ("list_rank", "chain"),
+    ("layout_creation", "random"),
+]
+
+
+def _matches(name: str, pattern: str) -> bool:
+    # report names may be patterns (treefix_*_contract) or literals; the
+    # recorded name is always literal — match either direction
+    return fnmatch(name, pattern) or fnmatch(pattern, name)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return check_paths(["src/repro"]).report
+
+
+@pytest.fixture(scope="module")
+def verdicts(report):
+    out: dict[str, list[str]] = {"plan-safe": [], "data-dependent": []}
+    for phase in report["phases"]:
+        out[phase["verdict"]].append(phase["name"])
+    return out
+
+
+@pytest.fixture(scope="module")
+def recorded():
+    return {
+        (wl, shape): record(wl, n=28, seed=13, shape=shape).plan
+        for wl, shape in CASES
+    }
+
+
+def test_report_shape(report):
+    assert report["schema"] == "repro.plan-safety/v1"
+    assert report["phases"]
+
+
+@pytest.mark.parametrize("wl,shape", CASES)
+def test_speculative_phases_are_statically_data_dependent(
+    wl, shape, recorded, verdicts
+):
+    plan = recorded[(wl, shape)]
+    for phase in plan.speculative:
+        assert any(_matches(phase, p) for p in verdicts["data-dependent"]), (
+            f"recorder marked {phase!r} speculative but the static checker "
+            "does not flag it data-dependent"
+        )
+        assert not any(_matches(phase, p) for p in verdicts["plan-safe"]), (
+            f"checker claims {phase!r} is plan-safe yet the recorder saw it "
+            "draw per-round coins"
+        )
+
+
+@pytest.mark.parametrize("wl,shape", CASES)
+def test_unmarked_recorded_phases_are_provably_plan_safe(
+    wl, shape, recorded, verdicts
+):
+    plan = recorded[(wl, shape)]
+    entered = {op.name for op in plan.ops if isinstance(op, PhaseEnterOp)}
+    for phase in sorted(entered - set(plan.speculative)):
+        assert any(_matches(phase, p) for p in verdicts["plan-safe"]), (
+            f"phase {phase!r} was recorded without speculation but the "
+            "static checker cannot prove it plan-safe"
+        )
+
+
+@pytest.mark.parametrize("wl,shape", CASES)
+def test_plan_safe_only_plans_carry_no_epochs(wl, shape, recorded, verdicts):
+    plan = recorded[(wl, shape)]
+    entered = {op.name for op in plan.ops if isinstance(op, PhaseEnterOp)}
+    all_safe = all(
+        any(_matches(phase, p) for p in verdicts["plan-safe"])
+        for phase in entered
+    )
+    if all_safe:
+        assert plan.epoch_count == 0
+        assert plan.speculative == ()
+    else:
+        assert plan.epoch_count > 0
+        assert plan.speculative
+
+
+def test_every_workload_exercised():
+    assert {wl for wl, _ in CASES} == set(WORKLOADS)
+
+
+def test_epoch_drawing_phases_match_marked_set(recorded):
+    """The phase *under* which each epoch is drawn (context + innermost
+    entered phase at that point in the op stream) is always a marked
+    speculative phase."""
+    for plan in recorded.values():
+        stack: list[str] = []
+        for op in plan.ops:
+            if isinstance(op, PhaseEnterOp):
+                stack.append(op.name)
+            elif op.__class__.__name__ == "PhaseExitOp":
+                stack.pop()
+            elif isinstance(op, EpochOp):
+                assert stack, "epoch drawn outside any phase"
+                assert stack[-1] in plan.speculative
+                assert op.context == "/".join(stack[:-1])

@@ -1,0 +1,305 @@
+"""Adversarial tests for the persistent plan store.
+
+Every way an artifact can be wrong maps to a *typed* error — truncation
+and bit-flips to :class:`PlanIntegrityError`, format drift to
+:class:`PlanSchemaError`, renamed/mismatched artifacts to
+:class:`PlanKeyError`, absence to :class:`PlanNotFoundError` — and a
+half-written artifact is never observable (writes are temp-file +
+``os.replace`` atomic). The LRU memory layer extends the machine's
+plan-cache counting surface; its hit/miss/eviction books and the
+machine-level :class:`PlanCache` family accounting get regression
+coverage here.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    PlanIntegrityError,
+    PlanKeyError,
+    PlanNotFoundError,
+    PlanSchemaError,
+)
+from repro.machine.machine import PlanCache, SpatialMachine
+from repro.machine.routing import bitonic_sort
+from repro.plans import (
+    MAGIC,
+    LRUPlanCache,
+    PlanStore,
+    load_plan,
+    read_plan_header,
+    record,
+    save_plan,
+)
+
+
+@pytest.fixture
+def plan():
+    return record("sort", n=12, seed=3, shape="uniform").plan
+
+
+@pytest.fixture
+def store(tmp_path):
+    return PlanStore(tmp_path / "plans", capacity=2)
+
+
+# --------------------------------------------------------------------------- #
+# artifact integrity
+# --------------------------------------------------------------------------- #
+
+
+def test_roundtrip_identity(plan, store):
+    path = store.put(plan)
+    loaded = load_plan(path, expected_key=plan.key)
+    assert loaded.key == plan.key
+    assert loaded.totals == plan.totals
+    assert loaded.seed == plan.seed
+    assert loaded.speculative == plan.speculative
+    assert len(loaded.ops) == len(plan.ops)
+    for name in plan.results:
+        np.testing.assert_array_equal(loaded.results[name], plan.results[name])
+
+
+def test_missing_artifact(store, plan):
+    with pytest.raises(PlanNotFoundError):
+        store.get(("sort", 999, "hilbert", "uniform"))
+
+
+def test_truncated_artifact_rejected(plan, store):
+    path = store.put(plan)
+    data = path.read_bytes()
+    path.write_bytes(data[: len(data) // 2])
+    with pytest.raises(PlanIntegrityError):
+        load_plan(path)
+
+
+def test_truncated_header_rejected(plan, store):
+    path = store.put(plan)
+    path.write_bytes(path.read_bytes()[: len(MAGIC) + 10])
+    with pytest.raises(PlanIntegrityError):
+        load_plan(path)
+
+
+def test_bad_magic_rejected(plan, store):
+    path = store.put(plan)
+    data = bytearray(path.read_bytes())
+    data[:4] = b"EVIL"
+    path.write_bytes(bytes(data))
+    with pytest.raises(PlanIntegrityError):
+        load_plan(path)
+
+
+@pytest.mark.parametrize("offset_frac", [0.3, 0.6, 0.9])
+def test_bitflipped_payload_rejected(plan, store, offset_frac):
+    path = store.put(plan)
+    data = bytearray(path.read_bytes())
+    header_end = data.index(b"\n", len(MAGIC)) + 1
+    pos = header_end + int((len(data) - header_end) * offset_frac)
+    data[pos] ^= 0x40
+    path.write_bytes(bytes(data))
+    with pytest.raises(PlanIntegrityError):
+        load_plan(path)
+
+
+def test_trailing_garbage_rejected(plan, store):
+    path = store.put(plan)
+    path.write_bytes(path.read_bytes() + b"\x00garbage")
+    with pytest.raises(PlanIntegrityError):
+        load_plan(path)
+
+
+def _rewrite_header(path, mutate):
+    data = path.read_bytes()
+    header_end = data.index(b"\n", len(MAGIC))
+    header = json.loads(data[len(MAGIC):header_end].decode())
+    mutate(header)
+    path.write_bytes(
+        MAGIC + json.dumps(header, sort_keys=True).encode() + data[header_end:]
+    )
+
+
+def test_schema_bump_rejected(plan, store):
+    path = store.put(plan)
+    _rewrite_header(path, lambda h: h.update(schema="repro.workload-plan/v999"))
+    with pytest.raises(PlanSchemaError):
+        load_plan(path)
+
+
+def test_wrong_key_rejected(plan, store):
+    path = store.put(plan)
+    other = ("treefix", plan.n, plan.curve, "prufer")
+    # renamed onto the wrong slot: the embedded key defends the lookup
+    target = store.path_for(other)
+    target.write_bytes(path.read_bytes())
+    with pytest.raises(PlanKeyError):
+        load_plan(target, expected_key=other)
+    with pytest.raises(PlanKeyError):
+        store.get(other)
+
+
+def test_header_payload_key_disagreement_rejected(plan, store):
+    path = store.put(plan)
+    # forge the *header* key while keeping the payload (and its hash) intact:
+    # the decoded plan's own key must still betray the forgery
+    forged = ("sort", plan.n, plan.curve, "sorted")
+    _rewrite_header(path, lambda h: h.update(key=list(forged)))
+    with pytest.raises(PlanIntegrityError):
+        load_plan(path, expected_key=forged)
+
+
+def test_headers_listable_without_decoding(plan, store):
+    store.put(plan)
+    rows = store.ls()
+    assert len(rows) == 1
+    assert rows[0]["key"] == plan.key
+    assert rows[0]["nbytes"] > 0
+    header = read_plan_header(store.path_for(plan.key))
+    assert header["schema"] == plan.schema
+
+
+def test_corrupt_artifact_listed_not_fatal(plan, store):
+    store.put(plan)
+    bad = store.root / "zz-bad.plan"
+    bad.write_bytes(b"not a plan at all")
+    rows = store.ls()
+    assert len(rows) == 2
+    assert any("error" in r for r in rows)
+
+
+# --------------------------------------------------------------------------- #
+# atomicity and gc
+# --------------------------------------------------------------------------- #
+
+
+def test_concurrent_writers_never_expose_partial_artifacts(store):
+    """Hammer one slot from several writer threads while a reader loads:
+    every load sees a complete, integrity-clean artifact."""
+    plans = [record("sort", n=12, seed=s, shape="uniform").plan for s in range(3)]
+    key = plans[0].key
+    save_plan(plans[0], store.path_for(key))  # slot exists before readers start
+    errors: list[BaseException] = []
+    stop = threading.Event()
+
+    def writer(p):
+        while not stop.is_set():
+            try:
+                save_plan(p, store.path_for(key))
+            except BaseException as exc:  # pragma: no cover
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=writer, args=(p,)) for p in plans]
+    for t in threads:
+        t.start()
+    try:
+        seeds = set()
+        for _ in range(50):
+            loaded = load_plan(store.path_for(key), expected_key=key)
+            seeds.add(loaded.seed)
+    finally:
+        stop.set()
+        for t in threads:
+            t.join()
+    assert not errors
+    assert seeds <= {0, 1, 2}
+    assert not list(store.root.glob("*.tmp"))  # no temp droppings left behind
+
+
+def test_gc_respects_size_budget(tmp_path):
+    store = PlanStore(tmp_path / "plans", capacity=8)
+    import time
+
+    paths = []
+    for n in (8, 12, 16):
+        res = record("sort", n=n, seed=1, shape="uniform", store=store)
+        paths.append(res.path)
+        time.sleep(0.02)  # distinct mtimes → deterministic oldest-first order
+    total = store.total_bytes()
+    smallest_two = sum(p.stat().st_size for p in paths[1:])
+    deleted = store.gc(max_bytes=smallest_two)
+    assert deleted == [paths[0]]  # oldest goes first
+    assert store.total_bytes() <= smallest_two
+    with pytest.raises(PlanNotFoundError):
+        store.get(("sort", 8, "hilbert", "uniform"))
+    assert store.gc(max_bytes=total) == []  # already under budget: no-op
+    store.gc(max_bytes=0)
+    assert store.total_bytes() == 0
+
+
+# --------------------------------------------------------------------------- #
+# the LRU memory layer and the machine PlanCache counting surface
+# --------------------------------------------------------------------------- #
+
+
+def test_store_memory_layer_counts_hits_misses(store, plan):
+    store.put(plan)
+    key = plan.key
+    assert store.get(key) is plan  # memory hit
+    assert store.memory.hits.get("sort") == 1
+    fresh = PlanStore(store.root, capacity=2)
+    loaded = fresh.get(key)  # disk hit = memory miss
+    assert fresh.memory.misses.get("sort") == 1
+    assert loaded.totals == plan.totals
+    fresh.get(key)
+    assert fresh.memory.hits.get("sort") == 1
+
+
+def test_lru_eviction_counts_per_family(tmp_path):
+    store = PlanStore(tmp_path / "plans", capacity=2)
+    for n in (8, 12, 16):
+        record("sort", n=n, seed=1, shape="uniform", store=store)
+    assert len(store.memory) == 2
+    assert store.memory.evictions.get("sort") == 1
+    # the evicted plan reloads from disk (an honest miss), evicting again
+    store.get(("sort", 8, "hilbert", "uniform"))
+    assert store.memory.misses.get("sort") == 1
+    assert store.memory.evictions.get("sort") == 2
+
+
+def test_lru_recency_refresh_on_lookup(tmp_path):
+    cache = LRUPlanCache(capacity=2)
+    cache[("a", 1)] = "A"
+    cache[("b", 1)] = "B"
+    assert cache.lookup(("a", 1)) == "A"  # refreshes a's recency
+    cache[("c", 1)] = "C"
+    assert ("a", 1) in cache and ("b", 1) not in cache
+    assert cache.evictions == {"b": 1}
+
+
+def test_plan_cache_family_accounting_regression():
+    """The machine's PlanCache counts a miss on first build, hits only on
+    genuine reuse, and the books survive reset_costs (the cache itself is
+    placement-keyed, not cost-keyed)."""
+    m = SpatialMachine(12, engine="batched")
+    keys = np.arange(12, dtype=np.int64)[::-1].copy()
+    bitonic_sort(m, keys)
+    assert m.plan_cache.misses.get("sort_network") == 1
+    assert m.plan_cache.hits.get("sort_network") is None
+    m.reset_costs()
+    bitonic_sort(m, keys)
+    assert m.plan_cache.hits.get("sort_network") == 1
+    assert m.plan_cache.misses.get("sort_network") == 1
+    # a different machine must not inherit the plan or the books
+    m2 = SpatialMachine(12, engine="batched")
+    bitonic_sort(m2, keys)
+    assert m2.plan_cache.misses.get("sort_network") == 1
+    assert m2.plan_cache.hits.get("sort_network") is None
+
+
+def test_plan_cache_count_and_lookup_families():
+    cache = PlanCache()
+    assert cache.lookup(("fam", 1, 2)) is None
+    cache[("fam", 1, 2)] = object()
+    assert cache.lookup(("fam", 1, 2)) is not None
+    cache.count("external", hit=True)
+    assert cache.misses == {"fam": 1}
+    assert cache.hits == {"fam": 1, "external": 1}
+    # string keys are their own family; a stored None counts as a hit
+    cache["plain"] = None
+    assert cache.lookup("plain") is None  # indistinguishable from miss by value…
+    assert cache.hits.get("plain") == 1  # …but counted as the hit it is
