@@ -68,13 +68,24 @@ def parse_percent(text) -> float:
         raise ValidationError(f"cannot parse {text!r} as a percentage") from None
 
 
+#: kinds where *shrinking* is the regression (more is better)
+INVERTED_KINDS = ("throughput",)
+
+_LATENCY_RE = re.compile(r"(?:^|_)p\d{1,3}(?:_|$)")
+
+
 def metric_kind(column: str) -> str | None:
-    """Classify a row column: ``"energy"``, ``"depth"``, ``"wall"`` or None.
+    """Classify a row column: ``"energy"``, ``"depth"``, ``"wall"``,
+    ``"latency"``, ``"throughput"`` or None.
 
     Matches the naming conventions used across the benchmark suite:
     ``energy``, ``energy/n``, ``E/(n·log2n)``, ``spatial_E`` are
     energy-like; ``depth``, ``D/log2n``, ``spatial_D`` depth-like;
-    ``scalar_s``, ``batched_s``, ``wall_*`` host wall-clock. Ratio
+    ``scalar_s``, ``batched_s``, ``wall_*`` host wall-clock. Serving
+    columns — percentile latencies (``p50_ms``/``p99_ms``), ``latency_*``,
+    ``ttfa_*`` — are latency-like and ``qps``/``rps``/``throughput``
+    columns throughput-like; both are host-dependent like wall, so their
+    gates are opt-in, and a throughput regression is a *decrease*. Ratio
     columns (``E_ratio``, ``speedup_ratio``) are informational only — a
     ratio against a baseline implementation is not a cost of ours.
     """
@@ -86,6 +97,12 @@ def metric_kind(column: str) -> str | None:
         return "energy"
     if "depth" in low or name == "D" or name.startswith("D/") or name.endswith("_D"):
         return "depth"
+    # latency/throughput must outrank the wall suffix rules: p99_ms ends
+    # in _ms but gates as latency, qps_* as throughput
+    if "qps" in low or "rps" in low or "throughput" in low:
+        return "throughput"
+    if "latency" in low or "ttfa" in low or _LATENCY_RE.search(low):
+        return "latency"
     if (
         "wall" in low
         or low.endswith("_s")
@@ -195,7 +212,12 @@ def load_bench(path) -> RunReport:
 
 @dataclass
 class Regression:
-    """One gated metric that grew past its tolerance."""
+    """One gated metric that moved past its tolerance.
+
+    ``increase`` is the fractional regression magnitude: growth for cost
+    metrics (energy/depth/wall/latency), shrinkage for inverted kinds
+    (throughput, where less is worse).
+    """
 
     row: str
     column: str
@@ -205,9 +227,10 @@ class Regression:
     increase: float  # fractional, e.g. 0.21 for +21%
 
     def describe(self) -> str:
+        sign = "-" if self.kind in INVERTED_KINDS else "+"
         return (
             f"{self.row} · {self.column}: {self.baseline:g} → {self.new:g} "
-            f"(+{100 * self.increase:.1f}%, {self.kind} tolerance exceeded)"
+            f"({sign}{100 * self.increase:.1f}%, {self.kind} tolerance exceeded)"
         )
 
 
@@ -262,6 +285,8 @@ def compare_reports(
     max_energy_regress: float | str | None = "10%",
     max_depth_regress: float | str | None = None,
     max_wall_regress: float | str | None = None,
+    max_latency_regress: float | str | None = None,
+    max_throughput_regress: float | str | None = None,
 ) -> BenchComparison:
     """Diff two reports and gate energy/depth/wall-like metrics.
 
@@ -269,8 +294,10 @@ def compare_reports(
     position when the key is empty) and on run reports (phase-matched via
     :func:`~repro.analysis.report.diff_reports`). A ``None`` tolerance
     disables that gate; improvements and un-gated columns always pass.
-    The wall gate is off by default — wall numbers are host-dependent, so
-    only enable it when both artifacts came from the same machine.
+    The wall, latency and throughput gates are off by default — those
+    numbers are host-dependent, so only enable them when both artifacts
+    came from the same machine. Throughput gates on *decrease* (fewer
+    queries/sec is the regression); every other kind gates on growth.
     """
     if (baseline.kind == "run") != (new.kind == "run"):
         raise ValidationError(
@@ -280,6 +307,10 @@ def compare_reports(
         "energy": None if max_energy_regress is None else parse_percent(max_energy_regress),
         "depth": None if max_depth_regress is None else parse_percent(max_depth_regress),
         "wall": None if max_wall_regress is None else parse_percent(max_wall_regress),
+        "latency": None if max_latency_regress is None else parse_percent(max_latency_regress),
+        "throughput": (
+            None if max_throughput_regress is None else parse_percent(max_throughput_regress)
+        ),
     }
     if baseline.kind == "run":
         a_rows, key = _run_rows(baseline)
@@ -335,8 +366,10 @@ def compare_reports(
             kind = kind_overrides.get(column) or metric_kind(column)
             entry[column] = {"a": va, "b": vb, "delta": vb - va, "kind": kind}
             limit = tolerances.get(kind) if kind else None
-            if limit is not None and vb > va:
-                increase = (vb - va) / va if va else float("inf")
+            # inverted kinds (throughput) regress by shrinking
+            worse = (vb < va) if kind in INVERTED_KINDS else (vb > va)
+            if limit is not None and worse:
+                increase = abs(vb - va) / va if va else float("inf")
                 if increase > limit:
                     cmp.regressions.append(
                         Regression(
@@ -376,7 +409,7 @@ def format_comparison(cmp: BenchComparison) -> str:
             lines.append(f"  ✗ {reg.describe()}")
     else:
         gates = ", ".join(
-            f"{kind} ≤ +{100 * limit:g}%"
+            f"{kind} {'≥ -' if kind in INVERTED_KINDS else '≤ +'}{100 * limit:g}%"
             for kind, limit in cmp.tolerances.items()
             if limit is not None
         )
@@ -593,7 +626,11 @@ def format_trend(
         }
         table_rows.append(row)
         kind = kinds.get(skey)
-        if limit is not None and kind and delta is not None and delta > limit:
+        # throughput regresses downward: flag on the mirrored delta
+        regress = None
+        if delta is not None:
+            regress = -delta if kind in INVERTED_KINDS else delta
+        if limit is not None and kind and regress is not None and regress > limit:
             flagged.append(
                 {
                     "benchmark": bench,
@@ -602,7 +639,7 @@ def format_trend(
                     "kind": kind,
                     "baseline": base,
                     "latest": latest,
-                    "increase": delta,
+                    "increase": regress,
                 }
             )
     text = format_table(table_rows) if table_rows else "(no history entries matched)"

@@ -33,6 +33,11 @@ Subcommands:
   ``bench record`` appends artifacts to the ``BENCH_HISTORY.jsonl``
   trajectory, ``bench trend`` renders it as sparklines,
   ``bench migrate`` normalizes legacy ``BENCH_*.json`` shapes.
+* ``serve``   — always-on query service: boot a layout once (warm
+  plan-store replay when available), then answer ``POST /lca`` /
+  ``/treefix`` / ``/cuts`` from many concurrent clients with cross-user
+  LCA window coalescing, live ``/metrics`` and ``/serving`` stats, and
+  graceful drain on SIGTERM (docs/OBSERVABILITY.md, "Serving").
 * ``report``  — pretty-print a saved run report, or diff two of them.
 
 Every workload subcommand takes ``--report out.json`` (schema-versioned
@@ -66,6 +71,7 @@ Examples::
     python -m repro bench compare baseline.json new.json --max-energy-regress 10%
     python -m repro bench record benchmarks/results/BENCH_e6_treefix.json
     python -m repro bench trend --metric wall_s
+    python -m repro serve --tree random --n 4096 --window-ms 2 --port 8321
     python -m repro report r.json
     python -m repro report --diff before.json after.json
 """
@@ -942,6 +948,8 @@ def cmd_bench(args) -> int:
             max_energy_regress=args.max_energy_regress,
             max_depth_regress=args.max_depth_regress,
             max_wall_regress=args.max_wall_regress,
+            max_latency_regress=args.max_latency_regress,
+            max_throughput_regress=args.max_throughput_regress,
         )
         print(f"bench compare: baseline={args.baseline}  new={args.new}")
         print(format_comparison(cmp))
@@ -1059,13 +1067,96 @@ def cmd_plan(args) -> int:
     if args.plan_command == "gc":
         budget = _parse_size(args.max_bytes)
         before = store.total_bytes()
-        deleted = store.gc(max_bytes=budget)
+        deleted = store.gc(max_bytes=budget, dry_run=args.dry_run)
+        if args.dry_run:
+            after = before - sum(p.stat().st_size for p in deleted if p.exists())
+            print(f"[gc --dry-run: {before} bytes (budget {budget}), "
+                  f"would delete {len(deleted)} artifact(s) -> {after} bytes]")
+            for path in deleted:
+                print(f"  ~ {path}")
+            return 0
         print(f"[gc: {before} -> {store.total_bytes()} bytes "
               f"(budget {budget}), deleted {len(deleted)} artifact(s)]")
         for path in deleted:
             print(f"  - {path}")
         return 0
     raise SystemExit(f"unknown plan subcommand {args.plan_command!r}")
+
+
+def cmd_serve(args) -> int:
+    import signal
+    import threading
+    import time
+
+    from repro.plans import PlanStore
+    from repro.serving import ServingServer, boot_service
+    from repro.telemetry import DivergenceWatchdog, SpanTracer
+
+    store = PlanStore(args.plan_store) if args.plan_store else None
+    tracer = None
+    if args.span_log is not None:
+        tracer = SpanTracer(workload="serve", jsonl_path=args.span_log)
+    booted = boot_service(
+        shape=args.tree, n=args.n, seed=args.seed, curve=args.curve,
+        engine=args.engine, warm=not args.cold, store=store,
+        window_s=0.0 if args.no_coalesce else args.window_ms / 1000.0,
+        max_batch=args.max_batch, max_queue=args.max_queue, tracer=tracer,
+    )
+    service, boot = booted.service, booted.boot
+    watchdog = None
+    if args.watchdog_sample:
+        watchdog = service.st.machine.attach(
+            DivergenceWatchdog(sample=args.watchdog_sample, tracer=tracer)
+        )
+    server = ServingServer(
+        service, boot=boot, port=args.port,
+        span_tracer=tracer, watchdog=watchdog,
+    ).start()
+    print(f"[serving {args.tree} n={args.n} curve={args.curve} "
+          f"engine={args.engine} at {server.url} — POST /lca /treefix /cuts · "
+          f"GET /serving /metrics /health /progress /spans]")
+    reason = f" · {boot.fallback_reason}" if boot.fallback_reason else ""
+    print(f"[boot: {boot.mode} in {boot.boot_s:.3f}s · "
+          f"energy={boot.totals['energy']} depth={boot.totals['depth']}{reason}]")
+    if args.no_coalesce:
+        print("[coalescing OFF (--no-coalesce): one request per window]")
+    else:
+        print(f"[coalescing: window {args.window_ms:g} ms · "
+              f"max batch {args.max_batch} · queue bound {args.max_queue}]")
+    sys.stdout.flush()
+
+    stop = threading.Event()
+
+    def _on_signal(signum, frame):
+        del frame
+        print(f"[{signal.Signals(signum).name}: draining]", flush=True)
+        stop.set()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+    deadline = (
+        time.monotonic() + args.max_seconds if args.max_seconds else None
+    )
+    while not stop.is_set():
+        if deadline is not None and time.monotonic() >= deadline:
+            print(f"[--max-seconds {args.max_seconds:g} elapsed: draining]")
+            break
+        stop.wait(0.2)
+    server.shutdown()
+    stats = service.stats
+    print(f"[drained: {sum(stats.requests_total.values())} request(s) · "
+          f"{stats.windows_total} window(s) · "
+          f"{stats.window_queries_total} coalesced queries "
+          f"({stats.dedup_saved_total} deduped) · "
+          f"shed {service.queue.shed_total} · "
+          f"rejected-draining {service.queue.rejected_draining_total}]")
+    if watchdog is not None:
+        snap = watchdog.snapshot()
+        verdict = "clean" if snap["clean"] else f"{snap['alerts']} ALERTS"
+        print(f"[watchdog: {snap['checks']} phases re-verified, {verdict}]")
+        if not snap["clean"]:
+            return 1
+    return 0
 
 
 def cmd_report(args) -> int:
@@ -1308,6 +1399,12 @@ def build_parser() -> argparse.ArgumentParser:
     pc.add_argument("--max-wall-regress", default=None, metavar="PCT",
                     help="optionally gate wall-clock metrics (host-dependent "
                          "— only meaningful for same-host artifacts)")
+    pc.add_argument("--max-latency-regress", default=None, metavar="PCT",
+                    help="optionally gate latency metrics (p50/p99/ttfa — "
+                         "host-dependent, like wall)")
+    pc.add_argument("--max-throughput-regress", default=None, metavar="PCT",
+                    help="optionally gate throughput metrics (qps/rps — "
+                         "inverted: a DECREASE beyond this fails)")
     pc.set_defaults(fn=cmd_bench)
     pr = bench_sub.add_parser(
         "record",
@@ -1394,7 +1491,50 @@ def build_parser() -> argparse.ArgumentParser:
     pp.add_argument("--store", default=".repro-plans", metavar="DIR")
     pp.add_argument("--max-bytes", required=True, metavar="SIZE",
                     help="byte budget (supports K/M/G suffixes)")
+    pp.add_argument("--dry-run", action="store_true",
+                    help="list the artifacts gc would evict without deleting")
     pp.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser(
+        "serve",
+        help="always-on query service: warm layout boot, cross-user LCA "
+             "coalescing, query POSTs + live telemetry on one port",
+    )
+    from repro.plans.workloads import TREE_SHAPES
+
+    p.add_argument("--tree", default="random", choices=sorted(TREE_SHAPES))
+    p.add_argument("--n", type=int, default=1024, help="number of vertices")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--curve", default="hilbert", choices=available_curves())
+    p.add_argument("--engine", default="batched", choices=["scalar", "batched"])
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 picks a free one; loopback only)")
+    p.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
+                   help="coalescing window: LCA queries arriving within this "
+                        "window merge into one batched pass (default 2 ms)")
+    p.add_argument("--max-batch", type=int, default=65536, metavar="Q",
+                   help="close a window early at this many queries; larger "
+                        "merged batches split into chunks of this size")
+    p.add_argument("--max-queue", type=int, default=1024, metavar="R",
+                   help="admission bound: beyond this many queued requests "
+                        "new ones are shed with HTTP 429")
+    p.add_argument("--no-coalesce", action="store_true",
+                   help="serve every request solo (window 0) — the "
+                        "comparison baseline for the coalescing win")
+    p.add_argument("--cold", action="store_true",
+                   help="skip the warm plan-replay boot and run the §IV "
+                        "layout-creation pipeline live")
+    p.add_argument("--plan-store", default=".repro-plans", metavar="DIR",
+                   help="plan store for warm boots (empty string disables)")
+    p.add_argument("--max-seconds", type=float, default=None, metavar="SEC",
+                   help="drain and exit after this long (default: run until "
+                        "SIGTERM/SIGINT)")
+    p.add_argument("--span-log", metavar="PATH", default=None,
+                   help="stream serving-window spans to a JSONL file")
+    p.add_argument("--watchdog-sample", type=int, default=8, metavar="K",
+                   help="engine-divergence watchdog stride over served "
+                        "phases (0 disables; default 8)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("report", help="pretty-print or diff saved run reports")
     p.add_argument("paths", nargs="*", help="report file(s) written by --report")

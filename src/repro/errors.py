@@ -128,3 +128,24 @@ class PlanSpeculationError(PlanDivergenceError):
     take. The standard response is falling back to live batched execution
     and re-recording the plan.
     """
+
+
+class ServingError(ReproError):
+    """Base class for always-on query-service failures (:mod:`repro.serving`)."""
+
+
+class ServeQueueFullError(ServingError):
+    """Admission control shed the request: the bounded queue is full.
+
+    The HTTP layer maps this to ``429 Too Many Requests`` — the client
+    should back off and retry; the server sheds rather than letting the
+    queue (and every queued request's latency) grow without bound.
+    """
+
+
+class ServeDrainingError(ServingError):
+    """The service is draining for shutdown and admits no new requests.
+
+    Requests already queued when the drain began still complete; the HTTP
+    layer maps this to ``503 Service Unavailable``.
+    """

@@ -512,11 +512,13 @@ class PlanStore:
             )
         return rows
 
-    def gc(self, *, max_bytes: int) -> list[Path]:
+    def gc(self, *, max_bytes: int, dry_run: bool = False) -> list[Path]:
         """Delete oldest artifacts until the store fits ``max_bytes``.
 
         Returns the deleted paths (oldest first). The memory layer drops
         the corresponding keys so a later :meth:`get` misses honestly.
+        ``dry_run`` only *lists* what eviction would delete — nothing is
+        unlinked and the memory layer keeps every key.
         """
         entries = []
         for path in self.root.glob("*.plan"):
@@ -528,17 +530,50 @@ class PlanStore:
         for _, size, path in entries:
             if total <= max_bytes:
                 break
-            try:
-                header = read_plan_header(path)
-                key = tuple(header["key"])
-            except PlanStoreError:
-                key = None
-            path.unlink()
-            if key is not None and key in self.memory:
-                del self.memory[key]
+            if not dry_run:
+                try:
+                    header = read_plan_header(path)
+                    key = tuple(header["key"])
+                except PlanStoreError:
+                    key = None
+                path.unlink()
+                if key is not None and key in self.memory:
+                    del self.memory[key]
             total -= size
             deleted.append(path)
         return deleted
+
+    def preload(self, keys=None, *, limit: int | None = None) -> list[tuple]:
+        """Warm the memory layer from disk before serving traffic.
+
+        ``keys`` selects which artifacts to load (missing ones are
+        skipped silently — warm-up is best-effort); by default every
+        readable artifact on disk loads, newest first, so under a small
+        LRU the most recently recorded plans win. ``limit`` caps the
+        number of loads. Returns the keys actually brought into memory.
+        Corrupt artifacts are skipped, never raised — a bad plan on disk
+        must not stop a server boot.
+        """
+        loaded: list[tuple] = []
+        if keys is None:
+            rows = [r for r in self.ls() if "error" not in r]
+            rows.sort(key=lambda r: -r["mtime"])
+            keys = [r["key"] for r in rows]
+        for key in keys:
+            key = tuple(key)
+            if limit is not None and len(loaded) >= limit:
+                break
+            if key in self.memory:
+                continue
+            path = self.path_for(key)  # type: ignore[arg-type]
+            if not path.exists():
+                continue
+            try:
+                self.memory[key] = load_plan(path, expected_key=key)  # type: ignore[arg-type]
+            except PlanStoreError:  # repro: noqa[REPRO009] - best-effort warm-up; corrupt plan must not stop boot
+                continue
+            loaded.append(key)
+        return loaded
 
     def total_bytes(self) -> int:
         return sum(p.stat().st_size for p in self.root.glob("*.plan"))

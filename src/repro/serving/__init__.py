@@ -1,0 +1,53 @@
+"""Always-on query serving: warm layouts, cross-user coalescing, one port.
+
+The paper's batched primitives (§V treefix, §VI batched LCA) are priced
+for *batches*, and their expensive precomputations — the layout itself
+(§IV), the treefix ranges, the heavy-light cover — are query-independent.
+This package turns that observation into a long-lived service:
+
+* :mod:`repro.serving.coalescer` — the pure window algebra (merge /
+  dedup / chunk / demux) and the admission-controlled
+  :class:`~repro.serving.coalescer.WindowedQueue`;
+* :mod:`repro.serving.service` — :func:`~repro.serving.service.boot_service`
+  (warm plan-replay boot vs cold §IV boot) and the machine-owning
+  :class:`~repro.serving.service.QueryService` worker;
+* :mod:`repro.serving.server` — the HTTP front end
+  (:class:`~repro.serving.server.ServingServer`), which mounts query POST
+  endpoints on the live telemetry surface.
+
+Entry point: ``repro serve`` (see :mod:`repro.cli`).
+"""
+
+from repro.serving.coalescer import (
+    COALESCABLE_OPS,
+    CoalescePlan,
+    PendingRequest,
+    WindowedQueue,
+    plan_window,
+    scatter_answers,
+)
+from repro.serving.server import ServingServer
+from repro.serving.service import (
+    SERVABLE_OPS,
+    BootedService,
+    BootInfo,
+    QueryService,
+    ServingStats,
+    boot_service,
+)
+
+__all__ = [
+    "COALESCABLE_OPS",
+    "CoalescePlan",
+    "PendingRequest",
+    "WindowedQueue",
+    "plan_window",
+    "scatter_answers",
+    "ServingServer",
+    "SERVABLE_OPS",
+    "BootedService",
+    "BootInfo",
+    "QueryService",
+    "ServingStats",
+    "boot_service",
+]

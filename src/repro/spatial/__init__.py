@@ -29,7 +29,7 @@ from repro.spatial.subtree_cover import (
     compute_ranges,
     range_broadcast,
 )
-from repro.spatial.lca import lca_batch
+from repro.spatial.lca import PreparedLCA, lca_batch, prepare_lca
 from repro.spatial.applications import (
     SubtreeStatistics,
     lca_batch_balanced,
@@ -87,7 +87,9 @@ __all__ = [
     "build_cover",
     "compute_ranges",
     "range_broadcast",
+    "PreparedLCA",
     "lca_batch",
+    "prepare_lca",
     "SubtreeStatistics",
     "lca_batch_balanced",
     "mark_ancestors",

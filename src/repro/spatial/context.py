@@ -215,6 +215,14 @@ class SpatialTree:
 
         return lca_batch(self, us, vs, **kwargs)
 
+    def prepare_lca(self, **kwargs):
+        """Precompute the query-independent LCA ranges + cover once
+        (:func:`~repro.spatial.lca.prepare_lca`); pass the result to
+        :meth:`lca_batch` via ``prepared=`` to serve batches warm."""
+        from repro.spatial.lca import prepare_lca
+
+        return prepare_lca(self, **kwargs)
+
     def snapshot(self) -> dict[str, int]:
         """Machine cost snapshot (energy, messages, depth)."""
         return self.machine.snapshot()

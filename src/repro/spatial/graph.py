@@ -69,6 +69,7 @@ def one_respecting_cuts(
     tree_edge_weights=None,
     seed=None,
     max_queries_per_vertex: int = 8,
+    prepared_lca=None,
 ) -> OneRespectingCuts:
     """Compute every 1-respecting cut value of ``st.tree`` + ``extra_edges``.
 
@@ -86,6 +87,11 @@ def one_respecting_cuts(
     max_queries_per_vertex:
         Hot-endpoint threshold; above it the §VI vertex-splitting
         preprocessing handles the LCA batch.
+    prepared_lca:
+        Optional :class:`~repro.spatial.lca.PreparedLCA` from
+        :func:`~repro.spatial.lca.prepare_lca`; reused by the LCA batch
+        on the cold (non-split) path so a long-lived caller never
+        rebuilds the ranges/cover per request.
     """
     tree = st.tree
     n = st.n
@@ -126,7 +132,10 @@ def one_respecting_cuts(
                 _split_st.machine.energy, _split_st.machine.messages
             )
         else:
-            lcas = lca_batch(st, extra_edges[:, 0], extra_edges[:, 1], seed=seed)
+            lcas = lca_batch(
+                st, extra_edges[:, 0], extra_edges[:, 1], seed=seed,
+                prepared=prepared_lca,
+            )
     else:
         lcas = np.zeros(0, dtype=np.int64)
 

@@ -27,21 +27,61 @@ hot batches can do the same).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.contracts import cost_contract
 from repro.errors import ValidationError
 from repro.machine.collectives import barrier
-from repro.spatial.subtree_cover import SpatialCover, build_cover, compute_ranges, range_broadcast
+from repro.spatial.subtree_cover import (
+    SpatialCover,
+    SpatialRanges,
+    build_cover,
+    compute_ranges,
+    range_broadcast,
+)
 from repro.utils import as_index_array, check_in_range
 
 
+@dataclass(frozen=True)
+class PreparedLCA:
+    """Query-independent LCA state: treefix ranges + heavy-light cover.
+
+    Both are pure functions of the layout — no query touches them — so a
+    long-lived caller (the serving loop) computes them once, pays the
+    ``lca_ranges``/``lca_cover`` energy once, and answers every later
+    batch with only the per-layer sweeps.
+    """
+
+    ranges: SpatialRanges
+    cover: SpatialCover
+
+
+def prepare_lca(st, *, seed=None) -> PreparedLCA:
+    """Precompute the reusable (query-independent) half of :func:`lca_batch`.
+
+    Charges the ``lca_ranges`` and ``lca_cover`` phases on ``st``'s
+    machine exactly as a cold :func:`lca_batch` call would; pass the
+    result back via ``prepared=`` to amortize it across batches.
+    """
+    with st.machine.phase("lca_ranges"):
+        ranges = compute_ranges(st, seed=seed)
+    with st.machine.phase("lca_cover"):
+        cover = build_cover(st, ranges, seed=seed)
+    return PreparedLCA(ranges=ranges, cover=cover)
+
+
 @cost_contract(energy="lca_energy", depth="lca_depth", plan_safe=True)
-def lca_batch(st, us, vs, *, seed=None, return_cover: bool = False):
+def lca_batch(st, us, vs, *, seed=None, return_cover: bool = False,
+              prepared: PreparedLCA | None = None):
     """Answer ``LCA(us[i], vs[i])`` for all i on the machine.
 
     Returns the answers as vertex ids (and the :class:`SpatialCover` when
     ``return_cover`` is set, for the benchmarks' layer statistics).
+    ``prepared`` reuses a :func:`prepare_lca` precomputation, skipping the
+    ranges/cover phases — the warm-serving path; omitted, the call builds
+    them itself exactly as before.
     """
     us = as_index_array(us, name="us")
     vs = as_index_array(vs, name="vs")
@@ -54,8 +94,11 @@ def lca_batch(st, us, vs, *, seed=None, return_cover: bool = False):
 
     pos = st.layout.position
 
-    with st.machine.phase("lca_ranges"):
-        ranges = compute_ranges(st, seed=seed)
+    if prepared is None:
+        with st.machine.phase("lca_ranges"):
+            ranges = compute_ranges(st, seed=seed)
+    else:
+        ranges = prepared.ranges
 
     # ---- step 1: ancestor-descendant queries are answered locally -------
     u_anc = ranges.contains(us, pos[vs])
@@ -63,8 +106,11 @@ def lca_batch(st, us, vs, *, seed=None, return_cover: bool = False):
     v_anc = ranges.contains(vs, pos[us]) & ~u_anc
     answers[v_anc] = vs[v_anc]
 
-    with st.machine.phase("lca_cover"):
-        cover = build_cover(st, ranges, seed=seed)
+    if prepared is None:
+        with st.machine.phase("lca_cover"):
+            cover = build_cover(st, ranges, seed=seed)
+    else:
+        cover = prepared.cover
 
     # ---- step 4: layer sweeps over the subtree cover --------------------
     open_q = np.flatnonzero(answers < 0)

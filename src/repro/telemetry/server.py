@@ -102,6 +102,9 @@ class TelemetryServer:
             def do_GET(self):  # noqa: N802 - stdlib API name
                 server._handle(self)
 
+            def do_POST(self):  # noqa: N802 - stdlib API name
+                server._handle_post(self)
+
         self._httpd = ThreadingHTTPServer(self._requested, Handler)
         self._httpd.daemon_threads = True
         self._t0 = time.monotonic()
@@ -175,11 +178,12 @@ class TelemetryServer:
                         )
                         return
                 self._send_json(handler, self.spans(limit))
-            else:
+            elif not self._handle_get_extra(handler, route, parsed):
                 self._send_json(
                     handler,
                     {"error": f"unknown endpoint {route!r}",
-                     "endpoints": ["/metrics", "/health", "/progress", "/spans"]},
+                     "endpoints": ["/metrics", "/health", "/progress", "/spans"]
+                     + list(self.extra_endpoints())},
                     status=404,
                 )
         except Exception as exc:  # noqa: BLE001 - a scrape must never kill the run
@@ -189,6 +193,29 @@ class TelemetryServer:
                 )
             except OSError:
                 self._dropped_responses += 1  # client hung up mid-error reply
+
+    # subclass hooks — the serving layer (repro.serving) adds POST query
+    # endpoints and extra GET routes on top of the read-only base set
+
+    def extra_endpoints(self) -> tuple[str, ...]:
+        """Additional routes a subclass serves (listed in 404 bodies)."""
+        return ()
+
+    def _handle_get_extra(self, handler, route: str, parsed) -> bool:
+        """Serve a subclass GET route; return False to fall through to 404."""
+        del handler, route, parsed
+        return False
+
+    def _handle_post(self, handler: BaseHTTPRequestHandler) -> None:
+        """POST entry point; the base telemetry surface is read-only."""
+        try:
+            self._send_json(
+                handler,
+                {"error": "telemetry endpoints are read-only (GET only)"},
+                status=405,
+            )
+        except OSError:
+            self._dropped_responses += 1
 
     @staticmethod
     def _send(handler, status: int, content_type: str, body: bytes) -> None:

@@ -50,8 +50,9 @@ from repro.machine.instrumentation import Instrument, StepEvent
 SPAN_SCHEMA = "repro.spans/v1"
 
 #: span kinds, outermost to innermost (``alert`` is out-of-band;
-#: ``replay`` wraps a stored workload-plan re-execution, see repro.plans)
-SPAN_KINDS = ("workload", "replay", "phase", "batch", "round", "alert")
+#: ``replay`` wraps a stored workload-plan re-execution, see repro.plans;
+#: ``window`` wraps one coalesced serving window, see repro.serving)
+SPAN_KINDS = ("workload", "replay", "window", "phase", "batch", "round", "alert")
 
 
 @dataclass

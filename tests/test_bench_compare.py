@@ -354,3 +354,79 @@ class TestCli:
 
         with pytest.raises(SystemExit):
             main(["bench", "migrate", str(tmp_path)])
+
+
+# --------------------------------------------------------------------------- #
+# latency / throughput metric kinds (serving benchmarks)
+# --------------------------------------------------------------------------- #
+
+
+class TestServingMetricKinds:
+    def test_latency_column_names(self):
+        assert metric_kind("p50_ms") == "latency"
+        assert metric_kind("p99_ms") == "latency"
+        assert metric_kind("lca_p99_s") == "latency"
+        assert metric_kind("latency_seconds") == "latency"
+        assert metric_kind("ttfa_ms") == "latency"
+
+    def test_throughput_column_names(self):
+        assert metric_kind("qps") == "throughput"
+        assert metric_kind("coalesced_qps") == "throughput"
+        assert metric_kind("rps") == "throughput"
+        assert metric_kind("throughput") == "throughput"
+
+    def test_non_latency_lookalikes_unaffected(self):
+        # a p-digit token must be delimited: "p99" yes, "op99"-style no
+        assert metric_kind("speedup") is None  # ratio, informational
+        assert metric_kind("energy/n^1.5") == "energy"
+        assert metric_kind("wall_s") == "wall"
+
+    def test_latency_gate_off_by_default_on_by_flag(self):
+        rows = [{"scenario": "load", "n": 256, "p99_ms": 10.0, "qps": 100.0}]
+        worse = copy.deepcopy(rows)
+        worse[0]["p99_ms"] = 30.0
+        assert compare_reports(bench_report(rows), bench_report(worse)).ok
+        cmp = compare_reports(
+            bench_report(rows), bench_report(worse), max_latency_regress="50%"
+        )
+        assert not cmp.ok
+        assert all(r.kind == "latency" for r in cmp.regressions)
+
+    def test_throughput_gate_is_inverted(self):
+        rows = [{"scenario": "load", "n": 256, "qps": 100.0}]
+        # qps DROP is the regression…
+        worse = copy.deepcopy(rows)
+        worse[0]["qps"] = 50.0
+        cmp = compare_reports(
+            bench_report(rows), bench_report(worse), max_throughput_regress="25%"
+        )
+        assert not cmp.ok
+        reg = cmp.regressions[0]
+        assert reg.kind == "throughput"
+        assert "-50" in reg.describe()  # the drop renders with a minus sign
+        # …and a qps INCREASE always passes, however large
+        better = copy.deepcopy(rows)
+        better[0]["qps"] = 10_000.0
+        assert compare_reports(
+            bench_report(rows), bench_report(better), max_throughput_regress="1%"
+        ).ok
+
+    def test_cli_latency_and_throughput_flags(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rows = [{"scenario": "load", "n": 256, "p99_ms": 10.0, "qps": 100.0}]
+        worse = copy.deepcopy(rows)
+        worse[0]["p99_ms"] = 40.0
+        worse[0]["qps"] = 20.0
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        bench_report(rows).save(a)
+        bench_report(worse).save(b)
+        # ungated by default (host-dependent, like wall)
+        assert main(["bench", "compare", str(a), str(b)]) == 0
+        capsys.readouterr()
+        assert main(["bench", "compare", str(a), str(b),
+                     "--max-latency-regress", "100%"]) == 1
+        assert "latency" in capsys.readouterr().out
+        assert main(["bench", "compare", str(a), str(b),
+                     "--max-throughput-regress", "50%"]) == 1
+        assert "throughput" in capsys.readouterr().out
